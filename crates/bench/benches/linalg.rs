@@ -1,0 +1,47 @@
+//! Linear-algebra kernel benchmarks: the substrate everything else sits on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noble_linalg::{cholesky, jacobi_eigen, lu_decompose, top_eigenpairs, EigenSort, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn random_spd(n: usize, seed: u64) -> Matrix {
+    let a = random_matrix(n, seed);
+    a.transpose()
+        .matmul(&a)
+        .expect("square")
+        .add(&Matrix::identity(n).scale(n as f64))
+        .expect("same shape")
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    let a = random_matrix(128, 1);
+    let b = random_matrix(128, 2);
+    group.bench_function("matmul_128", |bch| bch.iter(|| a.matmul(&b).expect("shapes")));
+
+    let spd = random_spd(64, 3);
+    group.bench_function("cholesky_64", |bch| bch.iter(|| cholesky(&spd).expect("spd")));
+    group.bench_function("lu_64", |bch| bch.iter(|| lu_decompose(&spd).expect("nonsingular")));
+
+    let sym = {
+        let m = random_matrix(48, 5);
+        m.add(&m.transpose()).expect("same shape").scale(0.5)
+    };
+    group.sample_size(20);
+    group.bench_function("jacobi_eigen_48", |bch| {
+        bch.iter(|| jacobi_eigen(&sym, EigenSort::Descending).expect("symmetric"))
+    });
+    group.bench_function("top4_eigenpairs_64", |bch| {
+        bch.iter(|| top_eigenpairs(&random_spd(64, 7), 4, 11).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

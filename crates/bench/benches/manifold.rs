@@ -1,0 +1,40 @@
+//! Manifold-learning micro-benchmarks: kNN search, kd-tree, Isomap fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noble_linalg::Matrix;
+use noble_manifold::{knn_brute, Isomap, KdTree, Lle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_manifold(c: &mut Criterion) {
+    let data = random_data(400, 16, 3);
+    let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+
+    let mut group = c.benchmark_group("manifold");
+    group.sample_size(20);
+
+    group.bench_function("knn_brute_400", |b| {
+        b.iter(|| knn_brute(&data, &query, 10))
+    });
+
+    let tree = KdTree::build(&data);
+    group.bench_function("kdtree_query_400", |b| b.iter(|| tree.knn(&query, 10)));
+    group.bench_function("kdtree_build_400", |b| b.iter(|| KdTree::build(&data)));
+
+    let small = random_data(120, 8, 5);
+    group.bench_function("isomap_fit_120", |b| {
+        b.iter(|| Isomap::fit(&small, 6, 4, 1).expect("isomap"))
+    });
+    group.bench_function("lle_fit_120", |b| {
+        b.iter(|| Lle::fit(&small, 6, 4, 1e-3, 1).expect("lle"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_manifold);
+criterion_main!(benches);

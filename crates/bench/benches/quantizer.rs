@@ -1,0 +1,44 @@
+//! Quantizer throughput: fit, quantize and decode rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noble_geo::Point;
+use noble_quantize::{DecodePolicy, GridQuantizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..400.0), rng.gen_range(0.0..280.0)))
+        .collect()
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let points = random_points(8000, 11);
+    let q = GridQuantizer::fit(&points, 1.0, DecodePolicy::SampleMean).expect("fit");
+    let probes = random_points(256, 13);
+
+    let mut group = c.benchmark_group("quantizer");
+    group.bench_function("fit_8000_points", |b| {
+        b.iter(|| GridQuantizer::fit(&points, 1.0, DecodePolicy::SampleMean).expect("fit"))
+    });
+    group.bench_function("quantize_nearest_256", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&p| q.quantize_nearest(p))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("decode_all_classes", |b| {
+        b.iter(|| {
+            (0..q.num_classes())
+                .map(|cl| q.decode(cl).expect("decode").x)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizer);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Training-epoch throughput of the NObLe WiFi network.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noble_datasets::{uji_campaign, UjiConfig};
+use noble_linalg::Matrix;
+use noble_nn::{
+    one_hot, Activation, Mlp, Optimizer, SoftmaxCrossEntropyLoss, TrainConfig, Trainer,
+};
+
+fn bench_training(c: &mut Criterion) {
+    let campaign = uji_campaign(&UjiConfig::small()).expect("campaign");
+    let x = campaign.features(&campaign.train);
+    // A simple floor-classification target keeps the benchmark focused on
+    // the network kernels rather than quantizer construction.
+    let labels: Vec<usize> = campaign.train.iter().map(|s| s.floor).collect();
+    let num_classes = labels.iter().max().unwrap_or(&0) + 1;
+    let y: Matrix = one_hot(&labels, num_classes);
+
+    let build = || {
+        Mlp::builder(x.cols(), 7)
+            .dense(64)
+            .batch_norm()
+            .activation(Activation::Tanh)
+            .dense(64)
+            .batch_norm()
+            .activation(Activation::Tanh)
+            .dense(num_classes)
+            .build()
+    };
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("one_epoch", |b| {
+        b.iter_batched(
+            build,
+            |mut mlp| {
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    batch_size: 64,
+                    optimizer: Optimizer::adam(1e-3),
+                    ..TrainConfig::default()
+                };
+                Trainer::new(cfg)
+                    .fit(&mut mlp, &x, &y, &SoftmaxCrossEntropyLoss, None)
+                    .expect("fit")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

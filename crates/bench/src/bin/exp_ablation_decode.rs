@@ -1,0 +1,9 @@
+//! Decode-policy ablation; see `noble_bench::runners::ablation`.
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::ablation::run_decode(scale) {
+        eprintln!("exp_ablation_decode failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Auxiliary-head ablation; see `noble_bench::runners::ablation`.
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::ablation::run_heads(scale) {
+        eprintln!("exp_ablation_heads failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Quantization-granularity ablation; see `noble_bench::runners::ablation`.
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::ablation::run_tau_sweep(scale) {
+        eprintln!("exp_ablation_tau failed: {e}");
+        std::process::exit(1);
+    }
+}

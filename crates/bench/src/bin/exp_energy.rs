@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact; see `noble_bench::runners::energy`.
+//! Set `NOBLE_QUICK=1` for a fast reduced-scale run.
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::energy::run(scale) {
+        eprintln!("exp_energy failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact; see `noble_bench::runners::table3`.
+//! Set `NOBLE_QUICK=1` for a fast reduced-scale run.
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::table3::run(scale) {
+        eprintln!("exp_table3 failed: {e}");
+        std::process::exit(1);
+    }
+}

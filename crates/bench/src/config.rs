@@ -1,0 +1,193 @@
+//! Experiment scaling: paper-scaled `Full` runs vs CI-friendly `Quick`
+//! runs.
+
+use noble::imu::ImuNobleConfig;
+use noble::imu::baselines::ImuRegressionConfig;
+use noble::wifi::baselines::{ManifoldKind, ManifoldRegressionConfig, RegressionConfig};
+use noble::wifi::WifiNobleConfig;
+use noble_datasets::{CampusConfig, ImuConfig, UjiConfig};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scaled synthetic campaigns (minutes per experiment).
+    Full,
+    /// Shrunk datasets and epochs (seconds per experiment).
+    Quick,
+}
+
+impl Scale {
+    /// Reads the scale from the `NOBLE_QUICK` environment variable
+    /// (any non-empty value other than `0` selects [`Scale::Quick`]).
+    pub fn from_env() -> Self {
+        match std::env::var("NOBLE_QUICK") {
+            Ok(v) if !v.is_empty() && v != "0" => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+}
+
+/// UJI-like campaign configuration at the given scale.
+pub fn uji_config(scale: Scale) -> UjiConfig {
+    match scale {
+        Scale::Full => UjiConfig::default(),
+        Scale::Quick => UjiConfig {
+            references_per_floor: 25,
+            samples_per_reference: 4,
+            test_samples_per_floor: 30,
+            waps_per_building_floor: 6,
+            campus: CampusConfig {
+                floors: 2,
+                ..CampusConfig::default()
+            },
+            ..UjiConfig::default()
+        },
+    }
+}
+
+/// IPIN-like single-building configuration at the given scale.
+pub fn ipin_config(scale: Scale) -> UjiConfig {
+    let mut cfg = uji_config(scale);
+    cfg.campus = CampusConfig {
+        building_width_m: 45.0,
+        building_depth_m: 30.0,
+        ring_thickness_m: 9.0,
+        gap_m: 0.0,
+        floors: if scale == Scale::Full { 3 } else { 2 },
+    };
+    cfg.waps_per_building_floor = match scale {
+        Scale::Full => 24,
+        Scale::Quick => 8,
+    };
+    cfg.references_per_floor = match scale {
+        Scale::Full => 90,
+        Scale::Quick => 25,
+    };
+    cfg.seed ^= 0x1919;
+    cfg
+}
+
+/// IMU dataset configuration at the given scale.
+pub fn imu_config(scale: Scale) -> ImuConfig {
+    match scale {
+        Scale::Full => ImuConfig::default(),
+        Scale::Quick => ImuConfig {
+            num_reference_points: 40,
+            num_paths: 500,
+            max_path_segments: 6,
+            ..ImuConfig::default()
+        },
+    }
+}
+
+/// NObLe WiFi model configuration at the given scale.
+pub fn wifi_noble_config(scale: Scale) -> WifiNobleConfig {
+    match scale {
+        Scale::Full => WifiNobleConfig {
+            tau: 1.0,
+            coarse_l: Some(8.0),
+            epochs: 60,
+            patience: None,
+            ..WifiNobleConfig::default()
+        },
+        Scale::Quick => WifiNobleConfig {
+            tau: 3.0,
+            coarse_l: Some(12.0),
+            hidden_dim: 128,
+            epochs: 40,
+            learning_rate: 1e-3,
+            patience: None,
+            ..WifiNobleConfig::default()
+        },
+    }
+}
+
+/// Regression baseline configuration at the given scale.
+pub fn regression_config(scale: Scale) -> RegressionConfig {
+    match scale {
+        Scale::Full => RegressionConfig {
+            epochs: 60,
+            ..RegressionConfig::default()
+        },
+        Scale::Quick => RegressionConfig::small(),
+    }
+}
+
+/// Manifold baseline configuration at the given scale.
+pub fn manifold_config(scale: Scale, kind: ManifoldKind) -> ManifoldRegressionConfig {
+    match scale {
+        Scale::Full => ManifoldRegressionConfig {
+            kind,
+            embedding_dim: 32,
+            k: 10,
+            landmarks: 350,
+            regression: regression_config(scale),
+        },
+        Scale::Quick => ManifoldRegressionConfig::small(kind),
+    }
+}
+
+/// NObLe IMU model configuration at the given scale.
+pub fn imu_noble_config(scale: Scale) -> ImuNobleConfig {
+    match scale {
+        Scale::Full => ImuNobleConfig {
+            tau: 0.4,
+            epochs: 120,
+            ..ImuNobleConfig::default()
+        },
+        Scale::Quick => ImuNobleConfig {
+            tau: 2.0,
+            epochs: 80,
+            hidden_dim: 128,
+            displacement_loss_weight: 4.0,
+            learning_rate: 1e-3,
+            ..ImuNobleConfig::default()
+        },
+    }
+}
+
+/// IMU regression baseline configuration at the given scale.
+pub fn imu_regression_config(scale: Scale) -> ImuRegressionConfig {
+    match scale {
+        Scale::Full => ImuRegressionConfig {
+            epochs: 35,
+            ..ImuRegressionConfig::default()
+        },
+        Scale::Quick => ImuRegressionConfig::small(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let full = uji_config(Scale::Full);
+        let quick = uji_config(Scale::Quick);
+        assert!(quick.references_per_floor < full.references_per_floor);
+        assert!(quick.campus.floors < full.campus.floors);
+        assert!(imu_config(Scale::Quick).num_paths < imu_config(Scale::Full).num_paths);
+        assert!(wifi_noble_config(Scale::Quick).epochs < wifi_noble_config(Scale::Full).epochs);
+    }
+
+    #[test]
+    fn ipin_is_single_scale_site() {
+        let cfg = ipin_config(Scale::Quick);
+        assert!(cfg.campus.building_width_m < 60.0);
+        // Different seed from the UJI campaign.
+        assert_ne!(cfg.seed, uji_config(Scale::Quick).seed);
+    }
+
+    #[test]
+    fn scale_from_env_default_full() {
+        // The test environment does not set NOBLE_QUICK globally; accept
+        // either outcome but exercise the parser.
+        let _ = Scale::from_env();
+        std::env::set_var("NOBLE_QUICK", "1");
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        std::env::set_var("NOBLE_QUICK", "0");
+        assert_eq!(Scale::from_env(), Scale::Full);
+        std::env::remove_var("NOBLE_QUICK");
+    }
+}

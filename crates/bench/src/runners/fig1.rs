@@ -1,0 +1,120 @@
+//! Fig. 1: ground-truth structure of the campaign.
+//!
+//! The paper's left panel is an aerial photo; the right panel plots the
+//! offline collection coordinates, which trace the three building rings
+//! and leave the courtyards empty. This runner dumps the ground-truth
+//! coordinates as CSV, renders an ASCII scatter, and checks courtyard
+//! occupancy is exactly zero.
+
+use crate::config::uji_config;
+use crate::runners::RunnerResult;
+use crate::{write_artifact, Scale};
+use noble_datasets::uji_campaign;
+use noble_geo::Point;
+
+/// Renders a point cloud onto a `width x height` character canvas.
+pub fn ascii_scatter(points: &[Point], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let mut canvas = vec![vec![b' '; width]; height];
+    for p in points {
+        let cx = (((p.x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let cy = (((p.y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        // Flip y so north is up.
+        canvas[height - 1 - cy][cx] = b'*';
+    }
+    canvas
+        .into_iter()
+        .map(|row| String::from_utf8(row).expect("ascii"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Formats points as a `x,y` CSV with a header.
+pub fn csv_points(header: &str, points: &[Point]) -> String {
+    let mut s = String::from(header);
+    s.push('\n');
+    for p in points {
+        s.push_str(&format!("{:.3},{:.3}\n", p.x, p.y));
+    }
+    s
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates dataset and I/O failures.
+pub fn run(scale: Scale) -> RunnerResult {
+    let campaign = uji_campaign(&uji_config(scale))?;
+    let points: Vec<Point> = campaign.train.iter().map(|s| s.position).collect();
+
+    let csv = csv_points("x,y", &points);
+    let path = write_artifact("fig1_ground_truth.csv", &csv)?;
+
+    // Courtyard occupancy: count samples strictly inside any hole.
+    let mut courtyard = 0usize;
+    for p in &points {
+        for b in campaign.map.buildings() {
+            if b.footprint().contains(*p) && !b.contains_accessible(*p) {
+                courtyard += 1;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("FIG 1: ground-truth collection coordinates (offline phase)\n");
+    out.push_str(&format!(
+        "samples={} buildings={} | courtyard occupancy={} (must be 0)\n",
+        points.len(),
+        campaign.map.building_count(),
+        courtyard
+    ));
+    out.push_str(&format!("csv: {}\n\n", path.display()));
+    out.push_str(&ascii_scatter(&points, 96, 28));
+    out.push('\n');
+    if courtyard != 0 {
+        return Err(format!("{courtyard} samples inside courtyards").into());
+    }
+    println!("{out}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_marks_extremes() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(10.0, 5.0)];
+        let s = ascii_scatter(&pts, 20, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10);
+        // Bottom-left and top-right are marked.
+        assert_eq!(lines[9].as_bytes()[0], b'*');
+        assert_eq!(lines[0].as_bytes()[19], b'*');
+    }
+
+    #[test]
+    fn scatter_empty_is_empty() {
+        assert!(ascii_scatter(&[], 10, 10).is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = csv_points("x,y", &[Point::new(1.0, 2.0)]);
+        assert!(s.starts_with("x,y\n"));
+        assert!(s.contains("1.000,2.000"));
+    }
+}

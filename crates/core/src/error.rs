@@ -1,0 +1,101 @@
+use noble_datasets::DatasetError;
+use noble_linalg::LinalgError;
+use noble_manifold::ManifoldError;
+use noble_nn::NnError;
+use noble_quantize::QuantizeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NObLe models and baselines.
+#[derive(Debug)]
+pub enum NobleError {
+    /// Input data was empty or inconsistent.
+    InvalidData(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// Neural-network failure.
+    Nn(NnError),
+    /// Quantization failure.
+    Quantize(QuantizeError),
+    /// Manifold-learning failure.
+    Manifold(ManifoldError),
+    /// Dataset failure.
+    Dataset(DatasetError),
+    /// Linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for NobleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NobleError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            NobleError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NobleError::Nn(e) => write!(f, "network failure: {e}"),
+            NobleError::Quantize(e) => write!(f, "quantization failure: {e}"),
+            NobleError::Manifold(e) => write!(f, "manifold failure: {e}"),
+            NobleError::Dataset(e) => write!(f, "dataset failure: {e}"),
+            NobleError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for NobleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NobleError::Nn(e) => Some(e),
+            NobleError::Quantize(e) => Some(e),
+            NobleError::Manifold(e) => Some(e),
+            NobleError::Dataset(e) => Some(e),
+            NobleError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for NobleError {
+    fn from(e: NnError) -> Self {
+        NobleError::Nn(e)
+    }
+}
+
+impl From<QuantizeError> for NobleError {
+    fn from(e: QuantizeError) -> Self {
+        NobleError::Quantize(e)
+    }
+}
+
+impl From<ManifoldError> for NobleError {
+    fn from(e: ManifoldError) -> Self {
+        NobleError::Manifold(e)
+    }
+}
+
+impl From<DatasetError> for NobleError {
+    fn from(e: DatasetError) -> Self {
+        NobleError::Dataset(e)
+    }
+}
+
+impl From<LinalgError> for NobleError {
+    fn from(e: LinalgError) -> Self {
+        NobleError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = NobleError::InvalidData("no samples".into());
+        assert!(e.to_string().contains("no samples"));
+        assert!(Error::source(&e).is_none());
+        let e: NobleError = NnError::EmptyData.into();
+        assert!(Error::source(&e).is_some());
+        let e: NobleError = QuantizeError::NoSamples.into();
+        assert!(e.to_string().contains("quantization"));
+        let e: NobleError = LinalgError::Empty.into();
+        assert!(e.to_string().contains("linear algebra"));
+    }
+}

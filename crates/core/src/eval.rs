@@ -1,0 +1,213 @@
+//! Shared evaluation metrics.
+//!
+//! The paper reports position error (Euclidean distance between predicted
+//! and true coordinates; Tables I–III) and argues visually through
+//! prediction scatter (Figs. 4 and 5) that NObLe respects space structure.
+//! [`StructureReport`] turns that visual argument into numbers: the
+//! fraction of predictions that land on accessible space and the mean
+//! distance from accessible space.
+
+use crate::NobleError;
+use noble_geo::{CampusMap, Point};
+use noble_linalg::Summary;
+
+/// Euclidean position errors between matched prediction/truth pairs.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn position_errors(predicted: &[Point], truth: &[Point]) -> Vec<f64> {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "position_errors: {} predictions vs {} ground-truth points",
+        predicted.len(),
+        truth.len()
+    );
+    predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| p.distance(*t))
+        .collect()
+}
+
+/// Summary of position errors (mean, median, RMSE, tails).
+///
+/// # Errors
+///
+/// Returns [`NobleError::InvalidData`] for empty inputs.
+pub fn position_error_summary(
+    predicted: &[Point],
+    truth: &[Point],
+) -> Result<Summary, NobleError> {
+    if predicted.is_empty() {
+        return Err(NobleError::InvalidData("no predictions to evaluate".into()));
+    }
+    let errors = position_errors(predicted, truth);
+    Summary::from_samples(&errors).map_err(NobleError::from)
+}
+
+/// Empirical CDF of an error sample, evaluated at the given thresholds:
+/// `cdf[i]` is the fraction of errors `<= thresholds[i]`.
+///
+/// Localization papers conventionally report "fraction of fixes within
+/// 1 m / 5 m / 10 m"; this helper backs those rows and CDF plots.
+///
+/// # Errors
+///
+/// Returns [`NobleError::InvalidData`] when `errors` is empty.
+///
+/// # Example
+///
+/// ```
+/// let cdf = noble::eval::error_cdf(&[0.5, 2.0, 7.0, 12.0], &[1.0, 5.0, 10.0]).unwrap();
+/// assert_eq!(cdf, vec![0.25, 0.5, 0.75]);
+/// ```
+pub fn error_cdf(errors: &[f64], thresholds: &[f64]) -> Result<Vec<f64>, NobleError> {
+    if errors.is_empty() {
+        return Err(NobleError::InvalidData("no errors for CDF".into()));
+    }
+    let n = errors.len() as f64;
+    Ok(thresholds
+        .iter()
+        .map(|&t| errors.iter().filter(|&&e| e <= t).count() as f64 / n)
+        .collect())
+}
+
+/// Structure-awareness metrics of a prediction set against a floor plan
+/// (the quantitative version of Figs. 4 and 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureReport {
+    /// Fraction of predictions lying on accessible space.
+    pub on_map_fraction: f64,
+    /// Mean distance from each prediction to the nearest accessible point
+    /// (zero for on-map predictions).
+    pub mean_off_map_distance: f64,
+    /// Worst off-map distance.
+    pub max_off_map_distance: f64,
+    /// Number of predictions evaluated.
+    pub count: usize,
+}
+
+impl StructureReport {
+    /// Computes the report for a set of predicted positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NobleError::InvalidData`] for empty input.
+    pub fn compute(predicted: &[Point], map: &CampusMap) -> Result<Self, NobleError> {
+        if predicted.is_empty() {
+            return Err(NobleError::InvalidData("no predictions to evaluate".into()));
+        }
+        let mut on_map = 0usize;
+        let mut total_off = 0.0;
+        let mut max_off = 0.0f64;
+        for p in predicted {
+            let d = map.off_map_distance(*p);
+            if d <= 1e-9 {
+                on_map += 1;
+            }
+            total_off += d;
+            max_off = max_off.max(d);
+        }
+        Ok(StructureReport {
+            on_map_fraction: on_map as f64 / predicted.len() as f64,
+            mean_off_map_distance: total_off / predicted.len() as f64,
+            max_off_map_distance: max_off,
+            count: predicted.len(),
+        })
+    }
+}
+
+impl std::fmt::Display for StructureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "on-map {:.1}% | mean off-map {:.2} m | max off-map {:.2} m (n={})",
+            self.on_map_fraction * 100.0,
+            self.mean_off_map_distance,
+            self.max_off_map_distance,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noble_geo::{Building, Polygon};
+
+    fn square_map() -> CampusMap {
+        let b = Building::new(Polygon::rectangle(0.0, 0.0, 10.0, 10.0).unwrap(), 1).unwrap();
+        CampusMap::new(vec![b]).unwrap()
+    }
+
+    #[test]
+    fn errors_are_euclidean() {
+        let pred = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let truth = vec![Point::new(3.0, 4.0), Point::new(1.0, 1.0)];
+        let e = position_errors(&pred, &truth);
+        assert_eq!(e, vec![5.0, 0.0]);
+        let s = position_error_summary(&pred, &truth).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "predictions")]
+    fn mismatched_lengths_panic() {
+        position_errors(&[Point::ORIGIN], &[]);
+    }
+
+    #[test]
+    fn empty_summary_errors() {
+        assert!(position_error_summary(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn structure_report_counts_off_map() {
+        let map = square_map();
+        let preds = vec![
+            Point::new(5.0, 5.0),  // on map
+            Point::new(12.0, 5.0), // 2 m off
+            Point::new(5.0, 5.0),  // on map
+            Point::new(5.0, 16.0), // 6 m off
+        ];
+        let r = StructureReport::compute(&preds, &map).unwrap();
+        assert_eq!(r.count, 4);
+        assert!((r.on_map_fraction - 0.5).abs() < 1e-12);
+        assert!((r.mean_off_map_distance - 2.0).abs() < 1e-12);
+        assert!((r.max_off_map_distance - 6.0).abs() < 1e-12);
+        assert!(r.to_string().contains("on-map"));
+    }
+
+    #[test]
+    fn structure_report_rejects_empty() {
+        assert!(StructureReport::compute(&[], &square_map()).is_err());
+    }
+
+    #[test]
+    fn all_on_map_is_perfect() {
+        let map = square_map();
+        let preds = vec![Point::new(1.0, 1.0); 5];
+        let r = StructureReport::compute(&preds, &map).unwrap();
+        assert_eq!(r.on_map_fraction, 1.0);
+        assert_eq!(r.mean_off_map_distance, 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let errors = [3.0, 1.0, 8.0, 0.2, 15.0];
+        let cdf = error_cdf(&errors, &[0.5, 2.0, 10.0, 100.0]).unwrap();
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cdf[3], 1.0);
+        assert_eq!(cdf[0], 0.2);
+        assert!(error_cdf(&[], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn cdf_boundary_inclusive() {
+        let cdf = error_cdf(&[1.0, 2.0], &[1.0]).unwrap();
+        assert_eq!(cdf[0], 0.5);
+    }
+}

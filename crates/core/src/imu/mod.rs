@@ -1,0 +1,432 @@
+//! IMU device tracking (paper §V).
+//!
+//! [`ImuNoble`] implements the Fig. 5(a) architecture:
+//!
+//! 1. **projection module** — one trainable linear map applied to *every*
+//!    segment's feature vector (weights shared across segments),
+//! 2. **displacement module** — a two-hidden-layer network mapping the
+//!    concatenated projections to a displacement vector `V ∈ R²`,
+//! 3. **location module** — takes `V` and the one-hot *starting location
+//!    class* and classifies the *ending* neighborhood class, decoded to
+//!    coordinates via the fitted quantizer (`τ = 0.4 m` in the paper).
+//!
+//! Training is end-to-end: cross-entropy on the end class plus an
+//! auxiliary mean-squared-error term on the displacement vector. The
+//! baselines of Table III are in [`baselines`](crate::imu::baselines).
+
+pub mod baselines;
+
+use crate::eval::{position_error_summary, StructureReport};
+use crate::NobleError;
+use noble_datasets::{ImuDataset, ImuPathSample, SEGMENT_FEATURE_DIM};
+use noble_geo::Point;
+use noble_linalg::{Matrix, Summary};
+use noble_nn::{
+    one_hot, softmax_row, Activation, Dense, Mlp, Optimizer, SoftmaxCrossEntropyLoss, Loss,
+};
+use noble_quantize::{DecodePolicy, GridQuantizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-segment input width: the dataset features plus a validity flag for
+/// padded slots.
+pub const SEGMENT_INPUT_DIM: usize = SEGMENT_FEATURE_DIM + 1;
+
+/// Configuration of the NObLe IMU tracker.
+#[derive(Debug, Clone)]
+pub struct ImuNobleConfig {
+    /// Quantization cell side in meters (paper: 0.4 m).
+    pub tau: f64,
+    /// Decode policy for the end-class centroid.
+    pub decode_policy: DecodePolicy,
+    /// Output width of the shared projection module.
+    pub projection_dim: usize,
+    /// Hidden width of the displacement and location networks.
+    pub hidden_dim: usize,
+    /// Weight of the auxiliary displacement MSE term.
+    pub displacement_loss_weight: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Multiplicative learning-rate decay per epoch.
+    pub lr_decay: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ImuNobleConfig {
+    fn default() -> Self {
+        ImuNobleConfig {
+            tau: 0.4,
+            decode_policy: DecodePolicy::SampleMean,
+            projection_dim: 12,
+            hidden_dim: 128,
+            displacement_loss_weight: 4.0,
+            epochs: 120,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            lr_decay: 0.99,
+            seed: 0x1210,
+        }
+    }
+}
+
+impl ImuNobleConfig {
+    /// A reduced configuration for unit tests.
+    pub fn small() -> Self {
+        ImuNobleConfig {
+            tau: 2.0,
+            projection_dim: 6,
+            hidden_dim: 32,
+            epochs: 30,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            ..ImuNobleConfig::default()
+        }
+    }
+}
+
+/// Evaluation results in the shape of the paper's Table III.
+#[derive(Debug, Clone)]
+pub struct ImuEvalReport {
+    /// End-position error distances in meters.
+    pub position_error: Summary,
+    /// End-class hit rate.
+    pub class_accuracy: f64,
+    /// Structure awareness of predicted end positions (Fig. 5 quantified).
+    pub structure: StructureReport,
+}
+
+/// The trained NObLe IMU tracker.
+#[derive(Debug, Clone)]
+pub struct ImuNoble {
+    projection: Dense,
+    displacement: Mlp,
+    location: Mlp,
+    quantizer: GridQuantizer,
+    max_segments: usize,
+    displacement_scale: f64,
+}
+
+impl ImuNoble {
+    /// Trains the tracker on a dataset's training paths.
+    ///
+    /// # Errors
+    ///
+    /// [`NobleError::InvalidData`] for an empty dataset; propagates
+    /// quantizer and network failures.
+    pub fn train(dataset: &ImuDataset, cfg: &ImuNobleConfig) -> Result<Self, NobleError> {
+        if dataset.train.is_empty() {
+            return Err(NobleError::InvalidData("dataset has no training paths".into()));
+        }
+        // Quantize over both start and end positions so the start one-hot
+        // and the end classes share one vocabulary.
+        let mut anchor_positions: Vec<Point> = dataset.train.iter().map(|p| p.end_position).collect();
+        anchor_positions.extend(dataset.train.iter().map(|p| p.start_position));
+        let quantizer = GridQuantizer::fit(&anchor_positions, cfg.tau, cfg.decode_policy)?;
+        let num_classes = quantizer.num_classes();
+
+        let displacement_scale = dataset
+            .train
+            .iter()
+            .map(|p| p.true_displacement().length())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        let max_segments = dataset.max_segments;
+        let mut model = ImuNoble {
+            projection: Dense::new(SEGMENT_INPUT_DIM, cfg.projection_dim, cfg.seed ^ 0x11),
+            displacement: Mlp::builder(max_segments * cfg.projection_dim, cfg.seed ^ 0x22)
+                .dense(cfg.hidden_dim)
+                .batch_norm()
+                .activation(Activation::Tanh)
+                .dense(cfg.hidden_dim)
+                .batch_norm()
+                .activation(Activation::Tanh)
+                .dense(2)
+                .build(),
+            location: Mlp::builder(2 + num_classes, cfg.seed ^ 0x33)
+                .dense(cfg.hidden_dim)
+                .batch_norm()
+                .activation(Activation::Tanh)
+                .dense(num_classes)
+                .build(),
+            quantizer,
+            max_segments,
+            displacement_scale,
+        };
+        model.fit(dataset, cfg)?;
+        Ok(model)
+    }
+
+    /// The fitted quantizer (exposed for analysis).
+    pub fn quantizer(&self) -> &GridQuantizer {
+        &self.quantizer
+    }
+
+    /// Dense layer shapes across all three modules (for the energy model).
+    pub fn dense_shapes(&self) -> Vec<(usize, usize)> {
+        let mut shapes = vec![(self.projection.in_dim(), self.projection.out_dim())];
+        shapes.extend(self.displacement.dense_shapes());
+        shapes.extend(self.location.dense_shapes());
+        shapes
+    }
+
+    /// Builds the stacked `(batch * max_segments, SEGMENT_INPUT_DIM)`
+    /// segment matrix of a path batch (zero-padded, validity-flagged).
+    fn stack_segments(&self, paths: &[&ImuPathSample]) -> Matrix {
+        let l = self.max_segments;
+        let mut m = Matrix::zeros(paths.len() * l, SEGMENT_INPUT_DIM);
+        for (pi, path) in paths.iter().enumerate() {
+            for (si, seg) in path.segments.iter().take(l).enumerate() {
+                let row = m.row_mut(pi * l + si);
+                row[..SEGMENT_FEATURE_DIM].copy_from_slice(seg.features());
+                row[SEGMENT_FEATURE_DIM] = 1.0; // valid
+            }
+        }
+        m
+    }
+
+    /// Start-class one-hot block of a path batch.
+    fn start_onehots(&self, paths: &[&ImuPathSample]) -> Matrix {
+        let labels: Vec<usize> = paths
+            .iter()
+            .map(|p| self.quantizer.quantize_nearest(p.start_position))
+            .collect();
+        one_hot(&labels, self.quantizer.num_classes())
+    }
+
+    /// Forward pass through all three modules.
+    ///
+    /// Returns `(projected, displacement, logits)`; `projected` is the
+    /// reshaped `(batch, L*p)` concatenation needed by the backward pass.
+    fn forward(
+        &mut self,
+        paths: &[&ImuPathSample],
+        training: bool,
+    ) -> Result<(Matrix, Matrix, Matrix), NobleError> {
+        let l = self.max_segments;
+        let p_dim = self.projection.out_dim();
+        let stacked = self.stack_segments(paths);
+        let projected_flat = self.projection.forward(&stacked, training)?;
+        // Reshape (batch*L, p) -> (batch, L*p).
+        let mut concat = Matrix::zeros(paths.len(), l * p_dim);
+        for pi in 0..paths.len() {
+            for si in 0..l {
+                let src = projected_flat.row(pi * l + si);
+                concat.row_mut(pi)[si * p_dim..(si + 1) * p_dim].copy_from_slice(src);
+            }
+        }
+        let displacement = self.displacement.forward(&concat, training)?;
+        let loc_in = displacement.hstack(&self.start_onehots(paths))?;
+        let logits = self.location.forward(&loc_in, training)?;
+        Ok((concat, displacement, logits))
+    }
+
+    fn fit(&mut self, dataset: &ImuDataset, cfg: &ImuNobleConfig) -> Result<(), NobleError> {
+        let n = dataset.train.len();
+        let mut optimizer = Optimizer::adam(cfg.learning_rate);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x44);
+        let mut order: Vec<usize> = (0..n).collect();
+        let ce = SoftmaxCrossEntropyLoss;
+        let num_classes = self.quantizer.num_classes();
+        let l = self.max_segments;
+        let p_dim = self.projection.out_dim();
+
+        for _epoch in 0..cfg.epochs {
+            if cfg.lr_decay != 1.0 {
+                let lr = optimizer.learning_rate();
+                optimizer.set_learning_rate(lr * cfg.lr_decay);
+            }
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                let batch: Vec<&ImuPathSample> = chunk.iter().map(|&i| &dataset.train[i]).collect();
+                let (_concat, displacement, logits) = self.forward(&batch, true)?;
+
+                // End-class cross entropy.
+                let end_labels: Vec<usize> = batch
+                    .iter()
+                    .map(|p| self.quantizer.quantize_nearest(p.end_position))
+                    .collect();
+                let targets = one_hot(&end_labels, num_classes);
+                let (_, ce_grad) = ce.evaluate(&logits, &targets)?;
+                // One backward through the location module both accumulates
+                // its parameter gradients and yields d(loss)/d(V ⊕ one-hot);
+                // only the displacement slice continues down the chain (the
+                // one-hot block is an input, not an activation).
+                let loc_in_grad = self.location.backward_with_input_grad(&ce_grad)?;
+                let mut disp_grad = Matrix::zeros(batch.len(), 2);
+                for i in 0..batch.len() {
+                    disp_grad[(i, 0)] = loc_in_grad[(i, 0)];
+                    disp_grad[(i, 1)] = loc_in_grad[(i, 1)];
+                }
+                // Auxiliary displacement MSE (scaled units).
+                let w = cfg.displacement_loss_weight;
+                if w > 0.0 {
+                    let bn = batch.len() as f64;
+                    for (i, path) in batch.iter().enumerate() {
+                        let v = path.true_displacement();
+                        let tx = v.x / self.displacement_scale;
+                        let ty = v.y / self.displacement_scale;
+                        disp_grad[(i, 0)] += w * (displacement[(i, 0)] - tx) / bn;
+                        disp_grad[(i, 1)] += w * (displacement[(i, 1)] - ty) / bn;
+                    }
+                }
+                let concat_grad = self.displacement.backward_with_input_grad(&disp_grad)?;
+
+                // Reshape (batch, L*p) -> (batch*L, p) for the shared
+                // projection layer.
+                let mut stacked_grad = Matrix::zeros(batch.len() * l, p_dim);
+                for pi in 0..batch.len() {
+                    for si in 0..l {
+                        let dst = stacked_grad.row_mut(pi * l + si);
+                        dst.copy_from_slice(&concat_grad.row(pi)[si * p_dim..(si + 1) * p_dim]);
+                    }
+                }
+                self.projection.backward(&stacked_grad)?;
+
+                optimizer.begin_step();
+                for p in self.projection.params_mut() {
+                    optimizer.update(p);
+                }
+                for p in self.displacement.params_mut() {
+                    optimizer.update(p);
+                }
+                for p in self.location.params_mut() {
+                    optimizer.update(p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Predicts end positions for a set of paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode failures.
+    pub fn predict(&mut self, paths: &[&ImuPathSample]) -> Result<Vec<Point>, NobleError> {
+        if paths.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (_c, _d, logits) = self.forward(paths, false)?;
+        let mut out = Vec::with_capacity(paths.len());
+        for i in 0..logits.rows() {
+            let probs = softmax_row(logits.row(i));
+            let class = noble_linalg::argmax(&probs).unwrap_or(0);
+            out.push(self.quantizer.decode(class)?);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates on a path set, producing the Table III metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`NobleError::InvalidData`] on an empty set; propagates prediction
+    /// failures.
+    pub fn evaluate(
+        &mut self,
+        dataset: &ImuDataset,
+        paths: &[ImuPathSample],
+    ) -> Result<ImuEvalReport, NobleError> {
+        if paths.is_empty() {
+            return Err(NobleError::InvalidData("no paths to evaluate".into()));
+        }
+        let refs: Vec<&ImuPathSample> = paths.iter().collect();
+        let preds = self.predict(&refs)?;
+        let truth: Vec<Point> = paths.iter().map(|p| p.end_position).collect();
+        let pred_classes: Vec<usize> = preds
+            .iter()
+            .map(|p| self.quantizer.quantize_nearest(*p))
+            .collect();
+        let true_classes: Vec<usize> = truth
+            .iter()
+            .map(|p| self.quantizer.quantize_nearest(*p))
+            .collect();
+        let hits = pred_classes
+            .iter()
+            .zip(&true_classes)
+            .filter(|(a, b)| a == b)
+            .count();
+        Ok(ImuEvalReport {
+            position_error: position_error_summary(&preds, &truth)?,
+            class_accuracy: hits as f64 / paths.len() as f64,
+            structure: StructureReport::compute(&preds, &dataset.walkway)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noble_datasets::ImuConfig;
+
+    fn quick_dataset() -> ImuDataset {
+        let mut cfg = ImuConfig::small();
+        cfg.num_paths = 400;
+        cfg.num_reference_points = 40;
+        ImuDataset::generate(&cfg).unwrap()
+    }
+
+    #[test]
+    fn trains_and_beats_naive_baseline() {
+        let dataset = quick_dataset();
+        let mut model = ImuNoble::train(&dataset, &ImuNobleConfig::small()).unwrap();
+        let report = model.evaluate(&dataset, &dataset.test).unwrap();
+        // Naive baseline: predict the start position.
+        let naive: f64 = dataset
+            .test
+            .iter()
+            .map(|p| p.start_position.distance(p.end_position))
+            .sum::<f64>()
+            / dataset.test.len() as f64;
+        assert!(
+            report.position_error.mean < naive,
+            "NObLe {} should beat naive {naive}",
+            report.position_error.mean
+        );
+        // Decoded positions are quantizer centroids: on or near the walkway.
+        assert!(report.structure.on_map_fraction > 0.8);
+    }
+
+    #[test]
+    fn predict_empty_is_empty() {
+        let dataset = quick_dataset();
+        let mut model = ImuNoble::train(&dataset, &ImuNobleConfig::small()).unwrap();
+        assert!(model.predict(&[]).unwrap().is_empty());
+        assert!(model.evaluate(&dataset, &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let mut dataset = quick_dataset();
+        dataset.train.clear();
+        assert!(ImuNoble::train(&dataset, &ImuNobleConfig::small()).is_err());
+    }
+
+    #[test]
+    fn dense_shapes_cover_three_modules() {
+        let dataset = quick_dataset();
+        let model = ImuNoble::train(&dataset, &ImuNobleConfig::small()).unwrap();
+        let shapes = model.dense_shapes();
+        // projection + 3 displacement + 2 location dense layers.
+        assert_eq!(shapes.len(), 6);
+        assert_eq!(shapes[0].0, SEGMENT_INPUT_DIM);
+        assert_eq!(shapes[3].1, 2, "displacement module outputs V in R^2");
+    }
+
+    #[test]
+    fn quantizer_classes_cover_start_positions() {
+        let dataset = quick_dataset();
+        let model = ImuNoble::train(&dataset, &ImuNobleConfig::small()).unwrap();
+        for p in dataset.train.iter().take(30) {
+            let c = model.quantizer().quantize_nearest(p.start_position);
+            assert!(c < model.quantizer().num_classes());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Plain-text table formatting for experiment runners.
+//!
+//! The benchmark harness prints each reproduced table in the same row
+//! format as the paper; this module provides the tiny formatter those
+//! binaries share.
+
+/// A text table with a header row and aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use noble::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["MODEL".into(), "MEAN".into()]);
+/// t.add_row(vec!["NObLe".into(), "4.45".into()]);
+/// let s = t.render();
+/// assert!(s.contains("MODEL"));
+/// assert!(s.contains("NObLe"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let cell = |row: &[String], c: usize| row.get(c).cloned().unwrap_or_default();
+        let mut widths = vec![0usize; cols];
+        for c in 0..cols {
+            widths[c] = std::iter::once(&self.header)
+                .chain(self.rows.iter())
+                .map(|r| cell(r, c).len())
+                .max()
+                .unwrap_or(0);
+        }
+        let render_row = |row: &[String]| -> String {
+            (0..cols)
+                .map(|c| format!("{:<w$}", cell(row, c), w = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&render_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats meters with two decimals (the paper's precision).
+pub fn meters(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with two decimals.
+pub fn percent(v: f64) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["A".into(), "LONG HEADER".into()]);
+        t.add_row(vec!["hello".into(), "1".into()]);
+        t.add_row(vec!["x".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("hello"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.add_row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(meters(4.4499), "4.45");
+        assert_eq!(percent(0.99738), "99.74");
+    }
+}

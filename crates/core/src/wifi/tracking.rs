@@ -1,0 +1,221 @@
+//! Sequential localization: smoothing a *stream* of NObLe fixes.
+//!
+//! The paper's title promises localization *and tracking*; for WiFi the
+//! tracking story is a walker scanning periodically while moving. Raw
+//! per-scan fixes jump between neighborhood centroids; this module adds
+//! the standard post-processing — an exponentially weighted
+//! constant-velocity smoother with optional map projection — turning
+//! independent fixes into a coherent trajectory.
+//!
+//! This is an extension beyond the paper's evaluation (documented in
+//! DESIGN.md §6); it reuses only public NObLe outputs and the map
+//! substrate, so it works with any per-fix localizer.
+
+use noble_geo::{CampusMap, Point};
+
+/// Configuration of the trajectory smoother.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmootherConfig {
+    /// Blend factor for new fixes in `[0, 1]`: 1.0 trusts each fix
+    /// entirely (no smoothing), small values trust the motion model.
+    pub fix_weight: f64,
+    /// Velocity damping per step in `[0, 1]` (0 disables the motion
+    /// model; 1 keeps full inertia).
+    pub velocity_retention: f64,
+    /// Maximum speed in meters per step; motion beyond this is clamped
+    /// (pedestrian plausibility constraint).
+    pub max_step_m: f64,
+    /// Whether to project each smoothed state onto the map's accessible
+    /// space.
+    pub snap_to_map: bool,
+}
+
+impl Default for SmootherConfig {
+    fn default() -> Self {
+        SmootherConfig {
+            fix_weight: 0.6,
+            velocity_retention: 0.7,
+            max_step_m: 5.0,
+            snap_to_map: true,
+        }
+    }
+}
+
+/// An exponentially weighted constant-velocity smoother over position
+/// fixes.
+///
+/// # Example
+///
+/// ```
+/// use noble::wifi::tracking::{SmootherConfig, TrajectorySmoother};
+/// use noble_geo::Point;
+///
+/// let mut smoother = TrajectorySmoother::new(SmootherConfig {
+///     snap_to_map: false,
+///     ..SmootherConfig::default()
+/// });
+/// let fixes = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(9.0, 0.0)];
+/// let track: Vec<Point> = fixes.iter().map(|&f| smoother.update(f, None)).collect();
+/// // The 8 m jump of the last fix is tempered by the motion model.
+/// assert!(track[2].x < 9.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrajectorySmoother {
+    config: SmootherConfig,
+    state: Option<(Point, Point)>, // (position, velocity per step)
+}
+
+impl TrajectorySmoother {
+    /// Creates a smoother; the first fix initializes the state verbatim.
+    pub fn new(config: SmootherConfig) -> Self {
+        TrajectorySmoother {
+            config,
+            state: None,
+        }
+    }
+
+    /// Current smoothed position, if any fix has been consumed.
+    pub fn position(&self) -> Option<Point> {
+        self.state.map(|(p, _)| p)
+    }
+
+    /// Resets the smoother to its initial empty state.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Consumes one fix and returns the smoothed position. Pass the map
+    /// for accessible-space snapping when [`SmootherConfig::snap_to_map`]
+    /// is on.
+    pub fn update(&mut self, fix: Point, map: Option<&CampusMap>) -> Point {
+        let cfg = self.config;
+        let next = match self.state {
+            None => (fix, Point::ORIGIN),
+            Some((pos, vel)) => {
+                // Predict with the motion model, then blend in the fix.
+                let predicted = pos + vel * cfg.velocity_retention;
+                let blended = predicted.lerp(fix, cfg.fix_weight.clamp(0.0, 1.0));
+                // Pedestrian plausibility: clamp the step length.
+                let step = blended - pos;
+                let clamped = if step.length() > cfg.max_step_m {
+                    pos + step * (cfg.max_step_m / step.length())
+                } else {
+                    blended
+                };
+                let new_vel = clamped - pos;
+                (clamped, new_vel)
+            }
+        };
+        let position = match (cfg.snap_to_map, map) {
+            (true, Some(m)) => m.project(next.0),
+            _ => next.0,
+        };
+        self.state = Some((position, next.1));
+        position
+    }
+
+    /// Smooths a whole fix sequence at once.
+    pub fn smooth_sequence(&mut self, fixes: &[Point], map: Option<&CampusMap>) -> Vec<Point> {
+        fixes.iter().map(|&f| self.update(f, map)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noble_geo::{Building, Polygon};
+
+    fn no_snap() -> SmootherConfig {
+        SmootherConfig {
+            snap_to_map: false,
+            ..SmootherConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_fix_passes_through() {
+        let mut s = TrajectorySmoother::new(no_snap());
+        assert_eq!(s.position(), None);
+        let p = s.update(Point::new(3.0, 4.0), None);
+        assert_eq!(p, Point::new(3.0, 4.0));
+        assert_eq!(s.position(), Some(p));
+    }
+
+    #[test]
+    fn outlier_fix_is_tempered() {
+        let mut s = TrajectorySmoother::new(no_snap());
+        s.update(Point::new(0.0, 0.0), None);
+        s.update(Point::new(1.0, 0.0), None);
+        let p = s.update(Point::new(50.0, 0.0), None);
+        // max_step 5 m caps the jump.
+        assert!(p.x <= 1.0 + 5.0 + 1e-9, "outlier not clamped: {p}");
+    }
+
+    #[test]
+    fn steady_walk_tracks_closely() {
+        let mut s = TrajectorySmoother::new(no_snap());
+        let mut last = Point::ORIGIN;
+        for i in 0..20 {
+            let fix = Point::new(i as f64 * 1.2, 0.0);
+            last = s.update(fix, None);
+        }
+        // After settling, the smoothed track stays within a step of truth.
+        assert!((last.x - 19.0 * 1.2).abs() < 2.0, "lag too large: {last}");
+    }
+
+    #[test]
+    fn snapping_keeps_track_on_map() {
+        let map = CampusMap::new(vec![Building::new(
+            Polygon::rectangle(0.0, 0.0, 20.0, 4.0).unwrap(),
+            1,
+        )
+        .unwrap()])
+        .unwrap();
+        let mut s = TrajectorySmoother::new(SmootherConfig::default());
+        for i in 0..10 {
+            // Noisy fixes that sometimes leave the corridor.
+            let fix = Point::new(i as f64 * 2.0, if i % 2 == 0 { 6.0 } else { 2.0 });
+            let p = s.update(fix, Some(&map));
+            assert!(map.is_accessible(p), "smoothed point {p} off map");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = TrajectorySmoother::new(no_snap());
+        s.update(Point::new(1.0, 1.0), None);
+        s.reset();
+        assert_eq!(s.position(), None);
+        // Next fix re-initializes verbatim.
+        let p = s.update(Point::new(9.0, 9.0), None);
+        assert_eq!(p, Point::new(9.0, 9.0));
+    }
+
+    #[test]
+    fn smooth_sequence_matches_iterated_updates() {
+        let fixes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.5, 0.2),
+            Point::new(2.8, 0.1),
+        ];
+        let mut a = TrajectorySmoother::new(no_snap());
+        let seq = a.smooth_sequence(&fixes, None);
+        let mut b = TrajectorySmoother::new(no_snap());
+        let manual: Vec<Point> = fixes.iter().map(|&f| b.update(f, None)).collect();
+        assert_eq!(seq, manual);
+    }
+
+    #[test]
+    fn fix_weight_one_follows_fixes_exactly_when_unclamped() {
+        let mut s = TrajectorySmoother::new(SmootherConfig {
+            fix_weight: 1.0,
+            velocity_retention: 0.0,
+            max_step_m: 1e9,
+            snap_to_map: false,
+        });
+        for i in 0..5 {
+            let fix = Point::new(i as f64 * 3.0, 1.0);
+            assert_eq!(s.update(fix, None), fix);
+        }
+    }
+}

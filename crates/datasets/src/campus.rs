@@ -1,0 +1,215 @@
+//! Synthetic campus construction mirroring Fig. 1 of the paper: three
+//! ring-shaped buildings whose central courtyards are inaccessible.
+
+use crate::DatasetError;
+use noble_geo::{Building, CampusMap, Point, Polygon};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Geometry parameters of the synthetic campus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusConfig {
+    /// Outer footprint width of each building (meters).
+    pub building_width_m: f64,
+    /// Outer footprint depth of each building (meters).
+    pub building_depth_m: f64,
+    /// Corridor ring thickness (footprint edge to courtyard edge).
+    pub ring_thickness_m: f64,
+    /// Gap between adjacent buildings.
+    pub gap_m: f64,
+    /// Floors per building.
+    pub floors: usize,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        // Roughly UJI-scaled: three ~110 x 75 m buildings staggered over a
+        // ~400 x 270 m site.
+        CampusConfig {
+            building_width_m: 110.0,
+            building_depth_m: 75.0,
+            ring_thickness_m: 16.0,
+            gap_m: 30.0,
+            floors: 4,
+        }
+    }
+}
+
+/// Builds the three-building campus of the UJI-like experiments.
+///
+/// Buildings are staggered diagonally (as in the aerial view of Fig. 1)
+/// and each carries a central courtyard hole.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] for non-positive dimensions or a
+/// ring thinner than required, and propagates geometry errors.
+pub fn uji_campus(cfg: &CampusConfig) -> Result<CampusMap, DatasetError> {
+    validate(cfg)?;
+    let mut buildings = Vec::with_capacity(3);
+    for i in 0..3 {
+        let x0 = i as f64 * (cfg.building_width_m * 0.75 + cfg.gap_m);
+        let y0 = i as f64 * (cfg.building_depth_m * 0.55 + cfg.gap_m * 0.5);
+        buildings.push(ring_building(cfg, x0, y0)?);
+    }
+    Ok(CampusMap::new(buildings)?)
+}
+
+/// Builds the single-building IPIN-like site (smaller, no stagger).
+///
+/// # Errors
+///
+/// Same conditions as [`uji_campus`].
+pub fn ipin_building(cfg: &CampusConfig) -> Result<CampusMap, DatasetError> {
+    validate(cfg)?;
+    Ok(CampusMap::new(vec![ring_building(cfg, 0.0, 0.0)?])?)
+}
+
+fn validate(cfg: &CampusConfig) -> Result<(), DatasetError> {
+    if cfg.building_width_m <= 0.0 || cfg.building_depth_m <= 0.0 {
+        return Err(DatasetError::InvalidConfig("building dimensions must be positive".into()));
+    }
+    if cfg.ring_thickness_m <= 0.0
+        || 2.0 * cfg.ring_thickness_m >= cfg.building_width_m.min(cfg.building_depth_m)
+    {
+        return Err(DatasetError::InvalidConfig(format!(
+            "ring thickness {} incompatible with footprint {}x{}",
+            cfg.ring_thickness_m, cfg.building_width_m, cfg.building_depth_m
+        )));
+    }
+    if cfg.floors == 0 {
+        return Err(DatasetError::InvalidConfig("at least one floor required".into()));
+    }
+    Ok(())
+}
+
+fn ring_building(cfg: &CampusConfig, x0: f64, y0: f64) -> Result<Building, DatasetError> {
+    let footprint = Polygon::rectangle(x0, y0, x0 + cfg.building_width_m, y0 + cfg.building_depth_m)?;
+    let t = cfg.ring_thickness_m;
+    let hole = Polygon::rectangle(
+        x0 + t,
+        y0 + t,
+        x0 + cfg.building_width_m - t,
+        y0 + cfg.building_depth_m - t,
+    )?;
+    Ok(Building::new(footprint, cfg.floors)?.with_hole(hole))
+}
+
+/// Draws a uniformly distributed accessible point inside building
+/// `building_index` of `map` by rejection sampling.
+///
+/// # Errors
+///
+/// - [`DatasetError::InvalidConfig`] for an out-of-range building index.
+/// - [`DatasetError::SamplingFailed`] if 10 000 rejections occur (a
+///   degenerate plan; cannot happen for ring buildings).
+pub fn sample_accessible_point(
+    map: &CampusMap,
+    building_index: usize,
+    rng: &mut StdRng,
+) -> Result<Point, DatasetError> {
+    let building = map
+        .buildings()
+        .get(building_index)
+        .ok_or_else(|| DatasetError::InvalidConfig(format!("no building {building_index}")))?;
+    let (min, max) = building.footprint().bounding_box();
+    const MAX_ATTEMPTS: usize = 10_000;
+    for _ in 0..MAX_ATTEMPTS {
+        let p = Point::new(rng.gen_range(min.x..max.x), rng.gen_range(min.y..max.y));
+        if building.contains_accessible(p) {
+            return Ok(p);
+        }
+    }
+    Err(DatasetError::SamplingFailed {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_campus_has_three_ring_buildings() {
+        let map = uji_campus(&CampusConfig::default()).unwrap();
+        assert_eq!(map.building_count(), 3);
+        for b in map.buildings() {
+            assert_eq!(b.holes().len(), 1);
+            assert_eq!(b.floors(), 4);
+        }
+    }
+
+    #[test]
+    fn campus_footprint_spans_site() {
+        let map = uji_campus(&CampusConfig::default()).unwrap();
+        let (min, max) = map.bounding_box();
+        assert!(max.x - min.x > 250.0);
+        assert!(max.y - min.y > 150.0);
+    }
+
+    #[test]
+    fn courtyards_are_inaccessible() {
+        let map = uji_campus(&CampusConfig::default()).unwrap();
+        for b in map.buildings() {
+            let center = b.footprint().vertex_centroid();
+            assert!(!b.contains_accessible(center), "courtyard center must be off-map");
+        }
+    }
+
+    #[test]
+    fn buildings_do_not_overlap() {
+        let map = uji_campus(&CampusConfig::default()).unwrap();
+        let b = map.buildings();
+        for i in 0..b.len() {
+            for j in (i + 1)..b.len() {
+                let (min_i, max_i) = b[i].footprint().bounding_box();
+                let (min_j, max_j) = b[j].footprint().bounding_box();
+                let overlap_x = min_i.x < max_j.x && min_j.x < max_i.x;
+                let overlap_y = min_i.y < max_j.y && min_j.y < max_i.y;
+                assert!(!(overlap_x && overlap_y), "buildings {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn ipin_site_is_single_building() {
+        let cfg = CampusConfig {
+            building_width_m: 40.0,
+            building_depth_m: 30.0,
+            ring_thickness_m: 8.0,
+            floors: 2,
+            ..CampusConfig::default()
+        };
+        let map = ipin_building(&cfg).unwrap();
+        assert_eq!(map.building_count(), 1);
+        assert_eq!(map.buildings()[0].floors(), 2);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = CampusConfig::default();
+        cfg.ring_thickness_m = 100.0;
+        assert!(uji_campus(&cfg).is_err());
+        let mut cfg = CampusConfig::default();
+        cfg.floors = 0;
+        assert!(uji_campus(&cfg).is_err());
+        let mut cfg = CampusConfig::default();
+        cfg.building_width_m = -5.0;
+        assert!(uji_campus(&cfg).is_err());
+    }
+
+    #[test]
+    fn sampled_points_are_accessible_and_deterministic() {
+        let map = uji_campus(&CampusConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = sample_accessible_point(&map, 1, &mut rng).unwrap();
+            assert!(map.buildings()[1].contains_accessible(p));
+        }
+        let a = sample_accessible_point(&map, 0, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = sample_accessible_point(&map, 0, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+        assert!(sample_accessible_point(&map, 7, &mut rng).is_err());
+    }
+}

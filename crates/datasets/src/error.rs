@@ -1,0 +1,58 @@
+use noble_geo::GeoError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// Rejection sampling failed to place a point on accessible space
+    /// (would indicate a degenerate floor plan).
+    SamplingFailed {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+    /// An underlying geometry failure.
+    Geo(GeoError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DatasetError::SamplingFailed { attempts } => {
+                write!(f, "failed to sample an accessible point after {attempts} attempts")
+            }
+            DatasetError::Geo(e) => write!(f, "geometry failure: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for DatasetError {
+    fn from(e: GeoError) -> Self {
+        DatasetError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(DatasetError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(DatasetError::SamplingFailed { attempts: 9 }.to_string().contains('9'));
+        let e: DatasetError = GeoError::EmptyMap.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

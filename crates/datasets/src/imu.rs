@@ -1,0 +1,599 @@
+//! IMU device-tracking dataset: a synthetic stand-in for the paper's
+//! never-released campus walking data (§V-A).
+//!
+//! The paper records two walks around a 160 m x 60 m outdoor loop at
+//! ~50 Hz with 177 reference GPS locations and 768 readings per sensor
+//! axis between consecutive references; paths are built by picking a random
+//! start reference and a bounded number of consecutive segments.
+//!
+//! This module reproduces that protocol end to end:
+//!
+//! 1. a pedestrian walks laps of a rectangular loop with a time-varying
+//!    speed and gait;
+//! 2. raw 3-axis accelerometer and 3-axis gyroscope streams are synthesized
+//!    at 50 Hz (gravity, body-frame rotation, gait oscillation, white
+//!    noise, slowly drifting bias) — [`SAMPLES_PER_SEGMENT`] readings per
+//!    reference segment exactly as in the paper;
+//! 3. each segment is *featurized* the way a strapdown pedestrian
+//!    dead-reckoning frontend would: integrated gyro turn, gait statistics,
+//!    step counts, and a noisy dead-reckoned displacement estimate seeded
+//!    by a compass reading ([`ImuSegment::features`]);
+//! 4. paths are sampled with the paper's random-start / bounded-length
+//!    construction and split into train/val/test.
+//!
+//! The error-accumulation character of real IMU tracking is preserved:
+//! dead-reckoned displacement drifts with path length, which is what the
+//! deep-regression baseline inherits and what NObLe's classification
+//! formulation corrects.
+
+use crate::rssi::standard_normal;
+use crate::{split_indices, DatasetError};
+use noble_geo::{Building, CampusMap, Point, Polygon, Polyline};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw readings per sensor axis between consecutive reference locations
+/// (the paper's value).
+pub const SAMPLES_PER_SEGMENT: usize = 768;
+
+/// Number of features extracted per segment.
+pub const SEGMENT_FEATURE_DIM: usize = 10;
+
+/// Configuration of the IMU walking simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImuConfig {
+    /// Loop width in meters (paper: 160).
+    pub loop_width_m: f64,
+    /// Loop height in meters (paper: 60).
+    pub loop_height_m: f64,
+    /// Width of the walkway band for the structure metrics.
+    pub walkway_width_m: f64,
+    /// Sampling rate in Hz (paper: ~50).
+    pub sample_rate_hz: f64,
+    /// Number of reference locations to record (paper: 177).
+    pub num_reference_points: usize,
+    /// Number of paths to construct (paper: 6857).
+    pub num_paths: usize,
+    /// Maximum number of segments per path (paper bounds length by 50).
+    pub max_path_segments: usize,
+    /// Mean walking speed (m/s).
+    pub base_speed_mps: f64,
+    /// Accelerometer white-noise standard deviation (m/s^2).
+    pub accel_noise: f64,
+    /// Gyroscope white-noise standard deviation (rad/s).
+    pub gyro_noise: f64,
+    /// Gyroscope bias random-walk step (rad/s per sample).
+    pub gyro_bias_walk: f64,
+    /// Compass (initial heading) noise standard deviation (rad).
+    pub compass_noise: f64,
+    /// Stride-length estimation error of the dead-reckoning frontend
+    /// (relative, e.g. 0.08 = 8%).
+    pub stride_error: f64,
+    /// Train fraction of paths.
+    pub train_fraction: f64,
+    /// Validation fraction of paths.
+    pub val_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ImuConfig {
+    fn default() -> Self {
+        ImuConfig {
+            loop_width_m: 160.0,
+            loop_height_m: 60.0,
+            walkway_width_m: 3.0,
+            sample_rate_hz: 50.0,
+            num_reference_points: 177,
+            num_paths: 6857,
+            max_path_segments: 12,
+            base_speed_mps: 1.35,
+            accel_noise: 0.35,
+            gyro_noise: 0.02,
+            gyro_bias_walk: 2e-5,
+            compass_noise: 0.12,
+            stride_error: 0.06,
+            train_fraction: 0.64,
+            val_fraction: 0.16,
+            seed: 0x1D10,
+        }
+    }
+}
+
+impl ImuConfig {
+    /// A reduced configuration for unit tests (runs in milliseconds).
+    pub fn small() -> Self {
+        ImuConfig {
+            num_reference_points: 24,
+            num_paths: 120,
+            max_path_segments: 5,
+            ..ImuConfig::default()
+        }
+    }
+}
+
+/// Featurized readings of one reference-to-reference segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImuSegment {
+    features: [f64; SEGMENT_FEATURE_DIM],
+}
+
+impl ImuSegment {
+    /// The feature vector:
+    /// `[total_turn, gyro_mean, gyro_std, accel_xy_mean, accel_z_std,
+    ///   step_count, dr_dx, dr_dy, sin(compass), cos(compass)]`.
+    pub fn features(&self) -> &[f64; SEGMENT_FEATURE_DIM] {
+        &self.features
+    }
+
+    /// Dead-reckoned displacement estimate of this segment.
+    pub fn dead_reckoned_displacement(&self) -> Point {
+        Point::new(self.features[6], self.features[7])
+    }
+}
+
+/// One training/evaluation path: consecutive segments plus endpoint labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImuPathSample {
+    /// Featurized segments, in walking order.
+    pub segments: Vec<ImuSegment>,
+    /// Index of the start reference location.
+    pub start_ref: usize,
+    /// Ground-truth start position.
+    pub start_position: Point,
+    /// Ground-truth end position (the label).
+    pub end_position: Point,
+}
+
+impl ImuPathSample {
+    /// Dead-reckoned end-position estimate: start + sum of segment
+    /// displacement estimates. This is the classical strapdown baseline
+    /// whose error accumulates with path length.
+    pub fn dead_reckoned_end(&self) -> Point {
+        let mut p = self.start_position;
+        for s in &self.segments {
+            p = p + s.dead_reckoned_displacement();
+        }
+        p
+    }
+
+    /// True displacement of the path.
+    pub fn true_displacement(&self) -> Point {
+        self.end_position - self.start_position
+    }
+}
+
+/// The generated IMU tracking dataset.
+#[derive(Debug, Clone)]
+pub struct ImuDataset {
+    /// Ground-truth reference locations, in walking order.
+    pub reference_points: Vec<Point>,
+    /// Walkway map (one ring building) for structure metrics.
+    pub walkway: CampusMap,
+    /// Training paths.
+    pub train: Vec<ImuPathSample>,
+    /// Validation paths.
+    pub val: Vec<ImuPathSample>,
+    /// Test paths.
+    pub test: Vec<ImuPathSample>,
+    /// Maximum segments per path (for input padding).
+    pub max_segments: usize,
+}
+
+impl ImuDataset {
+    /// Generates the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] on degenerate parameters.
+    pub fn generate(cfg: &ImuConfig) -> Result<Self, DatasetError> {
+        validate(cfg)?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let loop_path = loop_polyline(cfg)?;
+        let walkway = walkway_map(cfg)?;
+
+        // --- Phase 1: walk the loop, synthesizing raw IMU per segment. ---
+        let dt = 1.0 / cfg.sample_rate_hz;
+        let mut arc = 0.0f64; // arc-length along the loop (unwrapped)
+        let mut t = 0.0f64;
+        let mut gyro_bias = 0.0f64;
+        let mut accel_bias = 0.0f64;
+        let total_len = loop_path.length();
+
+        let mut reference_points = Vec::with_capacity(cfg.num_reference_points + 1);
+        let mut segments = Vec::with_capacity(cfg.num_reference_points);
+        reference_points.push(loop_path.point_at(0.0));
+
+        let mut prev_heading = loop_path.heading_at(0.0);
+        let mut unwrapped_heading = prev_heading;
+        // Gait phase must be integrated (phase += 2π f dt); evaluating
+        // 2π f(t) t with a time-varying f would corrupt the instantaneous
+        // step frequency at large t.
+        let mut gait_phase = 0.0f64;
+
+        for _seg in 0..cfg.num_reference_points {
+            // Raw per-sample streams for this segment.
+            let mut gyro_z = Vec::with_capacity(SAMPLES_PER_SEGMENT);
+            let mut accel_fwd = Vec::with_capacity(SAMPLES_PER_SEGMENT);
+            let mut accel_lat = Vec::with_capacity(SAMPLES_PER_SEGMENT);
+            let mut accel_vert = Vec::with_capacity(SAMPLES_PER_SEGMENT);
+            let mut speeds = Vec::with_capacity(SAMPLES_PER_SEGMENT);
+
+            // Compass fix at segment start (absolute heading with noise).
+            let compass = unwrapped_heading + cfg.compass_noise * standard_normal(&mut rng);
+
+            let mut prev_speed = walking_speed(cfg, t);
+            for _ in 0..SAMPLES_PER_SEGMENT {
+                let speed = walking_speed(cfg, t);
+                arc += speed * dt;
+                t += dt;
+                let s_mod = arc % total_len;
+                let heading = loop_path.heading_at(s_mod);
+                // Unwrap heading so the rate is finite at the seam.
+                let mut delta = heading - prev_heading;
+                while delta > std::f64::consts::PI {
+                    delta -= 2.0 * std::f64::consts::PI;
+                }
+                while delta < -std::f64::consts::PI {
+                    delta += 2.0 * std::f64::consts::PI;
+                }
+                prev_heading = heading;
+                unwrapped_heading += delta;
+                let turn_rate = delta / dt;
+
+                // Gait: vertical bounce and forward surge at step frequency.
+                let step_freq = 1.9 * speed / cfg.base_speed_mps;
+                gait_phase += 2.0 * std::f64::consts::PI * step_freq * dt;
+                let gait_vert = 2.8 * gait_phase.sin();
+                let gait_fwd = 0.9 * (2.0 * gait_phase).sin();
+
+                // Bias random walks.
+                gyro_bias += cfg.gyro_bias_walk * standard_normal(&mut rng);
+                accel_bias += cfg.gyro_bias_walk * 5.0 * standard_normal(&mut rng);
+
+                let lin_acc_fwd = (speed - prev_speed) / dt;
+                prev_speed = speed;
+                let centripetal = speed * turn_rate;
+
+                gyro_z.push(turn_rate + gyro_bias + cfg.gyro_noise * standard_normal(&mut rng));
+                accel_fwd.push(
+                    lin_acc_fwd + gait_fwd + accel_bias + cfg.accel_noise * standard_normal(&mut rng),
+                );
+                accel_lat
+                    .push(centripetal + cfg.accel_noise * standard_normal(&mut rng));
+                accel_vert.push(
+                    9.81 + gait_vert + cfg.accel_noise * standard_normal(&mut rng),
+                );
+                speeds.push(speed);
+            }
+
+            segments.push(featurize(
+                cfg, &gyro_z, &accel_fwd, &accel_lat, &accel_vert, compass, dt, &mut rng,
+            ));
+            reference_points.push(loop_path.point_at(arc % total_len));
+        }
+
+        // --- Phase 2: the paper's path construction. ---
+        let mut paths = Vec::with_capacity(cfg.num_paths);
+        for _ in 0..cfg.num_paths {
+            let len = rng.gen_range(1..=cfg.max_path_segments);
+            let start = rng.gen_range(0..=(cfg.num_reference_points - len));
+            let segs: Vec<ImuSegment> = segments[start..start + len].to_vec();
+            paths.push(ImuPathSample {
+                segments: segs,
+                start_ref: start,
+                start_position: reference_points[start],
+                end_position: reference_points[start + len],
+            });
+        }
+
+        let (train_idx, val_idx, test_idx) = split_indices(
+            paths.len(),
+            cfg.train_fraction,
+            cfg.val_fraction,
+            cfg.seed ^ 0x77,
+        );
+        let pick = |idx: &[usize]| idx.iter().map(|&i| paths[i].clone()).collect::<Vec<_>>();
+        Ok(ImuDataset {
+            reference_points,
+            walkway,
+            train: pick(&train_idx),
+            val: pick(&val_idx),
+            test: pick(&test_idx),
+            max_segments: cfg.max_path_segments,
+        })
+    }
+
+    /// All end positions of the training paths (quantizer fitting input).
+    pub fn train_end_positions(&self) -> Vec<Point> {
+        self.train.iter().map(|p| p.end_position).collect()
+    }
+}
+
+fn validate(cfg: &ImuConfig) -> Result<(), DatasetError> {
+    if cfg.num_reference_points < 2 {
+        return Err(DatasetError::InvalidConfig("need at least 2 reference points".into()));
+    }
+    if cfg.max_path_segments == 0 || cfg.max_path_segments >= cfg.num_reference_points {
+        return Err(DatasetError::InvalidConfig(format!(
+            "max_path_segments {} must be in [1, num_reference_points)",
+            cfg.max_path_segments
+        )));
+    }
+    if cfg.num_paths == 0 {
+        return Err(DatasetError::InvalidConfig("need at least one path".into()));
+    }
+    if cfg.sample_rate_hz <= 0.0 || cfg.base_speed_mps <= 0.0 {
+        return Err(DatasetError::InvalidConfig("rates must be positive".into()));
+    }
+    if cfg.loop_width_m <= 2.0 * cfg.walkway_width_m || cfg.loop_height_m <= 2.0 * cfg.walkway_width_m
+    {
+        return Err(DatasetError::InvalidConfig("loop too small for walkway".into()));
+    }
+    if cfg.train_fraction + cfg.val_fraction >= 1.0 {
+        return Err(DatasetError::InvalidConfig("train+val fractions must leave test data".into()));
+    }
+    Ok(())
+}
+
+/// The walking loop: the centerline of the walkway band, traversed
+/// counter-clockwise.
+fn loop_polyline(cfg: &ImuConfig) -> Result<Polyline, DatasetError> {
+    let w = cfg.loop_width_m;
+    let h = cfg.loop_height_m;
+    Ok(Polyline::new(vec![
+        Point::new(0.0, 0.0),
+        Point::new(w, 0.0),
+        Point::new(w, h),
+        Point::new(0.0, h),
+        Point::new(0.0, 0.0),
+    ])?)
+}
+
+/// The walkway band as a ring building (for off-map metrics in Fig. 5).
+fn walkway_map(cfg: &ImuConfig) -> Result<CampusMap, DatasetError> {
+    let half = cfg.walkway_width_m / 2.0;
+    let w = cfg.loop_width_m;
+    let h = cfg.loop_height_m;
+    let outer = Polygon::rectangle(-half, -half, w + half, h + half)?;
+    let inner = Polygon::rectangle(half, half, w - half, h - half)?;
+    Ok(CampusMap::new(vec![Building::new(outer, 1)?.with_hole(inner)])?)
+}
+
+/// Time-varying walking speed (smooth, strictly positive).
+fn walking_speed(cfg: &ImuConfig, t: f64) -> f64 {
+    let slow = 0.12 * (2.0 * std::f64::consts::PI * 0.023 * t).sin();
+    let slower = 0.07 * (2.0 * std::f64::consts::PI * 0.011 * t + 1.0).sin();
+    (cfg.base_speed_mps + slow + slower).max(0.4)
+}
+
+/// Turns raw measured streams into the 10-dim feature vector, emulating a
+/// pedestrian dead-reckoning frontend (gyro-integrated heading + step-count
+/// speed model).
+#[allow(clippy::too_many_arguments)]
+fn featurize(
+    cfg: &ImuConfig,
+    gyro_z: &[f64],
+    accel_fwd: &[f64],
+    accel_lat: &[f64],
+    accel_vert: &[f64],
+    compass: f64,
+    dt: f64,
+    rng: &mut StdRng,
+) -> ImuSegment {
+    let n = gyro_z.len() as f64;
+    let total_turn: f64 = gyro_z.iter().map(|g| g * dt).sum();
+    let gyro_mean: f64 = gyro_z.iter().sum::<f64>() / n;
+    let gyro_std = std_of(gyro_z, gyro_mean);
+
+    let xy_mean: f64 = accel_fwd
+        .iter()
+        .zip(accel_lat)
+        .map(|(f, l)| (f * f + l * l).sqrt())
+        .sum::<f64>()
+        / n;
+
+    let vert_mean: f64 = accel_vert.iter().sum::<f64>() / n;
+    let vert_std = std_of(accel_vert, vert_mean);
+
+    // Step counting: zero crossings of the detrended vertical channel.
+    let mut crossings = 0usize;
+    let mut prev_sign = 0i8;
+    for &a in accel_vert {
+        let s = if a - vert_mean > 0.0 { 1 } else { -1 };
+        if prev_sign != 0 && s != prev_sign {
+            crossings += 1;
+        }
+        prev_sign = s;
+    }
+    let steps = crossings as f64 / 2.0;
+
+    // Dead reckoning: integrate gyro heading from the compass fix and a
+    // step-model speed with (mis)calibrated stride length.
+    let stride = 0.72 * (1.0 + cfg.stride_error * standard_normal(rng));
+    let duration = n * dt;
+    let est_speed = steps * stride / duration;
+    let mut heading = compass;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for &g in gyro_z {
+        heading += g * dt;
+        dx += est_speed * heading.cos() * dt;
+        dy += est_speed * heading.sin() * dt;
+    }
+
+    ImuSegment {
+        features: [
+            total_turn,
+            gyro_mean,
+            gyro_std,
+            xy_mean,
+            vert_std,
+            steps / 100.0, // keep magnitudes comparable
+            dx,
+            dy,
+            compass.sin(),
+            compass.cos(),
+        ],
+    }
+}
+
+fn std_of(xs: &[f64], mean: f64) -> f64 {
+    (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ImuDataset {
+        ImuDataset::generate(&ImuConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn reference_points_on_walkway() {
+        let d = small();
+        assert_eq!(d.reference_points.len(), 25); // num_refs + 1
+        for p in &d.reference_points {
+            assert!(
+                d.walkway.is_accessible(*p),
+                "reference {p} should lie on the walkway band"
+            );
+        }
+    }
+
+    #[test]
+    fn path_counts_and_split() {
+        let d = small();
+        assert_eq!(d.train.len() + d.val.len() + d.test.len(), 120);
+        assert!(d.train.len() > d.val.len());
+        assert!(!d.test.is_empty());
+    }
+
+    #[test]
+    fn paths_respect_length_bound() {
+        let d = small();
+        for p in d.train.iter().chain(&d.val).chain(&d.test) {
+            assert!(!p.segments.is_empty());
+            assert!(p.segments.len() <= d.max_segments);
+            assert!(p.start_ref + p.segments.len() < d.reference_points.len());
+        }
+    }
+
+    #[test]
+    fn endpoints_match_reference_points() {
+        let d = small();
+        for p in d.train.iter().take(20) {
+            assert_eq!(p.start_position, d.reference_points[p.start_ref]);
+            assert_eq!(p.end_position, d.reference_points[p.start_ref + p.segments.len()]);
+        }
+    }
+
+    #[test]
+    fn dead_reckoning_is_informative_but_imperfect() {
+        let d = small();
+        let mut errs = Vec::new();
+        let mut naive_errs = Vec::new();
+        for p in d.test.iter() {
+            let dr = p.dead_reckoned_end();
+            errs.push(dr.distance(p.end_position));
+            naive_errs.push(p.start_position.distance(p.end_position));
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let naive = naive_errs.iter().sum::<f64>() / naive_errs.len() as f64;
+        // DR must beat "predict the start position" by a wide margin but
+        // not be perfect.
+        assert!(mean < naive * 0.8, "DR mean {mean} vs naive {naive}");
+        assert!(mean > 0.3, "DR should not be perfect, mean {mean}");
+    }
+
+    #[test]
+    fn dead_reckoning_error_grows_with_length() {
+        let d = small();
+        let mut short = Vec::new();
+        let mut long = Vec::new();
+        for p in d.train.iter().chain(&d.val).chain(&d.test) {
+            let err = p.dead_reckoned_end().distance(p.end_position);
+            if p.segments.len() <= 2 {
+                short.push(err);
+            } else if p.segments.len() >= 4 {
+                long.push(err);
+            }
+        }
+        let short_mean = short.iter().sum::<f64>() / short.len().max(1) as f64;
+        let long_mean = long.iter().sum::<f64>() / long.len().max(1) as f64;
+        assert!(
+            long_mean > short_mean,
+            "error should accumulate: short {short_mean} vs long {long_mean}"
+        );
+    }
+
+    #[test]
+    fn segment_features_finite_and_shaped() {
+        let d = small();
+        for p in d.train.iter().take(10) {
+            for s in &p.segments {
+                assert_eq!(s.features().len(), SEGMENT_FEATURE_DIM);
+                assert!(s.features().iter().all(|v| v.is_finite()));
+                // sin^2 + cos^2 of the compass = 1.
+                let sc = s.features()[8] * s.features()[8] + s.features()[9] * s.features()[9];
+                assert!((sc - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ImuDataset::generate(&ImuConfig::small()).unwrap();
+        let b = ImuDataset::generate(&ImuConfig::small()).unwrap();
+        assert_eq!(a.train[0], b.train[0]);
+        let mut cfg = ImuConfig::small();
+        cfg.seed ^= 3;
+        let c = ImuDataset::generate(&cfg).unwrap();
+        assert_ne!(a.train[0].segments[0], c.train[0].segments[0]);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = ImuConfig::small();
+        cfg.num_reference_points = 1;
+        assert!(ImuDataset::generate(&cfg).is_err());
+        let mut cfg = ImuConfig::small();
+        cfg.max_path_segments = 0;
+        assert!(ImuDataset::generate(&cfg).is_err());
+        let mut cfg = ImuConfig::small();
+        cfg.max_path_segments = 24;
+        assert!(ImuDataset::generate(&cfg).is_err());
+        let mut cfg = ImuConfig::small();
+        cfg.train_fraction = 0.9;
+        cfg.val_fraction = 0.2;
+        assert!(ImuDataset::generate(&cfg).is_err());
+        let mut cfg = ImuConfig::small();
+        cfg.num_paths = 0;
+        assert!(ImuDataset::generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn train_end_positions_helper() {
+        let d = small();
+        let ends = d.train_end_positions();
+        assert_eq!(ends.len(), d.train.len());
+        assert_eq!(ends[0], d.train[0].end_position);
+    }
+
+    #[test]
+    fn reference_spacing_matches_walk_speed() {
+        // Consecutive references are SAMPLES_PER_SEGMENT/rate seconds
+        // apart; at ~1.35 m/s the along-path spacing must be ~15-25 m
+        // (chord distance is shorter around corners, never longer).
+        let cfg = ImuConfig::small();
+        let d = ImuDataset::generate(&cfg).unwrap();
+        let duration = SAMPLES_PER_SEGMENT as f64 / cfg.sample_rate_hz;
+        let max_spacing = duration * 1.8; // generous speed bound
+        for w in d.reference_points.windows(2) {
+            let spacing = w[0].distance(w[1]);
+            assert!(spacing <= max_spacing, "spacing {spacing} too large");
+        }
+    }
+}

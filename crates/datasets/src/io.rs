@@ -1,0 +1,158 @@
+//! CSV import/export of fingerprint collections.
+//!
+//! The synthetic campaigns mirror UJIIndoorLoc's published layout: one row
+//! per fingerprint, one RSSI column per WAP (with
+//! [`NOT_DETECTED`](crate::NOT_DETECTED) = `100` for unheard WAPs),
+//! followed by longitude, latitude, floor and building columns. Exporting
+//! lets downstream tools plot our campaigns; importing lets users run this
+//! crate's pipeline on the *real* UJIIndoorLoc CSV after trimming its
+//! metadata columns.
+
+use crate::{DatasetError, WifiSample};
+use noble_geo::Point;
+
+/// Writes samples as CSV: `wap000..wapNNN,x,y,floor,building`.
+pub fn wifi_samples_to_csv(samples: &[WifiSample]) -> String {
+    let num_waps = samples.first().map(|s| s.rssi.len()).unwrap_or(0);
+    let mut out = String::new();
+    for w in 0..num_waps {
+        out.push_str(&format!("wap{w:03},"));
+    }
+    out.push_str("x,y,floor,building\n");
+    for s in samples {
+        for r in &s.rssi {
+            out.push_str(&format!("{r:.1},"));
+        }
+        out.push_str(&format!(
+            "{:.4},{:.4},{},{}\n",
+            s.position.x, s.position.y, s.floor, s.building
+        ));
+    }
+    out
+}
+
+/// Parses the CSV produced by [`wifi_samples_to_csv`] (or a real dataset
+/// trimmed to the same layout).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] for malformed headers, ragged
+/// rows or unparseable numbers; the message names the offending line.
+pub fn wifi_samples_from_csv(csv: &str) -> Result<Vec<WifiSample>, DatasetError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| DatasetError::InvalidConfig("empty csv".into()))?;
+    let columns: Vec<&str> = header.split(',').collect();
+    if columns.len() < 5 {
+        return Err(DatasetError::InvalidConfig(
+            "header needs at least one wap column plus x,y,floor,building".into(),
+        ));
+    }
+    let tail: Vec<&str> = columns[columns.len() - 4..].to_vec();
+    if tail != ["x", "y", "floor", "building"] {
+        return Err(DatasetError::InvalidConfig(format!(
+            "header must end with x,y,floor,building; got {tail:?}"
+        )));
+    }
+    let num_waps = columns.len() - 4;
+    let mut samples = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns.len() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "line {}: {} fields, expected {}",
+                lineno + 1,
+                fields.len(),
+                columns.len()
+            )));
+        }
+        let parse = |s: &str, what: &str| -> Result<f64, DatasetError> {
+            s.trim().parse::<f64>().map_err(|_| {
+                DatasetError::InvalidConfig(format!("line {}: bad {what} '{s}'", lineno + 1))
+            })
+        };
+        let rssi: Vec<f64> = fields[..num_waps]
+            .iter()
+            .map(|f| parse(f, "rssi"))
+            .collect::<Result<_, _>>()?;
+        let x = parse(fields[num_waps], "x")?;
+        let y = parse(fields[num_waps + 1], "y")?;
+        let floor = parse(fields[num_waps + 2], "floor")? as usize;
+        let building = parse(fields[num_waps + 3], "building")? as usize;
+        samples.push(WifiSample {
+            rssi,
+            building,
+            floor,
+            position: Point::new(x, y),
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{uji_campaign, UjiConfig, NOT_DETECTED};
+
+    #[test]
+    fn round_trip_preserves_samples() {
+        let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+        let original = &campaign.train[..20];
+        let csv = wifi_samples_to_csv(original);
+        let parsed = wifi_samples_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(original) {
+            assert_eq!(a.building, b.building);
+            assert_eq!(a.floor, b.floor);
+            assert!((a.position.x - b.position.x).abs() < 1e-3);
+            // RSSI written with one decimal.
+            for (ra, rb) in a.rssi.iter().zip(&b.rssi) {
+                assert!((ra - rb).abs() < 0.06, "{ra} vs {rb}");
+            }
+        }
+    }
+
+    #[test]
+    fn not_detected_survives_round_trip() {
+        let s = WifiSample {
+            rssi: vec![NOT_DETECTED, -60.0],
+            building: 1,
+            floor: 2,
+            position: Point::new(3.0, 4.0),
+        };
+        let csv = wifi_samples_to_csv(&[s]);
+        let parsed = wifi_samples_from_csv(&csv).unwrap();
+        assert_eq!(parsed[0].rssi[0], NOT_DETECTED);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(wifi_samples_from_csv("").is_err());
+        assert!(wifi_samples_from_csv("a,b\n").is_err());
+        assert!(wifi_samples_from_csv("wap000,x,y,floor,nope\n").is_err());
+        // Ragged row.
+        let bad = "wap000,x,y,floor,building\n-50.0,1.0,2.0,0\n";
+        assert!(wifi_samples_from_csv(bad).is_err());
+        // Unparseable number.
+        let bad = "wap000,x,y,floor,building\nfoo,1.0,2.0,0,0\n";
+        assert!(wifi_samples_from_csv(bad).is_err());
+    }
+
+    #[test]
+    fn empty_body_is_ok() {
+        let parsed = wifi_samples_from_csv("wap000,x,y,floor,building\n").unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "wap000,x,y,floor,building\n-50.0,1.0,2.0,0,1\n\n-40.0,2.0,3.0,1,0\n";
+        let parsed = wifi_samples_from_csv(csv).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].building, 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Received-signal-strength simulation: wireless access points and the
+//! log-distance path-loss channel that turns positions into fingerprints.
+
+use noble_geo::Point;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sentinel RSSI value for "access point not detected".
+///
+/// UJIIndoorLoc stores `+100` for undetected WAPs; we keep the same
+/// convention so normalization code matches published pipelines.
+pub const NOT_DETECTED: f64 = 100.0;
+
+/// A wireless access point at a fixed position and floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wap {
+    /// Planar position in the campus frame (meters).
+    pub position: Point,
+    /// Building the WAP is mounted in.
+    pub building: usize,
+    /// Floor the WAP is mounted on.
+    pub floor: usize,
+    /// Transmit power in dBm at the reference distance.
+    pub tx_power_dbm: f64,
+}
+
+/// Log-distance path-loss channel with floor and wall attenuation and
+/// log-normal shadowing.
+///
+/// `RSSI = tx - 10·n·log10(max(d, d0)/d0) - floor_loss·|Δfloor|
+///         - wall_loss·(different building) + N(0, σ)`
+///
+/// readings below [`PathLossModel::detection_threshold_dbm`] come back as
+/// [`NOT_DETECTED`], exactly like a real scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathLossModel {
+    /// Path-loss exponent `n` (2.0 free space, 3–4 indoors).
+    pub exponent: f64,
+    /// Reference distance `d0` in meters.
+    pub reference_distance_m: f64,
+    /// Attenuation per floor crossed, in dB.
+    pub floor_loss_db: f64,
+    /// Attenuation for cross-building propagation, in dB.
+    pub wall_loss_db: f64,
+    /// Standard deviation of log-normal shadowing, in dB.
+    pub shadowing_sigma_db: f64,
+    /// Receiver sensitivity: weaker signals are reported as
+    /// [`NOT_DETECTED`].
+    pub detection_threshold_dbm: f64,
+    /// Nominal per-floor height in meters (adds vertical distance).
+    pub floor_height_m: f64,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel {
+            exponent: 3.2,
+            reference_distance_m: 1.0,
+            floor_loss_db: 14.0,
+            wall_loss_db: 11.0,
+            shadowing_sigma_db: 3.0,
+            detection_threshold_dbm: -95.0,
+            floor_height_m: 3.5,
+        }
+    }
+}
+
+impl PathLossModel {
+    /// Simulates the RSSI (dBm) a receiver at `(position, building, floor)`
+    /// observes from `wap`, or [`NOT_DETECTED`].
+    ///
+    /// Shadowing is drawn from `rng`; pass a seeded generator for
+    /// reproducibility.
+    pub fn rssi(
+        &self,
+        wap: &Wap,
+        position: Point,
+        building: usize,
+        floor: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let planar = wap.position.distance(position);
+        let dz = (wap.floor as f64 - floor as f64) * self.floor_height_m;
+        let d = (planar * planar + dz * dz).sqrt().max(self.reference_distance_m);
+        let mut loss = 10.0 * self.exponent * (d / self.reference_distance_m).log10();
+        loss += self.floor_loss_db * (wap.floor as f64 - floor as f64).abs();
+        if wap.building != building {
+            loss += self.wall_loss_db;
+        }
+        let shadow = self.shadowing_sigma_db * standard_normal(rng);
+        let rssi = wap.tx_power_dbm - loss + shadow;
+        if rssi < self.detection_threshold_dbm {
+            NOT_DETECTED
+        } else {
+            rssi.min(0.0)
+        }
+    }
+
+    /// Simulates a full fingerprint: one reading per WAP.
+    pub fn fingerprint(
+        &self,
+        waps: &[Wap],
+        position: Point,
+        building: usize,
+        floor: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        waps.iter()
+            .map(|w| self.rssi(w, position, building, floor, rng))
+            .collect()
+    }
+}
+
+/// Normalizes one raw RSSI reading into `[0, 1]` for network input:
+/// [`NOT_DETECTED`] maps to `0`, the detection threshold to a small
+/// positive value, and `0 dBm` to `1`.
+pub fn normalize_rssi(raw: f64, detection_threshold_dbm: f64) -> f64 {
+    if raw == NOT_DETECTED {
+        return 0.0;
+    }
+    let span = -detection_threshold_dbm; // e.g. 95
+    ((raw - detection_threshold_dbm) / span).clamp(0.0, 1.0)
+}
+
+/// Normalizes a whole fingerprint; see [`normalize_rssi`].
+pub fn normalize_fingerprint(raw: &[f64], detection_threshold_dbm: f64) -> Vec<f64> {
+    raw.iter()
+        .map(|&v| normalize_rssi(v, detection_threshold_dbm))
+        .collect()
+}
+
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn quiet_model() -> PathLossModel {
+        PathLossModel {
+            shadowing_sigma_db: 0.0,
+            ..PathLossModel::default()
+        }
+    }
+
+    fn wap_at(x: f64, y: f64) -> Wap {
+        Wap {
+            position: Point::new(x, y),
+            building: 0,
+            floor: 0,
+            tx_power_dbm: -30.0,
+        }
+    }
+
+    #[test]
+    fn rssi_decays_with_distance() {
+        let m = quiet_model();
+        let w = wap_at(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let near = m.rssi(&w, Point::new(2.0, 0.0), 0, 0, &mut rng);
+        let far = m.rssi(&w, Point::new(20.0, 0.0), 0, 0, &mut rng);
+        assert!(near > far, "near {near} should exceed far {far}");
+    }
+
+    #[test]
+    fn rssi_below_threshold_not_detected() {
+        let m = quiet_model();
+        let w = wap_at(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let vanished = m.rssi(&w, Point::new(5000.0, 0.0), 0, 0, &mut rng);
+        assert_eq!(vanished, NOT_DETECTED);
+    }
+
+    #[test]
+    fn floor_and_wall_attenuation() {
+        let m = quiet_model();
+        let w = wap_at(0.0, 0.0);
+        let p = Point::new(5.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let same = m.rssi(&w, p, 0, 0, &mut rng);
+        let other_floor = m.rssi(&w, p, 0, 1, &mut rng);
+        let other_building = m.rssi(&w, p, 1, 0, &mut rng);
+        assert!(same > other_floor);
+        assert!(same > other_building);
+        // Floor crossing includes both the dB penalty and vertical distance.
+        assert!(same - other_floor >= m.floor_loss_db - 1.0);
+    }
+
+    #[test]
+    fn reference_distance_clamps() {
+        let m = quiet_model();
+        let w = wap_at(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let at_zero = m.rssi(&w, Point::new(0.0, 0.0), 0, 0, &mut rng);
+        let at_half = m.rssi(&w, Point::new(0.5, 0.0), 0, 0, &mut rng);
+        assert_eq!(at_zero, at_half, "distances under d0 are clamped");
+        assert!(at_zero <= 0.0, "RSSI capped at 0 dBm");
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_per_seed() {
+        let m = PathLossModel::default();
+        let w = wap_at(0.0, 0.0);
+        let p = Point::new(10.0, 0.0);
+        let a = m.rssi(&w, p, 0, 0, &mut StdRng::seed_from_u64(5));
+        let b = m.rssi(&w, p, 0, 0, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_has_one_entry_per_wap() {
+        let m = quiet_model();
+        let waps = vec![wap_at(0.0, 0.0), wap_at(50.0, 0.0), wap_at(5000.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let fp = m.fingerprint(&waps, Point::new(1.0, 1.0), 0, 0, &mut rng);
+        assert_eq!(fp.len(), 3);
+        assert_eq!(fp[2], NOT_DETECTED);
+    }
+
+    #[test]
+    fn normalization_bounds() {
+        assert_eq!(normalize_rssi(NOT_DETECTED, -95.0), 0.0);
+        assert_eq!(normalize_rssi(0.0, -95.0), 1.0);
+        assert_eq!(normalize_rssi(-95.0, -95.0), 0.0);
+        let mid = normalize_rssi(-47.5, -95.0);
+        assert!((mid - 0.5).abs() < 1e-12);
+        let v = normalize_fingerprint(&[NOT_DETECTED, -50.0], -95.0);
+        assert_eq!(v[0], 0.0);
+        assert!(v[1] > 0.0 && v[1] < 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic train/validation/test splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly partitions `0..n` into train/validation/test index sets with
+/// the given fractions (test receives the remainder).
+///
+/// # Panics
+///
+/// Panics when `train_frac + val_frac > 1.0` or a fraction is negative.
+pub fn split_indices(
+    n: usize,
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    assert!(
+        train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0,
+        "invalid split fractions {train_frac}/{val_frac}"
+    );
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+    let test = indices.split_off(n_train + n_val);
+    let val = indices.split_off(n_train);
+    let train = indices;
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn partition_is_exact() {
+        let (tr, va, te) = split_indices(100, 0.64, 0.16, 42);
+        assert_eq!(tr.len(), 64);
+        assert_eq!(va.len(), 16);
+        assert_eq!(te.len(), 20);
+        let all: HashSet<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(split_indices(50, 0.8, 0.1, 7), split_indices(50, 0.8, 0.1, 7));
+        assert_ne!(split_indices(50, 0.8, 0.1, 7).0, split_indices(50, 0.8, 0.1, 8).0);
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let (tr, va, te) = split_indices(10, 1.0, 0.0, 0);
+        assert_eq!(tr.len(), 10);
+        assert!(va.is_empty());
+        assert!(te.is_empty());
+        let (tr, va, te) = split_indices(10, 0.0, 0.0, 0);
+        assert!(tr.is_empty());
+        assert!(va.is_empty());
+        assert_eq!(te.len(), 10);
+        let (tr, _, _) = split_indices(0, 0.5, 0.2, 0);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn rejects_oversubscribed_fractions() {
+        split_indices(10, 0.8, 0.5, 0);
+    }
+
+    #[test]
+    fn rounding_never_overflows() {
+        for n in [1usize, 3, 7, 13] {
+            let (tr, va, te) = split_indices(n, 0.64, 0.16, 1);
+            assert_eq!(tr.len() + va.len() + te.len(), n);
+        }
+    }
+}

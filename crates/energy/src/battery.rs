@@ -1,0 +1,114 @@
+//! Battery-life projection: what the §V-D energy advantage means in hours.
+//!
+//! The paper's argument stops at joules per window; deployments care about
+//! battery life. This module projects continuous-tracking runtimes from a
+//! battery capacity and a tracking duty cycle, for both the NObLe stack
+//! (inference + inertial sensing) and periodic GPS fixes.
+
+use crate::{InferenceProfile, SensorConstants};
+
+/// A battery, in watt-hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Usable capacity in watt-hours.
+    pub capacity_wh: f64,
+}
+
+impl Battery {
+    /// A phone-class 15 Wh battery.
+    pub fn phone() -> Self {
+        Battery { capacity_wh: 15.0 }
+    }
+
+    /// A wearable-class 1 Wh battery.
+    pub fn wearable() -> Self {
+        Battery { capacity_wh: 1.0 }
+    }
+
+    /// Usable energy in joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_wh * 3600.0
+    }
+}
+
+/// Continuous-tracking battery projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryLife {
+    /// Hours of continuous NObLe tracking (inference + IMU sensing).
+    pub noble_hours: f64,
+    /// Hours of continuous GPS tracking at the same fix interval.
+    pub gps_hours: f64,
+}
+
+impl BatteryLife {
+    /// Projects tracking lifetime on `battery`, producing one position fix
+    /// per `window_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive.
+    pub fn project(
+        battery: Battery,
+        inference: InferenceProfile,
+        sensors: SensorConstants,
+        window_s: f64,
+    ) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        let noble_per_window = inference.energy_j + sensors.imu_energy_j(window_s);
+        let gps_per_window = sensors.gps_fix_energy_j;
+        let capacity = battery.capacity_j();
+        BatteryLife {
+            noble_hours: capacity / noble_per_window * window_s / 3600.0,
+            gps_hours: capacity / gps_per_window * window_s / 3600.0,
+        }
+    }
+
+    /// How many times longer NObLe tracks than GPS.
+    pub fn advantage(&self) -> f64 {
+        self.noble_hours / self.gps_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyModel;
+
+    fn profile() -> InferenceProfile {
+        EnergyModel::jetson_tx2().profile(250_000)
+    }
+
+    #[test]
+    fn noble_outlasts_gps() {
+        let life = BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
+        assert!(life.noble_hours > life.gps_hours);
+        assert!(life.advantage() > 20.0, "advantage {}", life.advantage());
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // GPS at 5.925 J per 8 s window on a 15 Wh battery:
+        // 54000 J / 5.925 J ≈ 9113 windows ≈ 20.3 h.
+        let life = BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
+        assert!((life.gps_hours - 20.25).abs() < 0.5, "gps hours {}", life.gps_hours);
+    }
+
+    #[test]
+    fn bigger_battery_scales_linearly() {
+        let small = BatteryLife::project(Battery::wearable(), profile(), SensorConstants::default(), 8.0);
+        let big = BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
+        assert!((big.noble_hours / small.noble_hours - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 0.0);
+    }
+
+    #[test]
+    fn battery_presets() {
+        assert!(Battery::phone().capacity_j() > Battery::wearable().capacity_j());
+        assert_eq!(Battery::wearable().capacity_j(), 3600.0);
+    }
+}

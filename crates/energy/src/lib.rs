@@ -1,0 +1,32 @@
+//! Edge-device energy modeling (paper §IV-C and §V-D).
+//!
+//! The paper measures inference energy on an Nvidia Jetson TX2 and argues
+//! NObLe's total tracking energy (inference + inertial sensors) is ~27x
+//! cheaper than GPS fixes. We cannot run a TX2 here, so this crate supplies
+//! the standard analytical substitute: count multiply-accumulates through
+//! the network, convert to latency through an effective throughput, and to
+//! energy through the device's active power. The
+//! [`EnergyModel::jetson_tx2`] preset is calibrated so the paper's WiFi
+//! model lands at its reported ~2 ms / ~5 mJ operating point; the GPS and
+//! IMU sensor constants come from the paper's reference \[8\].
+//!
+//! # Example
+//!
+//! ```
+//! use noble_energy::{EnergyModel, mac_count};
+//!
+//! let shapes = vec![(520, 128), (128, 128), (128, 1000)];
+//! let profile = EnergyModel::jetson_tx2().profile(mac_count(&shapes));
+//! assert!(profile.energy_j > 0.0);
+//! assert!(profile.latency_s > 0.0);
+//! ```
+
+mod battery;
+mod device;
+mod ops;
+mod sensors;
+
+pub use battery::{Battery, BatteryLife};
+pub use device::{EnergyModel, InferenceProfile};
+pub use ops::{mac_count, mac_count_with_batch};
+pub use sensors::{SensorConstants, TrackingEnergyReport};

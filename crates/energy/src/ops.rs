@@ -1,0 +1,47 @@
+//! Multiply-accumulate counting for dense networks.
+
+/// MACs of one forward pass through a stack of dense layers given their
+/// `(in_dim, out_dim)` shapes. Batch-norm and activation costs are folded
+/// in as one extra op per affected unit (they are negligible next to the
+/// matmuls but not zero).
+pub fn mac_count(dense_shapes: &[(usize, usize)]) -> u64 {
+    let mut macs = 0u64;
+    for &(i, o) in dense_shapes {
+        macs += (i as u64) * (o as u64); // matmul
+        macs += o as u64; // bias
+        macs += 2 * o as u64; // batchnorm scale/shift + activation, amortized
+    }
+    macs
+}
+
+/// MACs for a batch of `batch` inference passes.
+pub fn mac_count_with_batch(dense_shapes: &[(usize, usize)], batch: usize) -> u64 {
+    mac_count(dense_shapes) * batch as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_matmul_dominated() {
+        let macs = mac_count(&[(100, 10)]);
+        assert_eq!(macs, 1000 + 10 + 20);
+    }
+
+    #[test]
+    fn empty_network_is_free() {
+        assert_eq!(mac_count(&[]), 0);
+    }
+
+    #[test]
+    fn batch_scales_linearly() {
+        let shapes = [(64, 32), (32, 8)];
+        assert_eq!(mac_count_with_batch(&shapes, 10), 10 * mac_count(&shapes));
+    }
+
+    #[test]
+    fn deeper_nets_cost_more() {
+        assert!(mac_count(&[(128, 128), (128, 128)]) > mac_count(&[(128, 128)]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Sensor and GPS energy constants, and the paper's §V-D comparison.
+
+use crate::InferenceProfile;
+
+/// Measured sensor/GPS constants, taken from the paper (which cites its
+/// reference \[8\] for the GPS figure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorConstants {
+    /// Inertial sensor energy for an 8-second window, joules (paper:
+    /// 0.1356 J / 8 s).
+    pub imu_energy_per_8s_j: f64,
+    /// Energy of one GPS fix cycle, joules (paper: 5.925 J).
+    pub gps_fix_energy_j: f64,
+}
+
+impl Default for SensorConstants {
+    fn default() -> Self {
+        SensorConstants {
+            imu_energy_per_8s_j: 0.1356,
+            gps_fix_energy_j: 5.925,
+        }
+    }
+}
+
+impl SensorConstants {
+    /// IMU sensor energy for an arbitrary window length.
+    pub fn imu_energy_j(&self, duration_s: f64) -> f64 {
+        self.imu_energy_per_8s_j * duration_s / 8.0
+    }
+}
+
+/// The §V-D comparison: NObLe inference + IMU sensing vs a GPS fix for the
+/// same tracking window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingEnergyReport {
+    /// Tracking window length, seconds.
+    pub duration_s: f64,
+    /// Model inference energy, joules.
+    pub inference_j: f64,
+    /// Inertial sensing energy over the window, joules.
+    pub sensing_j: f64,
+    /// NObLe total (inference + sensing), joules.
+    pub noble_total_j: f64,
+    /// GPS energy for the same window, joules.
+    pub gps_j: f64,
+    /// `gps_j / noble_total_j` — the paper's headline is ~27x.
+    pub advantage: f64,
+}
+
+impl TrackingEnergyReport {
+    /// Builds the comparison for one tracking window.
+    pub fn compare(
+        inference: InferenceProfile,
+        sensors: SensorConstants,
+        duration_s: f64,
+    ) -> Self {
+        let sensing_j = sensors.imu_energy_j(duration_s);
+        let noble_total_j = inference.energy_j + sensing_j;
+        TrackingEnergyReport {
+            duration_s,
+            inference_j: inference.energy_j,
+            sensing_j,
+            noble_total_j,
+            gps_j: sensors.gps_fix_energy_j,
+            advantage: sensors.gps_fix_energy_j / noble_total_j,
+        }
+    }
+}
+
+impl std::fmt::Display for TrackingEnergyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window {:.1}s: inference {:.5} J + sensing {:.4} J = {:.4} J vs GPS {:.3} J ({:.0}x)",
+            self.duration_s,
+            self.inference_j,
+            self.sensing_j,
+            self.noble_total_j,
+            self.gps_j,
+            self.advantage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyModel;
+
+    #[test]
+    fn paper_operating_point_reproduces_large_advantage() {
+        // Paper §V-D: inference 0.08599 J + sensors 0.1356 J = 0.22159 J
+        // vs GPS 5.925 J -> ~27x. With the paper's own numbers:
+        let inference = InferenceProfile {
+            macs: 0,
+            latency_s: 5e-3,
+            energy_j: 0.08599,
+        };
+        let r = TrackingEnergyReport::compare(inference, SensorConstants::default(), 8.0);
+        assert!((r.noble_total_j - 0.22159).abs() < 1e-5);
+        assert!((r.advantage - 26.74).abs() < 0.1, "advantage {}", r.advantage);
+    }
+
+    #[test]
+    fn smaller_models_only_increase_advantage() {
+        let m = EnergyModel::jetson_tx2();
+        let small = TrackingEnergyReport::compare(m.profile(100_000), SensorConstants::default(), 8.0);
+        let big = TrackingEnergyReport::compare(m.profile(50_000_000), SensorConstants::default(), 8.0);
+        assert!(small.advantage > big.advantage);
+        assert!(small.advantage > 20.0, "small advantage {}", small.advantage);
+    }
+
+    #[test]
+    fn sensing_scales_with_duration() {
+        let s = SensorConstants::default();
+        assert!((s.imu_energy_j(8.0) - 0.1356).abs() < 1e-12);
+        assert!((s.imu_energy_j(16.0) - 0.2712).abs() < 1e-12);
+        assert_eq!(s.imu_energy_j(0.0), 0.0);
+    }
+
+    #[test]
+    fn display_contains_ratio() {
+        let m = EnergyModel::jetson_tx2();
+        let r = TrackingEnergyReport::compare(m.profile(1000), SensorConstants::default(), 8.0);
+        assert!(r.to_string().contains('x'));
+    }
+}

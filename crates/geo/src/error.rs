@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A polygon needs at least three vertices.
+    DegeneratePolygon {
+        /// Number of vertices supplied.
+        vertices: usize,
+    },
+    /// A polyline needs at least two points.
+    DegeneratePolyline {
+        /// Number of points supplied.
+        points: usize,
+    },
+    /// A grid parameter was invalid (non-positive cell size, inverted
+    /// bounds, ...).
+    InvalidGrid(String),
+    /// A building/floor reference did not resolve.
+    UnknownFloor {
+        /// Building index queried.
+        building: usize,
+        /// Floor queried.
+        floor: usize,
+    },
+    /// The map has no buildings.
+    EmptyMap,
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::DegeneratePolygon { vertices } => {
+                write!(f, "polygon needs at least 3 vertices, got {vertices}")
+            }
+            GeoError::DegeneratePolyline { points } => {
+                write!(f, "polyline needs at least 2 points, got {points}")
+            }
+            GeoError::InvalidGrid(msg) => write!(f, "invalid grid: {msg}"),
+            GeoError::UnknownFloor { building, floor } => {
+                write!(f, "no floor {floor} in building {building}")
+            }
+            GeoError::EmptyMap => write!(f, "map contains no buildings"),
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GeoError::DegeneratePolygon { vertices: 2 }.to_string().contains("3 vertices"));
+        assert!(GeoError::EmptyMap.to_string().contains("no buildings"));
+        assert!(GeoError::UnknownFloor { building: 1, floor: 9 }
+            .to_string()
+            .contains("floor 9"));
+    }
+}

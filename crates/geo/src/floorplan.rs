@@ -1,0 +1,396 @@
+//! Buildings and campus maps: the structural prior the paper argues
+//! localization systems should exploit.
+//!
+//! A [`Building`] is a footprint polygon with optional holes (courtyards —
+//! the inaccessible interior visible in Fig. 1 of the paper) and a floor
+//! count. A [`CampusMap`] is a set of buildings; it answers the two
+//! questions the baselines and metrics ask:
+//!
+//! - *is this point on accessible space?* (structure-awareness metrics for
+//!   Figs. 4 and 5), and
+//! - *what is the nearest accessible point?* (the Deep Regression
+//!   Projection baseline).
+
+use crate::{GeoError, Point, Polygon};
+
+/// Identifier of a floor within a building (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FloorId(pub usize);
+
+impl std::fmt::Display for FloorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "floor {}", self.0)
+    }
+}
+
+/// A building: footprint, courtyard holes, and number of floors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Building {
+    footprint: Polygon,
+    holes: Vec<Polygon>,
+    floors: usize,
+}
+
+impl Building {
+    /// Creates a building from a footprint and floor count (holes empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidGrid`] when `floors == 0`.
+    pub fn new(footprint: Polygon, floors: usize) -> Result<Self, GeoError> {
+        if floors == 0 {
+            return Err(GeoError::InvalidGrid("building needs at least one floor".into()));
+        }
+        Ok(Building {
+            footprint,
+            holes: Vec::new(),
+            floors,
+        })
+    }
+
+    /// Creates an L-shaped building: a `width x depth` rectangle at
+    /// `(x0, y0)` with its top-right `notch_w x notch_d` corner removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidGrid`] for non-positive dimensions, a
+    /// notch at least as large as the rectangle, or `floors == 0`.
+    pub fn l_shaped(
+        x0: f64,
+        y0: f64,
+        width: f64,
+        depth: f64,
+        notch_w: f64,
+        notch_d: f64,
+        floors: usize,
+    ) -> Result<Self, GeoError> {
+        if width <= 0.0 || depth <= 0.0 || notch_w <= 0.0 || notch_d <= 0.0 {
+            return Err(GeoError::InvalidGrid("L-shape dimensions must be positive".into()));
+        }
+        if notch_w >= width || notch_d >= depth {
+            return Err(GeoError::InvalidGrid(format!(
+                "notch {notch_w}x{notch_d} must be smaller than footprint {width}x{depth}"
+            )));
+        }
+        let footprint = Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x0 + width, y0),
+            Point::new(x0 + width, y0 + depth - notch_d),
+            Point::new(x0 + width - notch_w, y0 + depth - notch_d),
+            Point::new(x0 + width - notch_w, y0 + depth),
+            Point::new(x0, y0 + depth),
+        ])?;
+        Building::new(footprint, floors)
+    }
+
+    /// Adds a courtyard hole (builder style).
+    pub fn with_hole(mut self, hole: Polygon) -> Self {
+        self.holes.push(hole);
+        self
+    }
+
+    /// The outer footprint.
+    pub fn footprint(&self) -> &Polygon {
+        &self.footprint
+    }
+
+    /// The courtyard holes.
+    pub fn holes(&self) -> &[Polygon] {
+        &self.holes
+    }
+
+    /// Number of floors.
+    pub fn floors(&self) -> usize {
+        self.floors
+    }
+
+    /// Whether `p` lies on accessible space: inside the footprint and not
+    /// strictly inside any hole.
+    pub fn contains_accessible(&self, p: Point) -> bool {
+        if !self.footprint.contains(p) {
+            return false;
+        }
+        !self.holes.iter().any(|h| {
+            // A point exactly on the hole boundary is still accessible.
+            h.contains(p) && h.boundary_distance(p) > 1e-9
+        })
+    }
+
+    /// Nearest accessible point to `p` within this building.
+    ///
+    /// Points already accessible are returned unchanged; points in a
+    /// courtyard snap to the courtyard boundary; points outside snap to the
+    /// footprint boundary (then, if that landed in a hole, to the hole
+    /// boundary).
+    pub fn project_accessible(&self, p: Point) -> Point {
+        if self.contains_accessible(p) {
+            return p;
+        }
+        if self.footprint.contains(p) {
+            // Inside footprint, so inside a hole: snap to nearest hole edge.
+            let mut best = p;
+            let mut best_d = f64::INFINITY;
+            for h in &self.holes {
+                if h.contains(p) {
+                    let c = h.closest_boundary_point(p);
+                    let d = c.squared_distance(p);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+            }
+            return best;
+        }
+        let candidate = self.footprint.closest_boundary_point(p);
+        if self.contains_accessible(candidate) {
+            candidate
+        } else {
+            // The nearest footprint edge point sits on a hole boundary that
+            // coincides with the footprint (degenerate plans); fall back to
+            // the nearest hole edge.
+            self.holes
+                .iter()
+                .map(|h| h.closest_boundary_point(candidate))
+                .min_by(|a, b| {
+                    a.squared_distance(candidate)
+                        .partial_cmp(&b.squared_distance(candidate))
+                        .unwrap()
+                })
+                .unwrap_or(candidate)
+        }
+    }
+
+    /// Distance from `p` to the nearest accessible point (0 when
+    /// accessible).
+    pub fn accessible_distance(&self, p: Point) -> f64 {
+        self.project_accessible(p).distance(p)
+    }
+}
+
+/// A campus: several buildings sharing one coordinate frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusMap {
+    buildings: Vec<Building>,
+}
+
+impl CampusMap {
+    /// Creates a map from buildings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyMap`] when `buildings` is empty.
+    pub fn new(buildings: Vec<Building>) -> Result<Self, GeoError> {
+        if buildings.is_empty() {
+            return Err(GeoError::EmptyMap);
+        }
+        Ok(CampusMap { buildings })
+    }
+
+    /// The buildings.
+    pub fn buildings(&self) -> &[Building] {
+        &self.buildings
+    }
+
+    /// Number of buildings.
+    pub fn building_count(&self) -> usize {
+        self.buildings.len()
+    }
+
+    /// Validates a `(building, floor)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::UnknownFloor`] when out of range.
+    pub fn validate_floor(&self, building: usize, floor: FloorId) -> Result<(), GeoError> {
+        match self.buildings.get(building) {
+            Some(b) if floor.0 < b.floors() => Ok(()),
+            _ => Err(GeoError::UnknownFloor {
+                building,
+                floor: floor.0,
+            }),
+        }
+    }
+
+    /// Index of the building whose accessible space contains `p`, if any.
+    pub fn building_containing(&self, p: Point) -> Option<usize> {
+        self.buildings.iter().position(|b| b.contains_accessible(p))
+    }
+
+    /// Whether `p` lies on any building's accessible space.
+    pub fn is_accessible(&self, p: Point) -> bool {
+        self.building_containing(p).is_some()
+    }
+
+    /// Nearest accessible point across all buildings (the paper's
+    /// "project the prediction to the closest position on the map").
+    pub fn project(&self, p: Point) -> Point {
+        if self.is_accessible(p) {
+            return p;
+        }
+        self.buildings
+            .iter()
+            .map(|b| b.project_accessible(p))
+            .min_by(|a, b| {
+                a.squared_distance(p)
+                    .partial_cmp(&b.squared_distance(p))
+                    .unwrap()
+            })
+            .expect("CampusMap::new guarantees at least one building")
+    }
+
+    /// Distance from `p` to accessible space (0 when accessible). This is
+    /// the *off-map distance* metric used to quantify Figs. 4 and 5.
+    pub fn off_map_distance(&self, p: Point) -> f64 {
+        self.project(p).distance(p)
+    }
+
+    /// Overall bounding box across building footprints.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for b in &self.buildings {
+            let (bmin, bmax) = b.footprint().bounding_box();
+            min.x = min.x.min(bmin.x);
+            min.y = min.y.min(bmin.y);
+            max.x = max.x.max(bmax.x);
+            max.y = max.y.max(bmax.y);
+        }
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring building: 20x20 footprint with a 10x10 central courtyard.
+    fn ring_building() -> Building {
+        Building::new(Polygon::rectangle(0.0, 0.0, 20.0, 20.0).unwrap(), 4)
+            .unwrap()
+            .with_hole(Polygon::rectangle(5.0, 5.0, 15.0, 15.0).unwrap())
+    }
+
+    #[test]
+    fn building_rejects_zero_floors() {
+        let fp = Polygon::rectangle(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(Building::new(fp, 0).is_err());
+    }
+
+    #[test]
+    fn ring_accessibility() {
+        let b = ring_building();
+        assert!(b.contains_accessible(Point::new(2.0, 2.0))); // corridor
+        assert!(!b.contains_accessible(Point::new(10.0, 10.0))); // courtyard
+        assert!(!b.contains_accessible(Point::new(25.0, 5.0))); // outside
+        assert!(b.contains_accessible(Point::new(5.0, 10.0))); // hole edge
+    }
+
+    #[test]
+    fn project_from_courtyard_snaps_to_hole_edge() {
+        let b = ring_building();
+        let p = b.project_accessible(Point::new(10.0, 9.0));
+        assert!(b.contains_accessible(p));
+        assert!((p.y - 5.0).abs() < 1e-9, "should hit the south hole edge, got {p}");
+    }
+
+    #[test]
+    fn project_from_outside_snaps_to_footprint() {
+        let b = ring_building();
+        let p = b.project_accessible(Point::new(10.0, 25.0));
+        assert!(b.contains_accessible(p));
+        assert!((p.y - 20.0).abs() < 1e-9);
+        assert!((b.accessible_distance(Point::new(10.0, 25.0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessible_point_projects_to_itself() {
+        let b = ring_building();
+        let p = Point::new(2.0, 2.0);
+        assert_eq!(b.project_accessible(p), p);
+        assert_eq!(b.accessible_distance(p), 0.0);
+    }
+
+    fn two_building_campus() -> CampusMap {
+        let b1 = ring_building();
+        let b2 = Building::new(Polygon::rectangle(40.0, 0.0, 60.0, 20.0).unwrap(), 5).unwrap();
+        CampusMap::new(vec![b1, b2]).unwrap()
+    }
+
+    #[test]
+    fn map_rejects_empty() {
+        assert!(matches!(CampusMap::new(vec![]), Err(GeoError::EmptyMap)));
+    }
+
+    #[test]
+    fn building_lookup() {
+        let m = two_building_campus();
+        assert_eq!(m.building_containing(Point::new(2.0, 2.0)), Some(0));
+        assert_eq!(m.building_containing(Point::new(50.0, 10.0)), Some(1));
+        assert_eq!(m.building_containing(Point::new(30.0, 10.0)), None);
+        assert_eq!(m.building_containing(Point::new(10.0, 10.0)), None); // courtyard
+    }
+
+    #[test]
+    fn map_projection_picks_nearest_building() {
+        let m = two_building_campus();
+        // Point in the gap, slightly nearer building 2.
+        let p = Point::new(35.0, 10.0);
+        let proj = m.project(p);
+        assert!(m.is_accessible(proj));
+        assert!((proj.x - 40.0).abs() < 1e-9, "nearest edge is building 2 at x=40, got {proj}");
+        assert!((m.off_map_distance(p) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_validation() {
+        let m = two_building_campus();
+        assert!(m.validate_floor(0, FloorId(3)).is_ok());
+        assert!(m.validate_floor(0, FloorId(4)).is_err());
+        assert!(m.validate_floor(1, FloorId(4)).is_ok());
+        assert!(m.validate_floor(2, FloorId(0)).is_err());
+    }
+
+    #[test]
+    fn map_bounding_box_spans_buildings() {
+        let m = two_building_campus();
+        let (min, max) = m.bounding_box();
+        assert_eq!(min, Point::new(0.0, 0.0));
+        assert_eq!(max, Point::new(60.0, 20.0));
+    }
+
+    #[test]
+    fn floor_id_display() {
+        assert_eq!(FloorId(2).to_string(), "floor 2");
+    }
+
+    #[test]
+    fn l_shaped_building_accessibility() {
+        // 20x10 rectangle with the top-right 8x4 corner notched out.
+        let b = Building::l_shaped(0.0, 0.0, 20.0, 10.0, 8.0, 4.0, 3).unwrap();
+        assert_eq!(b.floors(), 3);
+        assert!(b.contains_accessible(Point::new(2.0, 2.0))); // main body
+        assert!(b.contains_accessible(Point::new(2.0, 9.0))); // left arm
+        assert!(b.contains_accessible(Point::new(18.0, 2.0))); // bottom arm
+        assert!(!b.contains_accessible(Point::new(18.0, 9.0))); // notch
+        // Area: full rect minus notch.
+        assert!((b.footprint().area() - (200.0 - 32.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l_shaped_validation() {
+        assert!(Building::l_shaped(0.0, 0.0, 10.0, 10.0, 10.0, 2.0, 1).is_err());
+        assert!(Building::l_shaped(0.0, 0.0, 10.0, 10.0, 2.0, 10.0, 1).is_err());
+        assert!(Building::l_shaped(0.0, 0.0, -5.0, 10.0, 2.0, 2.0, 1).is_err());
+        assert!(Building::l_shaped(0.0, 0.0, 10.0, 10.0, 2.0, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn l_shaped_projection_respects_notch() {
+        let b = Building::l_shaped(0.0, 0.0, 20.0, 10.0, 8.0, 4.0, 1).unwrap();
+        // A point inside the notch projects onto a notch edge.
+        let p = b.project_accessible(Point::new(16.0, 8.0));
+        assert!(b.contains_accessible(p));
+        assert!(p.distance(Point::new(16.0, 8.0)) < 5.0);
+    }
+}

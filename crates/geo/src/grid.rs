@@ -1,0 +1,231 @@
+//! Uniform grid over a bounding box.
+//!
+//! The quantizer crate builds its neighborhood classes on top of this grid;
+//! it is kept here because it is pure geometry.
+
+use crate::{GeoError, Point};
+
+/// A cell of a [`Grid`], addressed by integer column/row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridCell {
+    /// Column index (x direction).
+    pub col: usize,
+    /// Row index (y direction).
+    pub row: usize,
+}
+
+/// A uniform square grid covering `[origin, origin + extent]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    origin: Point,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl Grid {
+    /// Creates a grid covering the box `(min, max)` with square cells of
+    /// side `cell_size`. The grid is expanded to fully cover the box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidGrid`] for non-positive `cell_size`,
+    /// non-finite bounds, or an inverted box.
+    pub fn cover(min: Point, max: Point, cell_size: f64) -> Result<Self, GeoError> {
+        if !(cell_size > 0.0) || !cell_size.is_finite() {
+            return Err(GeoError::InvalidGrid(format!("cell size {cell_size} must be positive")));
+        }
+        if !(min.x.is_finite() && min.y.is_finite() && max.x.is_finite() && max.y.is_finite()) {
+            return Err(GeoError::InvalidGrid("non-finite bounds".into()));
+        }
+        if max.x < min.x || max.y < min.y {
+            return Err(GeoError::InvalidGrid("inverted bounding box".into()));
+        }
+        let cols = (((max.x - min.x) / cell_size).ceil() as usize).max(1);
+        let rows = (((max.y - min.y) / cell_size).ceil() as usize).max(1);
+        Ok(Grid {
+            origin: min,
+            cell_size,
+            cols,
+            rows,
+        })
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Grid origin (minimum corner).
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The cell containing `p`, or `None` if `p` is outside the grid.
+    /// Points exactly on the max edge are assigned to the last cell.
+    pub fn cell_of(&self, p: Point) -> Option<GridCell> {
+        let fx = (p.x - self.origin.x) / self.cell_size;
+        let fy = (p.y - self.origin.y) / self.cell_size;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let col = fx as usize;
+        let row = fy as usize;
+        let col = if col == self.cols && fx <= self.cols as f64 {
+            self.cols - 1
+        } else {
+            col
+        };
+        let row = if row == self.rows && fy <= self.rows as f64 {
+            self.rows - 1
+        } else {
+            row
+        };
+        if col >= self.cols || row >= self.rows {
+            return None;
+        }
+        Some(GridCell { col, row })
+    }
+
+    /// Center point of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is outside the grid.
+    pub fn cell_center(&self, cell: GridCell) -> Point {
+        assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        Point::new(
+            self.origin.x + (cell.col as f64 + 0.5) * self.cell_size,
+            self.origin.y + (cell.row as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// Flat index of a cell (`row * cols + col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is outside the grid.
+    pub fn flat_index(&self, cell: GridCell) -> usize {
+        assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        cell.row * self.cols + cell.col
+    }
+
+    /// Inverse of [`Grid::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= cell_count()`.
+    pub fn cell_from_flat(&self, index: usize) -> GridCell {
+        assert!(index < self.cell_count(), "flat index out of range");
+        GridCell {
+            col: index % self.cols,
+            row: index / self.cols,
+        }
+    }
+
+    /// The up-to-8 neighbors of a cell (fewer on the grid border).
+    pub fn neighbors(&self, cell: GridCell) -> Vec<GridCell> {
+        let mut out = Vec::with_capacity(8);
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let nr = cell.row as i64 + dr;
+                let nc = cell.col as i64 + dc;
+                if nr >= 0 && nc >= 0 && (nr as usize) < self.rows && (nc as usize) < self.cols {
+                    out.push(GridCell {
+                        col: nc as usize,
+                        row: nr as usize,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid10() -> Grid {
+        Grid::cover(Point::new(0.0, 0.0), Point::new(10.0, 5.0), 1.0).unwrap()
+    }
+
+    #[test]
+    fn cover_dimensions() {
+        let g = grid10();
+        assert_eq!(g.cols(), 10);
+        assert_eq!(g.rows(), 5);
+        assert_eq!(g.cell_count(), 50);
+        // Non-divisible extent rounds up.
+        let g2 = Grid::cover(Point::new(0.0, 0.0), Point::new(3.5, 1.2), 1.0).unwrap();
+        assert_eq!(g2.cols(), 4);
+        assert_eq!(g2.rows(), 2);
+    }
+
+    #[test]
+    fn cover_validation() {
+        let o = Point::new(0.0, 0.0);
+        assert!(Grid::cover(o, Point::new(1.0, 1.0), 0.0).is_err());
+        assert!(Grid::cover(o, Point::new(1.0, 1.0), -1.0).is_err());
+        assert!(Grid::cover(o, Point::new(-1.0, 1.0), 1.0).is_err());
+        assert!(Grid::cover(o, Point::new(f64::NAN, 1.0), 1.0).is_err());
+        // Degenerate box still yields one cell.
+        let g = Grid::cover(o, o, 1.0).unwrap();
+        assert_eq!(g.cell_count(), 1);
+    }
+
+    #[test]
+    fn cell_of_interior_and_boundary() {
+        let g = grid10();
+        assert_eq!(g.cell_of(Point::new(0.5, 0.5)), Some(GridCell { col: 0, row: 0 }));
+        assert_eq!(g.cell_of(Point::new(9.99, 4.99)), Some(GridCell { col: 9, row: 4 }));
+        // Max edge maps into the last cell rather than falling out.
+        assert_eq!(g.cell_of(Point::new(10.0, 5.0)), Some(GridCell { col: 9, row: 4 }));
+        assert_eq!(g.cell_of(Point::new(-0.1, 1.0)), None);
+        assert_eq!(g.cell_of(Point::new(11.0, 1.0)), None);
+    }
+
+    #[test]
+    fn centers_round_trip() {
+        let g = grid10();
+        for idx in 0..g.cell_count() {
+            let cell = g.cell_from_flat(idx);
+            assert_eq!(g.flat_index(cell), idx);
+            let center = g.cell_center(cell);
+            assert_eq!(g.cell_of(center), Some(cell));
+        }
+    }
+
+    #[test]
+    fn neighbors_counts() {
+        let g = grid10();
+        assert_eq!(g.neighbors(GridCell { col: 0, row: 0 }).len(), 3);
+        assert_eq!(g.neighbors(GridCell { col: 5, row: 0 }).len(), 5);
+        assert_eq!(g.neighbors(GridCell { col: 5, row: 2 }).len(), 8);
+        assert_eq!(g.neighbors(GridCell { col: 9, row: 4 }).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_center_bounds_checked() {
+        grid10().cell_center(GridCell { col: 10, row: 0 });
+    }
+}

@@ -1,0 +1,44 @@
+//! 2-D geometry substrate for the NObLe localization suite.
+//!
+//! Provides the spatial primitives the paper's pipeline relies on:
+//!
+//! - [`Point`] / segment utilities,
+//! - [`Polygon`] with ring containment tests and nearest-point projection,
+//! - [`Building`] footprints with holes (courtyards) and floors, composed
+//!   into a [`CampusMap`] — the "map knowledge" used by the Deep Regression
+//!   Projection baseline and the structure-awareness metrics of Figs. 4–5,
+//! - [`Polyline`] walking paths with resampling and headings for the IMU
+//!   simulator,
+//! - a uniform [`Grid`] over a bounding box (shared by the quantizer).
+//!
+//! # Example
+//!
+//! ```
+//! use noble_geo::{Point, Polygon};
+//!
+//! let square = Polygon::new(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(4.0, 0.0),
+//!     Point::new(4.0, 4.0),
+//!     Point::new(0.0, 4.0),
+//! ]).unwrap();
+//! assert!(square.contains(Point::new(2.0, 2.0)));
+//! let p = square.project(Point::new(6.0, 2.0));
+//! assert!((p.x - 4.0).abs() < 1e-12);
+//! ```
+
+mod error;
+mod floorplan;
+mod grid;
+mod path;
+mod point;
+mod polygon;
+mod segment;
+
+pub use error::GeoError;
+pub use floorplan::{Building, CampusMap, FloorId};
+pub use grid::{Grid, GridCell};
+pub use path::Polyline;
+pub use point::Point;
+pub use polygon::Polygon;
+pub use segment::Segment;

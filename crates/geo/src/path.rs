@@ -1,0 +1,212 @@
+//! Polylines: walking paths for the IMU simulator.
+
+use crate::{GeoError, Point, Segment};
+
+/// An open polyline through at least two points.
+///
+/// The IMU dataset generator walks a pedestrian along polylines and
+/// synthesizes sensor readings from the local speed and heading; this type
+/// supplies arc-length parameterization, resampling and headings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<Point>,
+    /// Cumulative arc length at each vertex; `cum[0] == 0`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Creates a polyline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegeneratePolyline`] with fewer than two points.
+    pub fn new(points: Vec<Point>) -> Result<Self, GeoError> {
+        if points.len() < 2 {
+            return Err(GeoError::DegeneratePolyline {
+                points: points.len(),
+            });
+        }
+        let mut cum = Vec::with_capacity(points.len());
+        cum.push(0.0);
+        for w in points.windows(2) {
+            let last = *cum.last().expect("cum starts non-empty");
+            cum.push(last + w[0].distance(w[1]));
+        }
+        Ok(Polyline { points, cum })
+    }
+
+    /// The vertices.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("cum non-empty")
+    }
+
+    /// Start point.
+    pub fn start(&self) -> Point {
+        self.points[0]
+    }
+
+    /// End point.
+    pub fn end(&self) -> Point {
+        *self.points.last().expect("at least two points")
+    }
+
+    /// Point at arc length `s` (clamped to `[0, length]`).
+    pub fn point_at(&self, s: f64) -> Point {
+        let s = s.clamp(0.0, self.length());
+        let idx = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        if idx + 1 >= self.points.len() {
+            return self.end();
+        }
+        let seg = Segment::new(self.points[idx], self.points[idx + 1]);
+        let seg_len = self.cum[idx + 1] - self.cum[idx];
+        if seg_len < 1e-300 {
+            return self.points[idx];
+        }
+        seg.point_at((s - self.cum[idx]) / seg_len)
+    }
+
+    /// Heading (radians, CCW from +x) of the segment containing arc length
+    /// `s`.
+    pub fn heading_at(&self, s: f64) -> f64 {
+        let s = s.clamp(0.0, self.length());
+        let mut idx = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        if idx + 1 >= self.points.len() {
+            idx = self.points.len() - 2;
+        }
+        Segment::new(self.points[idx], self.points[idx + 1]).heading()
+    }
+
+    /// Resamples the polyline at `n >= 2` equally spaced arc lengths
+    /// (including both endpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegeneratePolyline`] when `n < 2`.
+    pub fn resample(&self, n: usize) -> Result<Vec<Point>, GeoError> {
+        if n < 2 {
+            return Err(GeoError::DegeneratePolyline { points: n });
+        }
+        let step = self.length() / (n - 1) as f64;
+        Ok((0..n).map(|i| self.point_at(step * i as f64)).collect())
+    }
+
+    /// Sum of absolute turn angles at interior vertices (radians). Used by
+    /// the map-assisted dead-reckoning baseline's turn detector.
+    pub fn total_turn(&self) -> f64 {
+        let mut total = 0.0;
+        for w in self.points.windows(3) {
+            let h1 = (w[1] - w[0]).heading();
+            let h2 = (w[2] - w[1]).heading();
+            let mut d = h2 - h1;
+            while d > std::f64::consts::PI {
+                d -= 2.0 * std::f64::consts::PI;
+            }
+            while d < -std::f64::consts::PI {
+                d += 2.0 * std::f64::consts::PI;
+            }
+            total += d.abs();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn l_path() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_single_point() {
+        assert!(Polyline::new(vec![Point::ORIGIN]).is_err());
+    }
+
+    #[test]
+    fn length_and_endpoints() {
+        let p = l_path();
+        assert_eq!(p.length(), 20.0);
+        assert_eq!(p.start(), Point::new(0.0, 0.0));
+        assert_eq!(p.end(), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn point_at_arc_lengths() {
+        let p = l_path();
+        assert_eq!(p.point_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at(10.0), Point::new(10.0, 0.0));
+        assert_eq!(p.point_at(15.0), Point::new(10.0, 5.0));
+        // Clamping.
+        assert_eq!(p.point_at(-3.0), p.start());
+        assert_eq!(p.point_at(99.0), p.end());
+    }
+
+    #[test]
+    fn heading_switches_at_corner() {
+        let p = l_path();
+        assert!((p.heading_at(5.0) - 0.0).abs() < 1e-12);
+        assert!((p.heading_at(15.0) - FRAC_PI_2).abs() < 1e-12);
+        // At the very end, heading of the final segment.
+        assert!((p.heading_at(20.0) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_even_spacing() {
+        let p = l_path();
+        let samples = p.resample(5).unwrap();
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], p.start());
+        assert_eq!(samples[4], p.end());
+        assert_eq!(samples[1], Point::new(5.0, 0.0));
+        assert!(p.resample(1).is_err());
+    }
+
+    #[test]
+    fn total_turn_of_l_shape() {
+        let p = l_path();
+        assert!((p.total_turn() - FRAC_PI_2).abs() < 1e-12);
+        let straight = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(straight.total_turn(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_repeated_points() {
+        let p = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(p.length(), 1.0);
+        assert_eq!(p.point_at(0.5), Point::new(0.5, 0.0));
+    }
+}

@@ -1,0 +1,185 @@
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A point (or free vector) in the 2-D localization plane, in meters.
+///
+/// The paper works in longitude/latitude converted to a local metric frame;
+/// this type is that frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting coordinate in meters.
+    pub x: f64,
+    /// Northing coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        self.squared_distance(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn squared_distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector length when interpreted as a displacement.
+    pub fn length(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product with `other`.
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Heading of this displacement in radians, measured counter-clockwise
+    /// from the +x axis.
+    pub fn heading(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the point about the origin by `angle` radians.
+    pub fn rotated(self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_345() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.squared_distance(b), 25.0);
+        assert_eq!(b.length(), 5.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+        assert_eq!(east.dot(north), 0.0);
+    }
+
+    #[test]
+    fn heading_and_rotation() {
+        assert_eq!(Point::new(1.0, 0.0).heading(), 0.0);
+        assert!((Point::new(0.0, 2.0).heading() - FRAC_PI_2).abs() < 1e-12);
+        let r = Point::new(1.0, 0.0).rotated(PI);
+        assert!((r.x + 1.0).abs() < 1e-12);
+        assert!(r.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p, Point::new(1.5, 2.5));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, 2.5));
+        assert_eq!(Point::default(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Point::new(1.0, 2.0).to_string().is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+use crate::{GeoError, Point, Segment};
+
+/// A simple polygon defined by its vertex ring (implicitly closed).
+///
+/// Supports the two operations the suite needs everywhere: containment
+/// (even-odd ray casting, robust to points left/right of edges) and
+/// nearest-point projection onto the boundary — the primitive behind the
+/// paper's *Deep Regression Projection* baseline, which snaps off-map
+/// predictions back onto the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::DegeneratePolygon`] with fewer than three
+    /// vertices.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeoError> {
+        if vertices.len() < 3 {
+            return Err(GeoError::DegeneratePolygon {
+                vertices: vertices.len(),
+            });
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Axis-aligned rectangle from corner coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidGrid`] when the corners are inverted or
+    /// coincide.
+    pub fn rectangle(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Self, GeoError> {
+        if x1 <= x0 || y1 <= y0 {
+            return Err(GeoError::InvalidGrid(format!(
+                "rectangle corners inverted: ({x0},{y0}) .. ({x1},{y1})"
+            )));
+        }
+        Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ])
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Iterator over the boundary edges (closing edge included).
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            sum += p.cross(q);
+        }
+        sum / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Vertex centroid (arithmetic mean of the vertices).
+    pub fn vertex_centroid(&self) -> Point {
+        let n = self.vertices.len() as f64;
+        let mut acc = Point::ORIGIN;
+        for &v in &self.vertices {
+            acc = acc + v;
+        }
+        acc * (1.0 / n)
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+
+    /// Even-odd ray-casting containment test. Boundary points count as
+    /// inside.
+    pub fn contains(&self, p: Point) -> bool {
+        // Boundary check first so edge/vertex points are deterministic.
+        for e in self.edges() {
+            if e.distance_to(p) < 1e-9 {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_int = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_int {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Nearest point on the polygon *boundary* to `p`.
+    pub fn closest_boundary_point(&self, p: Point) -> Point {
+        let mut best = self.vertices[0];
+        let mut best_d = f64::INFINITY;
+        for e in self.edges() {
+            let c = e.closest_point(p);
+            let d = c.squared_distance(p);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Distance from `p` to the polygon boundary.
+    pub fn boundary_distance(&self, p: Point) -> f64 {
+        self.closest_boundary_point(p).distance(p)
+    }
+
+    /// Projects `p` onto the polygon: points inside are returned unchanged,
+    /// points outside are snapped to the nearest boundary point.
+    pub fn project(&self, p: Point) -> Point {
+        if self.contains(p) {
+            p
+        } else {
+            self.closest_boundary_point(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(0.0, 0.0, 1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]).is_err());
+        assert!(Polygon::rectangle(1.0, 0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn area_and_perimeter() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        assert!((sq.perimeter() - 4.0).abs() < 1e-12);
+        // Rectangle constructor winds counter-clockwise.
+        assert!(sq.signed_area() > 0.0);
+    }
+
+    #[test]
+    fn contains_interior_exterior_boundary() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(-0.1, -0.1)));
+        assert!(sq.contains(Point::new(1.0, 0.5))); // edge
+        assert!(sq.contains(Point::new(0.0, 0.0))); // vertex
+    }
+
+    #[test]
+    fn contains_concave_polygon() {
+        // L-shape: the notch at top-right must be outside.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Point::new(0.5, 1.5)));
+        assert!(l.contains(Point::new(1.5, 0.5)));
+        assert!(!l.contains(Point::new(1.5, 1.5)));
+        assert!((l.area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_snaps_outside_points() {
+        let sq = unit_square();
+        let p = sq.project(Point::new(2.0, 0.5));
+        assert!((p.x - 1.0).abs() < 1e-12);
+        assert!((p.y - 0.5).abs() < 1e-12);
+        // Inside points unchanged.
+        let q = Point::new(0.3, 0.7);
+        assert_eq!(sq.project(q), q);
+    }
+
+    #[test]
+    fn closest_boundary_point_from_inside() {
+        let sq = unit_square();
+        let c = sq.closest_boundary_point(Point::new(0.5, 0.1));
+        assert!((c.y - 0.0).abs() < 1e-12);
+        assert!((sq.boundary_distance(Point::new(0.5, 0.1)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_and_centroid() {
+        let sq = unit_square();
+        let (min, max) = sq.bounding_box();
+        assert_eq!(min, Point::new(0.0, 0.0));
+        assert_eq!(max, Point::new(1.0, 1.0));
+        assert_eq!(sq.vertex_centroid(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn edges_close_the_ring() {
+        let sq = unit_square();
+        let edges: Vec<Segment> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, sq.vertices()[0]);
+    }
+}

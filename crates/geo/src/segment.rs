@@ -1,0 +1,88 @@
+use crate::Point;
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from endpoints.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.b - self.a;
+        let len2 = d.dot(d);
+        if len2 < 1e-300 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len2).clamp(0.0, 1.0);
+        self.a + d * t
+    }
+
+    /// Distance from `p` to the segment.
+    pub fn distance_to(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Heading of the segment direction in radians.
+    pub fn heading(&self) -> f64 {
+        (self.b - self.a).heading()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closest_point_interior_and_clamped() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(5.0, 3.0)), Point::new(5.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(-4.0, 2.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(14.0, -2.0)), Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(s.closest_point(Point::new(5.0, 5.0)), Point::new(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+    }
+
+    #[test]
+    fn distance_to_matches_closest_point() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(0.0, 4.0));
+        assert_eq!(s.distance_to(Point::new(3.0, 2.0)), 3.0);
+    }
+
+    #[test]
+    fn point_at_parameters() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 8.0));
+        assert_eq!(s.point_at(0.5), Point::new(2.0, 4.0));
+        assert_eq!(s.point_at(0.0), s.a);
+        assert_eq!(s.point_at(1.0), s.b);
+    }
+
+    #[test]
+    fn heading_of_diagonal() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!((s.heading() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+}

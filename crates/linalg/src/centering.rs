@@ -1,0 +1,102 @@
+//! Double centering: the bridge from distance matrices to Gram matrices.
+//!
+//! Classical multidimensional scaling (and therefore Isomap) turns a matrix
+//! of squared pairwise distances `D2` into the Gram matrix
+//! `B = -1/2 * J D2 J` with `J = I - (1/n) 1 1^T`, whose top eigenvectors give
+//! the embedding.
+
+use crate::{LinalgError, Matrix};
+
+/// Applies double centering to a square matrix: `B = -1/2 * J A J`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::Empty`] for an empty matrix.
+pub fn double_center(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| a.row(i).iter().sum::<f64>() / n as f64)
+        .collect();
+    let col_means: Vec<f64> = (0..n)
+        .map(|j| (0..n).map(|i| a[(i, j)]).sum::<f64>() / n as f64)
+        .collect();
+    let grand = row_means.iter().sum::<f64>() / n as f64;
+    Ok(Matrix::from_fn(n, n, |i, j| {
+        -0.5 * (a[(i, j)] - row_means[i] - col_means[j] + grand)
+    }))
+}
+
+/// Converts a matrix of *plain* (not squared) pairwise distances into the
+/// double-centered Gram matrix used by classical MDS.
+///
+/// # Errors
+///
+/// Propagates [`double_center`] failures.
+pub fn gram_from_distances(d: &Matrix) -> Result<Matrix, LinalgError> {
+    let squared = d.map(|v| v * v);
+    double_center(&squared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::euclidean_distance;
+
+    #[test]
+    fn centering_zeroes_row_and_column_sums() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0, 4.0],
+            vec![1.0, 0.0, 1.0],
+            vec![4.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let b = double_center(&a).unwrap();
+        for i in 0..3 {
+            let row_sum: f64 = b.row(i).iter().sum();
+            assert!(row_sum.abs() < 1e-10, "row {i} sum {row_sum}");
+            let col_sum: f64 = (0..3).map(|r| b[(r, i)]).sum();
+            assert!(col_sum.abs() < 1e-10, "col {i} sum {col_sum}");
+        }
+    }
+
+    #[test]
+    fn gram_recovers_inner_products_of_centered_points() {
+        // Points on a line: 0, 1, 3. Centered: -4/3, -1/3, 5/3.
+        let pts = [vec![0.0], vec![1.0], vec![3.0]];
+        let d = Matrix::from_fn(3, 3, |i, j| euclidean_distance(&pts[i], &pts[j]));
+        let b = gram_from_distances(&d).unwrap();
+        let centered = [-4.0 / 3.0, -1.0 / 3.0, 5.0 / 3.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (b[(i, j)] - centered[i] * centered[j]).abs() < 1e-10,
+                    "B[{i}{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(double_center(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let d = Matrix::from_rows(&[
+            vec![0.0, 2.0, 3.0],
+            vec![2.0, 0.0, 1.5],
+            vec![3.0, 1.5, 0.0],
+        ])
+        .unwrap();
+        let b = gram_from_distances(&d).unwrap();
+        assert!(b.is_symmetric(1e-12));
+    }
+}

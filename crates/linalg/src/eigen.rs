@@ -1,0 +1,470 @@
+//! Symmetric eigensolvers.
+//!
+//! Three strategies, matching the needs of the manifold-learning substrate:
+//!
+//! - [`jacobi_eigen`]: cyclic Jacobi rotations — full spectrum, robust, for
+//!   matrices up to a few hundred rows (LLE's bottom-spectrum problems on
+//!   landmark subsets).
+//! - [`top_eigenpairs`]: power iteration with Hotelling deflation — the
+//!   handful of dominant eigenpairs of a large Gram matrix (classical
+//!   MDS / Isomap embeddings).
+//! - [`smallest_eigenpairs`]: spectral-shift power iteration — the bottom
+//!   eigenpairs needed by LLE without inverting anything.
+
+use crate::{LinalgError, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An eigenvalue with its (unit-norm) eigenvector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenPair {
+    /// The eigenvalue.
+    pub value: f64,
+    /// The corresponding unit eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Ordering for returned eigenpairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EigenSort {
+    /// Largest eigenvalue first.
+    Descending,
+    /// Smallest eigenvalue first.
+    Ascending,
+}
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi
+/// method.
+///
+/// Returns all eigenpairs sorted per `sort`. Cost is `O(n^3)` per sweep;
+/// intended for `n` up to roughly 500.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] for non-square input.
+/// - [`LinalgError::InvalidArgument`] when the matrix is not symmetric
+///   (tolerance `1e-8`).
+/// - [`LinalgError::NoConvergence`] if off-diagonal mass fails to vanish in
+///   100 sweeps (does not happen for well-posed symmetric input).
+pub fn jacobi_eigen(a: &Matrix, sort: EigenSort) -> Result<Vec<EigenPair>, LinalgError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::InvalidArgument(
+            "jacobi_eigen requires a symmetric matrix".to_string(),
+        ));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-11 {
+            let mut pairs: Vec<EigenPair> = (0..n)
+                .map(|k| EigenPair {
+                    value: m[(k, k)],
+                    vector: v.column(k),
+                })
+                .collect();
+            match sort {
+                EigenSort::Descending => {
+                    pairs.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap())
+                }
+                EigenSort::Ascending => {
+                    pairs.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
+                }
+            }
+            return Ok(pairs);
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable rotation parameter selection (Golub & Van Loan).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        method: "jacobi_eigen",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Dominant eigenpair of a symmetric matrix by power iteration.
+///
+/// `seed` controls the random starting vector, making runs reproducible.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] / [`LinalgError::Empty`] on bad input.
+/// - [`LinalgError::NoConvergence`] if the iteration stalls (e.g. the two
+///   dominant eigenvalues coincide in magnitude with opposite signs).
+pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64, seed: u64) -> Result<EigenPair, LinalgError> {
+    match power_iteration_inner(a, max_iter, tol, seed)? {
+        (pair, true) => Ok(pair),
+        (_, false) => Err(LinalgError::NoConvergence {
+            method: "power_iteration",
+            iterations: max_iter,
+        }),
+    }
+}
+
+/// Like [`power_iteration`] but returns the best iterate even when the
+/// residual test was not met (flagged by the boolean).
+///
+/// Eigenvalue clusters make strict power iteration stall; for embedding
+/// work (MDS/Isomap) a near-converged deep component is harmless, so the
+/// lenient variant lets callers accept it knowingly.
+fn power_iteration_inner(
+    a: &Matrix,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+) -> Result<(EigenPair, bool), LinalgError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    crate::vector::normalize_in_place(&mut v);
+    // Scale for the residual test so tolerance is relative to ||A||.
+    let a_scale = a.frobenius_norm().max(1.0);
+    let mut lambda = 0.0;
+
+    for _ in 0..max_iter {
+        let mut w = a.matvec(&v)?;
+        let norm = crate::vector::normalize_in_place(&mut w);
+        if norm < 1e-300 {
+            // Matrix annihilated the vector: eigenvalue 0 with this vector.
+            return Ok((EigenPair { value: 0.0, vector: v }, true));
+        }
+        let aw = a.matvec(&w)?;
+        lambda = crate::vector::dot(&w, &aw);
+        // Residual ||A w - lambda w|| measures eigenvector quality directly;
+        // the Rayleigh quotient alone converges before the vector does.
+        let residual: f64 = aw
+            .iter()
+            .zip(&w)
+            .map(|(x, y)| (x - lambda * y) * (x - lambda * y))
+            .sum::<f64>()
+            .sqrt();
+        v = w;
+        if residual < tol.sqrt() * a_scale * 1e-2 {
+            return Ok((EigenPair { value: lambda, vector: v }, true));
+        }
+    }
+    Ok((EigenPair { value: lambda, vector: v }, false))
+}
+
+/// Top-`k` eigenpairs of a symmetric matrix by power iteration with
+/// Hotelling deflation, sorted by |λ| descending.
+///
+/// Suitable for large Gram matrices when only a few components are needed
+/// (MDS/Isomap embeddings). Eigenvalues returned are the *signed* values.
+///
+/// # Errors
+///
+/// Propagates [`power_iteration`] failures and validates `k <= n`. Callers
+/// that prefer a best-effort answer over an error on clustered spectra
+/// should use [`top_eigenpairs_lenient`].
+pub fn top_eigenpairs(a: &Matrix, k: usize, seed: u64) -> Result<Vec<EigenPair>, LinalgError> {
+    top_eigenpairs_impl(a, k, seed, true)
+}
+
+/// Like [`top_eigenpairs`], but when a component fails the convergence
+/// test (eigenvalue clusters stall power iteration), retries once from a
+/// fresh start and then accepts the best iterate instead of erroring.
+///
+/// Appropriate for embedding work (Isomap / landmark MDS) where a
+/// near-converged deep component perturbs the embedding by less than the
+/// data noise; *not* appropriate when exact eigenvectors matter (LLE's
+/// bottom spectrum — use the strict variant and fall back to
+/// [`jacobi_eigen`]).
+///
+/// # Errors
+///
+/// Validates shapes and `k <= n`; never fails on convergence.
+pub fn top_eigenpairs_lenient(a: &Matrix, k: usize, seed: u64) -> Result<Vec<EigenPair>, LinalgError> {
+    top_eigenpairs_impl(a, k, seed, false)
+}
+
+fn top_eigenpairs_impl(
+    a: &Matrix,
+    k: usize,
+    seed: u64,
+    strict: bool,
+) -> Result<Vec<EigenPair>, LinalgError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if k > n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "requested {k} eigenpairs from a {n}x{n} matrix"
+        )));
+    }
+    let mut deflated = a.clone();
+    let mut out = Vec::with_capacity(k);
+    for idx in 0..k {
+        let pair = match power_iteration_inner(&deflated, 2000, 1e-12, seed.wrapping_add(idx as u64))? {
+            (pair, true) => pair,
+            (best, false) => {
+                if strict {
+                    return Err(LinalgError::NoConvergence {
+                        method: "top_eigenpairs",
+                        iterations: 2000,
+                    });
+                }
+                let retry_seed = seed.wrapping_add(idx as u64).wrapping_mul(0x9E3779B9);
+                match power_iteration_inner(&deflated, 4000, 1e-10, retry_seed)? {
+                    (pair, true) => pair,
+                    (retry_best, false) => {
+                        // Keep whichever iterate has the larger Rayleigh
+                        // quotient magnitude (further along the dominant
+                        // direction).
+                        if retry_best.value.abs() > best.value.abs() {
+                            retry_best
+                        } else {
+                            best
+                        }
+                    }
+                }
+            }
+        };
+        // Hotelling deflation: A <- A - lambda v v^T
+        for i in 0..n {
+            for j in 0..n {
+                deflated[(i, j)] -= pair.value * pair.vector[i] * pair.vector[j];
+            }
+        }
+        out.push(pair);
+    }
+    Ok(out)
+}
+
+/// Bottom-`k` eigenpairs of a symmetric positive-semidefinite matrix via a
+/// spectral shift: the smallest eigenvalues of `M` are the largest of
+/// `sigma I - M`, where `sigma` upper-bounds the spectrum.
+///
+/// This is exactly what LLE needs (bottom of `(I-W)^T (I-W)`), without any
+/// matrix inversion. Results are sorted ascending by eigenvalue.
+///
+/// # Errors
+///
+/// Propagates [`top_eigenpairs`] failures.
+pub fn smallest_eigenpairs(m: &Matrix, k: usize, seed: u64) -> Result<Vec<EigenPair>, LinalgError> {
+    let n = m.rows();
+    if m.rows() != m.cols() {
+        return Err(LinalgError::NotSquare { shape: m.shape() });
+    }
+    // Gershgorin bound on the spectral radius.
+    let mut sigma = 0.0f64;
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+        sigma = sigma.max(row_sum);
+    }
+    sigma += 1.0;
+    let shifted = Matrix::from_fn(n, n, |i, j| {
+        let id = if i == j { sigma } else { 0.0 };
+        id - m[(i, j)]
+    });
+    let mut pairs = top_eigenpairs(&shifted, k, seed)?;
+    for p in &mut pairs {
+        p.value = sigma - p.value;
+    }
+    pairs.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap());
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eigenpair(a: &Matrix, pair: &EigenPair, tol: f64) {
+        let av = a.matvec(&pair.vector).unwrap();
+        for (x, v) in av.iter().zip(&pair.vector) {
+            assert!(
+                (x - pair.value * v).abs() < tol,
+                "A v != lambda v: {x} vs {}",
+                pair.value * v
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let pairs = jacobi_eigen(&a, EigenSort::Descending).unwrap();
+        let values: Vec<f64> = pairs.iter().map(|p| p.value).collect();
+        assert!((values[0] - 3.0).abs() < 1e-10);
+        assert!((values[1] - 2.0).abs() < 1e-10);
+        assert!((values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let pairs = jacobi_eigen(&a, EigenSort::Ascending).unwrap();
+        assert!((pairs[0].value - 1.0).abs() < 1e-10);
+        assert!((pairs[1].value - 3.0).abs() < 1e-10);
+        for p in &pairs {
+            check_eigenpair(&a, p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 5.0],
+        ])
+        .unwrap();
+        let pairs = jacobi_eigen(&a, EigenSort::Descending).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = crate::vector::dot(&pairs[i].vector, &pairs[j].vector);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-8, "dot({i},{j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_trace_preserved() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 5.0, 1.0],
+            vec![3.0, 1.0, 7.0],
+        ])
+        .unwrap();
+        let pairs = jacobi_eigen(&a, EigenSort::Descending).unwrap();
+        let sum: f64 = pairs.iter().map(|p| p.value).sum();
+        assert!((sum - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_rejects_asymmetric() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(jacobi_eigen(&a, EigenSort::Descending).is_err());
+    }
+
+    #[test]
+    fn power_iteration_dominant() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let pair = power_iteration(&a, 1000, 1e-13, 7).unwrap();
+        assert!((pair.value - 3.0).abs() < 1e-8);
+        check_eigenpair(&a, &pair, 1e-6);
+    }
+
+    #[test]
+    fn top_eigenpairs_deflation() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![0.0, 0.0, -3.0],
+        ])
+        .unwrap();
+        let pairs = top_eigenpairs(&a, 3, 42).unwrap();
+        // Sorted by |lambda| descending: 5, -3, 2.
+        assert!((pairs[0].value - 5.0).abs() < 1e-7);
+        assert!((pairs[1].value + 3.0).abs() < 1e-7);
+        assert!((pairs[2].value - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn top_eigenpairs_rejects_k_too_large() {
+        let a = Matrix::identity(2);
+        assert!(top_eigenpairs(&a, 3, 0).is_err());
+    }
+
+    #[test]
+    fn smallest_eigenpairs_of_psd() {
+        // Graph Laplacian of a path on 3 nodes: eigenvalues 0, 1, 3.
+        let a = Matrix::from_rows(&[
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 1.0],
+        ])
+        .unwrap();
+        let pairs = smallest_eigenpairs(&a, 2, 3).unwrap();
+        assert!(pairs[0].value.abs() < 1e-7);
+        assert!((pairs[1].value - 1.0).abs() < 1e-7);
+        for p in &pairs {
+            check_eigenpair(&a, p, 1e-6);
+        }
+    }
+
+    #[test]
+    fn jacobi_matches_power_iteration_on_random_spd() {
+        let mut rng_vals = [0.9, 0.3, -0.2, 0.5, 1.4, -0.7];
+        // Deterministic "random" SPD matrix: B^T B + I.
+        let b = Matrix::from_fn(3, 3, |i, j| {
+            let v = rng_vals[(i * 3 + j) % 6];
+            rng_vals[(i + j) % 6] += 0.01;
+            v
+        });
+        let spd = b
+            .transpose()
+            .matmul(&b)
+            .unwrap()
+            .add(&Matrix::identity(3))
+            .unwrap();
+        let jac = jacobi_eigen(&spd, EigenSort::Descending).unwrap();
+        let pow = power_iteration(&spd, 5000, 1e-13, 11).unwrap();
+        assert!((jac[0].value - pow.value).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Actual shape encountered.
+        shape: (usize, usize),
+    },
+    /// Factorization failed because the matrix is singular (or not positive
+    /// definite for Cholesky).
+    Singular {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the iterative method.
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty where data was required.
+    Empty,
+    /// An argument was out of its valid range.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular or not positive definite at pivot {pivot}")
+            }
+            LinalgError::NoConvergence { method, iterations } => {
+                write!(f, "{method} did not converge after {iterations} iterations")
+            }
+            LinalgError::Empty => write!(f, "empty input where data was required"),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! QR decomposition by Householder reflections, and least squares.
+//!
+//! Used by the calibration utilities (fitting path-loss parameters from
+//! fingerprints) and anywhere an over-determined linear system appears.
+
+use crate::{LinalgError, Matrix};
+
+/// A QR factorization `A = Q R` with `Q` orthonormal `(m, n)` (thin) and
+/// `R` upper-triangular `(n, n)`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Thin orthonormal factor.
+    pub q: Matrix,
+    /// Upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR factorization of a matrix with `rows >= cols`.
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidArgument`] when `rows < cols`.
+/// - [`LinalgError::Singular`] when a column is (numerically) linearly
+///   dependent.
+pub fn qr_decompose(a: &Matrix) -> Result<QrFactors, LinalgError> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "thin QR needs rows >= cols, got {m}x{n}"
+        )));
+    }
+    // Modified Gram-Schmidt: numerically adequate for the well-conditioned
+    // design matrices this crate feeds it, and simple to verify.
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..j {
+            let mut dot = 0.0;
+            for k in 0..m {
+                dot += q[(k, i)] * q[(k, j)];
+            }
+            r[(i, j)] = dot;
+            for k in 0..m {
+                let v = q[(k, i)];
+                q[(k, j)] -= dot * v;
+            }
+        }
+        let mut norm = 0.0;
+        for k in 0..m {
+            norm += q[(k, j)] * q[(k, j)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-12 {
+            return Err(LinalgError::Singular { pivot: j });
+        }
+        r[(j, j)] = norm;
+        for k in 0..m {
+            q[(k, j)] /= norm;
+        }
+    }
+    Ok(QrFactors { q, r })
+}
+
+/// Solves the least-squares problem `min ||A x - b||` via QR.
+///
+/// # Errors
+///
+/// Propagates [`qr_decompose`] failures; returns
+/// [`LinalgError::ShapeMismatch`] when `b.len() != a.rows()`.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "least_squares",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let QrFactors { q, r } = qr_decompose(a)?;
+    // x = R^{-1} Q^T b  (back substitution).
+    let mut qtb = vec![0.0; n];
+    for (j, val) in qtb.iter_mut().enumerate() {
+        let mut dot = 0.0;
+        for k in 0..m {
+            dot += q[(k, j)] * b[k];
+        }
+        *val = dot;
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = qtb[i];
+        for j in (i + 1)..n {
+            sum -= r[(i, j)] * x[j];
+        }
+        x[i] = sum / r[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ])
+        .unwrap();
+        let f = qr_decompose(&a).unwrap();
+        let recon = f.q.matmul(&f.r).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn q_columns_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![0.0, 3.0, 1.0],
+            vec![1.0, 1.0, -2.0],
+            vec![4.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let f = qr_decompose(&a).unwrap();
+        let qtq = f.q.transpose().matmul(&f.q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_positive_diagonal() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]]).unwrap();
+        let f = qr_decompose(&a).unwrap();
+        assert_eq!(f.r[(1, 0)], 0.0);
+        assert!(f.r[(0, 0)] > 0.0 && f.r[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn rejects_wide_and_rank_deficient() {
+        assert!(qr_decompose(&Matrix::zeros(2, 3)).is_err());
+        let dependent = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert!(matches!(
+            qr_decompose(&dependent).unwrap_err(),
+            LinalgError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn least_squares_fits_line() {
+        // y = 2x + 1 with symmetric noise: exact recovery of slope and
+        // intercept because the noise cancels by construction.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let noise = [0.1, -0.1, 0.1, -0.1];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { xs[i] } else { 1.0 });
+        let b: Vec<f64> = xs.iter().zip(&noise).map(|(x, n)| 2.0 * x + 1.0 + n).collect();
+        let coef = least_squares(&a, &b).unwrap();
+        assert!((coef[0] - 1.96).abs() < 0.1, "slope {}", coef[0]);
+        assert!((coef[1] - 1.0).abs() < 0.25, "intercept {}", coef[1]);
+    }
+
+    #[test]
+    fn least_squares_exact_for_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        let x = least_squares(&a, &[6.0, 8.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!(least_squares(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![1.0, 1.5],
+            vec![1.0, 2.5],
+            vec![1.0, 3.5],
+        ])
+        .unwrap();
+        let b = [1.0, 2.2, 2.8, 4.1];
+        let x = least_squares(&a, &b).unwrap();
+        let fitted = a.matvec(&x).unwrap();
+        let residual: Vec<f64> = b.iter().zip(&fitted).map(|(bb, f)| bb - f).collect();
+        // Normal equations: A^T r = 0.
+        for j in 0..2 {
+            let dot: f64 = (0..4).map(|i| a[(i, j)] * residual[i]).sum();
+            assert!(dot.abs() < 1e-10, "column {j} correlation {dot}");
+        }
+    }
+}

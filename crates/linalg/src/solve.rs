@@ -1,0 +1,316 @@
+//! Direct solvers: LU with partial pivoting and Cholesky.
+//!
+//! LLE's local-weight computation solves many small regularized Gram
+//! systems; the kernel-regression utilities and Nyström out-of-sample
+//! extension also need dense solves. Both factorizations live here.
+
+use crate::{LinalgError, Matrix};
+
+/// An LU factorization with partial pivoting: `P * A = L * U`.
+///
+/// Produced by [`lu_decompose`]; consumed by [`lu_solve`]. Exposing the
+/// factorization lets callers solve against many right-hand sides without
+/// refactorizing (API-guidelines C-INTERMEDIATE).
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (below diagonal, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now at row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 / -1.0); exposed for determinants.
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Computes the LU factorization of a square matrix with partial pivoting.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] for non-square input.
+/// - [`LinalgError::Singular`] when a pivot collapses below `1e-12`.
+pub fn lu_decompose(a: &Matrix) -> Result<LuFactors, LinalgError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivot: find the largest |entry| in column k at or below row k.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if pivot_row != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let u_kj = lu[(k, j)];
+                lu[(i, j)] -= factor * u_kj;
+            }
+        }
+    }
+    Ok(LuFactors { lu, perm, sign })
+}
+
+/// Solves `A x = b` given a precomputed factorization of `A`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `b.len()` differs from the
+/// factored dimension.
+pub fn lu_solve(factors: &LuFactors, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = factors.dim();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "lu_solve",
+            lhs: (n, n),
+            rhs: (b.len(), 1),
+        });
+    }
+    // Apply permutation, then forward-substitute L, then back-substitute U.
+    let mut x: Vec<f64> = factors.perm.iter().map(|&p| b[p]).collect();
+    for i in 1..n {
+        let mut sum = x[i];
+        for j in 0..i {
+            sum -= factors.lu[(i, j)] * x[j];
+        }
+        x[i] = sum;
+    }
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= factors.lu[(i, j)] * x[j];
+        }
+        x[i] = sum / factors.lu[(i, i)];
+    }
+    Ok(x)
+}
+
+/// One-shot convenience: factorize `a` and solve `a x = b`.
+///
+/// # Errors
+///
+/// Propagates errors from [`lu_decompose`] and [`lu_solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let f = lu_decompose(a)?;
+    lu_solve(&f, b)
+}
+
+/// Cholesky factorization `A = L L^T` of a symmetric positive-definite
+/// matrix. Returns the lower-triangular factor `L`.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] for non-square input.
+/// - [`LinalgError::Singular`] when the matrix is not positive definite.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::Singular { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates [`cholesky`] failures; returns
+/// [`LinalgError::ShapeMismatch`] when `b.len()` differs from `a.rows()`.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_cholesky",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let l = cholesky(a)?;
+    // Forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[(i, j)] * y[j];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward: L^T x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= l[(j, i)] * x[j];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn lu_solves_small_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            lu_decompose(&a).unwrap_err(),
+            LinalgError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn lu_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lu_decompose(&a).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn determinant_via_lu() {
+        let a = Matrix::from_rows(&[vec![3.0, 8.0], vec![4.0, 6.0]]).unwrap();
+        let f = lu_decompose(&a).unwrap();
+        assert!((f.determinant() + 14.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lu_reuse_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]).unwrap();
+        let f = lu_decompose(&a).unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -2.0]] {
+            let x = lu_solve(&f, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_solve_rejects_bad_rhs() {
+        let a = Matrix::identity(2);
+        let f = lu_decompose(&a).unwrap();
+        assert!(lu_solve(&f, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_recovers_spd() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
+        // Known factor for this classic example.
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            cholesky(&a).unwrap_err(),
+            LinalgError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_cholesky_agrees_with_lu() {
+        let a = Matrix::from_rows(&[vec![6.0, 2.0], vec![2.0, 5.0]]).unwrap();
+        let b = vec![4.0, 3.0];
+        let x1 = solve(&a, &b).unwrap();
+        let x2 = solve_cholesky(&a, &b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-10);
+        }
+        assert!(solve_cholesky(&a, &[1.0]).is_err());
+    }
+}

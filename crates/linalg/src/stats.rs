@@ -1,0 +1,239 @@
+//! Summary statistics for evaluation.
+//!
+//! The paper reports mean and median position error; the harness
+//! additionally reports RMSE and tail percentiles. [`Summary`] bundles all
+//! of them from one pass over the error sample.
+
+use crate::LinalgError;
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+///
+/// Returns `None` on an empty slice or if every element is NaN.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element; ties resolve to the first occurrence.
+///
+/// Returns `None` on an empty slice or if every element is NaN.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Sample median (average of the two central order statistics for even n).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] on an empty slice.
+pub fn median(a: &[f64]) -> Result<f64, LinalgError> {
+    percentile(a, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// - [`LinalgError::Empty`] on an empty slice.
+/// - [`LinalgError::InvalidArgument`] when `p` is outside `[0, 100]`.
+pub fn percentile(a: &[f64], p: f64) -> Result<f64, LinalgError> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(LinalgError::InvalidArgument(format!(
+            "percentile {p} outside [0, 100]"
+        )));
+    }
+    let mut sorted = a.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Sample standard deviation (population formula, i.e. divide by n).
+///
+/// Returns 0.0 for slices with fewer than two elements.
+pub fn std_dev(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = crate::vector::mean(a);
+    let var = a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64;
+    var.sqrt()
+}
+
+/// One-pass summary of an error sample: the statistics every experiment
+/// runner prints.
+///
+/// # Example
+///
+/// ```
+/// use noble_linalg::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// assert_eq!(s.max, 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Root mean square.
+    pub rmse: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] when `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, LinalgError> {
+        if samples.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let mean = crate::vector::mean(samples);
+        let rmse = (samples.iter().map(|v| v * v).sum::<f64>() / samples.len() as f64).sqrt();
+        Ok(Summary {
+            count: samples.len(),
+            mean,
+            median: median(samples)?,
+            rmse,
+            std_dev: std_dev(samples),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            p75: percentile(samples, 75.0)?,
+            p90: percentile(samples, 90.0)?,
+            p95: percentile(samples, 95.0)?,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} median={:.3} rmse={:.3} p90={:.3} max={:.3}",
+            self.count, self.mean, self.median, self.rmse, self.p90, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_argmin_basic() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[2.0, 2.0, 1.0]), Some(0));
+        assert_eq!(argmin(&[1.0, 0.5, 0.5]), Some(1));
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 1.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert!(median(&[]).is_err());
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 100.0).unwrap(), 4.0);
+        assert!(percentile(&v, 101.0).is_err());
+        assert!(percentile(&v, -1.0).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 25.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn std_dev_known() {
+        // Population std of [2,4,4,4,5,5,7,9] is 2.
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let s = Summary::from_samples(&[0.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.median, 3.0);
+        assert!((s.rmse - (25.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.p75 <= s.p90 && s.p90 <= s.p95);
+        assert!(Summary::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::from_samples(&[1.0]).unwrap();
+        assert!(s.to_string().contains("mean"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Vector kernels shared across the suite.
+//!
+//! These free functions operate on plain `&[f64]` slices so callers can use
+//! them on matrix rows, feature vectors, and coordinate pairs without
+//! conversions.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "squared_distance: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `y += x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    axpy(1.0, x, y);
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place scalar multiplication.
+pub fn scale_in_place(a: &mut [f64], alpha: f64) {
+    for v in a {
+        *v *= alpha;
+    }
+}
+
+/// Normalizes `a` to unit L2 norm in place and returns the original norm.
+///
+/// Vectors with norm below `1e-300` are left untouched (returning the tiny
+/// norm) to avoid dividing by zero.
+pub fn normalize_in_place(a: &mut [f64]) -> f64 {
+    let n = norm(a);
+    if n > 1e-300 {
+        scale_in_place(a, 1.0 / n);
+    }
+    n
+}
+
+/// Arithmetic mean; returns 0.0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// `n` evenly spaced values from `start` to `end` inclusive.
+///
+/// `n == 0` yields an empty vector and `n == 1` yields `[start]`.
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (end - start) / (n - 1) as f64;
+            (0..n).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        add_assign(&mut y, &[1.0, 1.0]);
+        assert_eq!(y, vec![8.0, 10.0]);
+    }
+
+    #[test]
+    fn sub_makes_new_vector() {
+        assert_eq!(sub(&[5.0, 3.0], &[2.0, 1.0]), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize_in_place(&mut v);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_untouched() {
+        let mut v = vec![0.0, 0.0];
+        normalize_in_place(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(2.0, 9.0, 1), vec![2.0]);
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[4], 1.0);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+}

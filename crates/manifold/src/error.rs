@@ -1,0 +1,80 @@
+use noble_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by manifold-learning routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifoldError {
+    /// Not enough data points for the requested neighborhood size.
+    TooFewPoints {
+        /// Points available.
+        points: usize,
+        /// Neighbors requested.
+        k: usize,
+    },
+    /// The requested embedding dimension is infeasible.
+    BadDimension {
+        /// Requested dimension.
+        dim: usize,
+        /// Maximum feasible dimension.
+        max: usize,
+    },
+    /// The neighborhood graph is disconnected and the operation requires a
+    /// connected graph.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// An underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ManifoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifoldError::TooFewPoints { points, k } => {
+                write!(f, "{points} points cannot support k={k} neighborhoods")
+            }
+            ManifoldError::BadDimension { dim, max } => {
+                write!(f, "embedding dimension {dim} exceeds the feasible maximum {max}")
+            }
+            ManifoldError::Disconnected { components } => {
+                write!(f, "neighborhood graph has {components} components; increase k")
+            }
+            ManifoldError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ManifoldError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ManifoldError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ManifoldError {
+    fn from(e: LinalgError) -> Self {
+        ManifoldError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ManifoldError::TooFewPoints { points: 2, k: 5 }.to_string().contains("k=5"));
+        assert!(ManifoldError::Disconnected { components: 3 }.to_string().contains("3 components"));
+        assert!(ManifoldError::BadDimension { dim: 9, max: 4 }.to_string().contains("9"));
+    }
+
+    #[test]
+    fn linalg_source() {
+        let e: ManifoldError = LinalgError::Empty.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

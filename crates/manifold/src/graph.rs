@@ -1,0 +1,333 @@
+//! Symmetric k-nearest-neighbor graphs and geodesic (shortest-path)
+//! distances — step 1 and step 2 of the Isomap template the paper
+//! describes in §II.
+
+use crate::{knn_brute, ManifoldError};
+use noble_linalg::Matrix;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A weighted undirected graph over data points, stored as adjacency
+/// lists.
+#[derive(Debug, Clone)]
+pub struct NeighborGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl NeighborGraph {
+    /// Builds the symmetric kNN graph of the rows of `data`: an edge
+    /// `(i, j)` exists when `j` is among `i`'s `k` nearest neighbors *or*
+    /// vice versa, weighted by Euclidean distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifoldError::TooFewPoints`] when `data.rows() <= k`.
+    pub fn knn_graph(data: &Matrix, k: usize) -> Result<Self, ManifoldError> {
+        let n = data.rows();
+        if n <= k || k == 0 {
+            return Err(ManifoldError::TooFewPoints { points: n, k });
+        }
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            // k+1 because the row itself is returned at distance 0.
+            for (j, d) in knn_brute(data, data.row(i), k + 1) {
+                if j == i {
+                    continue;
+                }
+                if !adj[i].iter().any(|&(e, _)| e == j) {
+                    adj[i].push((j, d));
+                }
+                if !adj[j].iter().any(|&(e, _)| e == i) {
+                    adj[j].push((i, d));
+                }
+            }
+        }
+        Ok(NeighborGraph { adj })
+    }
+
+    /// Builds a graph from explicit undirected edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(a, b, w) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+        }
+        NeighborGraph { adj }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbors of vertex `i` as `(vertex, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
+        &self.adj[i]
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Component label of every vertex (labels are dense from 0).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            label[start] = next;
+            while let Some(v) = stack.pop() {
+                for &(u, _) in &self.adj[v] {
+                    if label[u] == usize::MAX {
+                        label[u] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        label
+    }
+
+    /// Indices of the largest connected component (ties break toward the
+    /// lowest label).
+    pub fn largest_component(&self) -> Vec<usize> {
+        let labels = self.connected_components();
+        let count = labels.iter().max().map(|&m| m + 1).unwrap_or(0);
+        let mut sizes = vec![0usize; count];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l)
+            .unwrap_or(0);
+        (0..self.len()).filter(|&i| labels[i] == best).collect()
+    }
+
+    /// Restricts the graph to a vertex subset (vertices renumbered in the
+    /// order given).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> NeighborGraph {
+        let mut remap = vec![usize::MAX; self.len()];
+        for (new, &old) in vertices.iter().enumerate() {
+            assert!(old < self.len(), "vertex out of range");
+            remap[old] = new;
+        }
+        let adj = vertices
+            .iter()
+            .map(|&old| {
+                self.adj[old]
+                    .iter()
+                    .filter_map(|&(u, w)| {
+                        (remap[u] != usize::MAX).then_some((remap[u], w))
+                    })
+                    .collect()
+            })
+            .collect();
+        NeighborGraph { adj }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Single-source shortest-path distances by Dijkstra's algorithm.
+/// Unreachable vertices get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics when `source >= graph.len()`.
+pub fn dijkstra(graph: &NeighborGraph, source: usize) -> Vec<f64> {
+    assert!(source < graph.len(), "source out of range");
+    let mut dist = vec![f64::INFINITY; graph.len()];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: source,
+    });
+    while let Some(HeapEntry { dist: d, vertex: v }) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &(u, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(HeapEntry { dist: nd, vertex: u });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs geodesic distance matrix (Dijkstra from every vertex).
+///
+/// # Errors
+///
+/// Returns [`ManifoldError::Disconnected`] when the graph has more than one
+/// component — geodesic MDS is undefined across components; restrict to
+/// [`NeighborGraph::largest_component`] first.
+pub fn geodesic_distances(graph: &NeighborGraph) -> Result<Matrix, ManifoldError> {
+    let labels = graph.connected_components();
+    let components = labels.iter().max().map(|&m| m + 1).unwrap_or(0);
+    if components > 1 {
+        return Err(ManifoldError::Disconnected { components });
+    }
+    let n = graph.len();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        let row = dijkstra(graph, i);
+        d.row_mut(i).copy_from_slice(&row);
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> NeighborGraph {
+        NeighborGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5)])
+    }
+
+    #[test]
+    fn dijkstra_path_distances() {
+        let g = path_graph();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 4.5]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_shortcut() {
+        let g = NeighborGraph::from_edges(3, &[(0, 1, 5.0), (1, 2, 5.0), (0, 2, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], 1.0);
+        assert_eq!(d[1], 5.0);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = NeighborGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn geodesic_matrix_symmetric() {
+        let g = path_graph();
+        let m = geodesic_distances(&g).unwrap();
+        assert!(m.is_symmetric(1e-12));
+        assert_eq!(m[(0, 3)], 4.5);
+    }
+
+    #[test]
+    fn geodesic_rejects_disconnected() {
+        let g = NeighborGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(matches!(
+            geodesic_distances(&g),
+            Err(ManifoldError::Disconnected { components: 2 })
+        ));
+    }
+
+    #[test]
+    fn knn_graph_connects_line() {
+        let data = Matrix::from_fn(10, 1, |i, _| i as f64);
+        let g = NeighborGraph::knn_graph(&data, 2).unwrap();
+        assert_eq!(g.len(), 10);
+        let labels = g.connected_components();
+        assert!(labels.iter().all(|&l| l == 0), "a line with k=2 is connected");
+        // Geodesic 0 -> 9 should be exactly 9 (sum of unit steps).
+        let m = geodesic_distances(&g).unwrap();
+        assert!((m[(0, 9)] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_graph_rejects_small_n() {
+        let data = Matrix::zeros(3, 2);
+        assert!(NeighborGraph::knn_graph(&data, 3).is_err());
+        assert!(NeighborGraph::knn_graph(&data, 0).is_err());
+    }
+
+    #[test]
+    fn knn_graph_is_symmetric_structure() {
+        let data = Matrix::from_fn(20, 2, |i, j| ((i * 13 + j * 7) % 17) as f64);
+        let g = NeighborGraph::knn_graph(&data, 3).unwrap();
+        for i in 0..g.len() {
+            for &(j, w) in g.neighbors(i) {
+                assert!(
+                    g.neighbors(j).iter().any(|&(b, bw)| b == i && (bw - w).abs() < 1e-12),
+                    "edge ({i},{j}) missing its mirror"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn largest_component_picks_bigger_side() {
+        let g = NeighborGraph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        assert_eq!(g.largest_component(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = NeighborGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let s = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.edge_count(), 2);
+        // Old vertex 1 is new vertex 0; its only surviving neighbor is old 2 (new 1).
+        assert_eq!(s.neighbors(0), &[(1, 2.0)]);
+    }
+
+    #[test]
+    fn edge_count_counts_undirected_edges() {
+        assert_eq!(path_graph().edge_count(), 3);
+    }
+}

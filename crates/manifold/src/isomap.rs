@@ -1,0 +1,241 @@
+//! Isomap \[Tenenbaum, de Silva & Langford, Science 2000\]: geodesic MDS.
+//!
+//! Follows the three-step template the paper describes in §II — kNN graph,
+//! shortest-path distances, partial eigendecomposition — plus the Nyström
+//! out-of-sample extension needed to embed *test* signals so the Isomap
+//! Deep Regression baseline (Table II) can run on held-out data.
+
+use crate::{geodesic_distances, knn_brute, ManifoldError, NeighborGraph};
+use noble_linalg::{gram_from_distances, top_eigenpairs_lenient, EigenPair, Matrix};
+
+/// A fitted Isomap embedding with out-of-sample extension.
+#[derive(Debug, Clone)]
+pub struct Isomap {
+    /// Training rows the model was fitted on (restricted to the largest
+    /// connected component when the kNN graph was disconnected).
+    data: Matrix,
+    /// Indices into the original data of the retained rows.
+    retained: Vec<usize>,
+    embedding: Matrix,
+    geodesics: Matrix,
+    /// Column means of the squared geodesic matrix (Nyström formula).
+    mean_sq_cols: Vec<f64>,
+    eigen: Vec<EigenPair>,
+    k: usize,
+    dim: usize,
+}
+
+impl Isomap {
+    /// Fits Isomap on the rows of `data` with `k`-NN graphs and `dim`
+    /// output dimensions.
+    ///
+    /// A disconnected neighborhood graph is handled the standard way: the
+    /// fit silently restricts itself to the largest connected component
+    /// ([`Isomap::retained_indices`] reports which rows survived).
+    ///
+    /// # Errors
+    ///
+    /// - [`ManifoldError::TooFewPoints`] when `data.rows() <= k`.
+    /// - [`ManifoldError::BadDimension`] when `dim` is zero or exceeds the
+    ///   retained point count.
+    /// - Propagates eigensolver failures.
+    pub fn fit(data: &Matrix, k: usize, dim: usize, seed: u64) -> Result<Self, ManifoldError> {
+        let graph = NeighborGraph::knn_graph(data, k)?;
+        let component = graph.largest_component();
+        let (data, graph, retained) = if component.len() == data.rows() {
+            (data.clone(), graph, (0..data.rows()).collect::<Vec<_>>())
+        } else {
+            let sub = graph.induced_subgraph(&component);
+            (data.select_rows(&component), sub, component)
+        };
+        let n = data.rows();
+        if dim == 0 || dim > n {
+            return Err(ManifoldError::BadDimension { dim, max: n });
+        }
+        let geodesics = geodesic_distances(&graph)?;
+        let gram = gram_from_distances(&geodesics)?;
+        let eigen: Vec<EigenPair> = top_eigenpairs_lenient(&gram, dim, seed)?
+            .into_iter()
+            .filter(|p| p.value > 1e-10)
+            .collect();
+        let mut embedding = Matrix::zeros(n, dim);
+        for (col, pair) in eigen.iter().enumerate() {
+            let scale = pair.value.sqrt();
+            for i in 0..n {
+                embedding[(i, col)] = scale * pair.vector[i];
+            }
+        }
+        let sq = geodesics.map(|v| v * v);
+        let mean_sq_cols: Vec<f64> = (0..n)
+            .map(|j| (0..n).map(|i| sq[(i, j)]).sum::<f64>() / n as f64)
+            .collect();
+        Ok(Isomap {
+            data,
+            retained,
+            embedding,
+            geodesics,
+            mean_sq_cols,
+            eigen,
+            k,
+            dim,
+        })
+    }
+
+    /// The `(n_retained, dim)` training embedding.
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
+    /// Indices of the original rows retained by the fit.
+    pub fn retained_indices(&self) -> &[usize] {
+        &self.retained
+    }
+
+    /// Neighborhood size used at fit time.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds one new point via the Nyström / landmark-MDS formula.
+    ///
+    /// The geodesic distance from the query to every training point `j` is
+    /// approximated through the query's `k` nearest training points `i`:
+    /// `d(q, j) = min_i (||q - x_i|| + G[i, j])`, then projected onto the
+    /// fitted eigenbasis.
+    pub fn transform_point(&self, query: &[f64]) -> Vec<f64> {
+        let n = self.data.rows();
+        let anchors = knn_brute(&self.data, query, self.k.min(n));
+        // Approximate squared geodesics from the query to all points.
+        let mut sq = vec![f64::INFINITY; n];
+        for j in 0..n {
+            let mut best = f64::INFINITY;
+            for &(i, d_qi) in &anchors {
+                let via = d_qi + self.geodesics[(i, j)];
+                if via < best {
+                    best = via;
+                }
+            }
+            sq[j] = best * best;
+        }
+        let mut out = vec![0.0; self.dim];
+        for (col, pair) in self.eigen.iter().enumerate() {
+            let scale = 1.0 / (2.0 * pair.value.sqrt());
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += pair.vector[j] * (self.mean_sq_cols[j] - sq[j]);
+            }
+            out[col] = scale * acc;
+        }
+        out
+    }
+
+    /// Embeds every row of `queries`; returns an `(m, dim)` matrix.
+    pub fn transform(&self, queries: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(queries.rows(), self.dim);
+        for i in 0..queries.rows() {
+            let row = self.transform_point(queries.row(i));
+            out.row_mut(i).copy_from_slice(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noble_linalg::euclidean_distance;
+
+    #[test]
+    fn line_embeds_isometrically() {
+        let data = Matrix::from_fn(15, 3, |i, j| if j == 0 { i as f64 } else { 0.0 });
+        let iso = Isomap::fit(&data, 2, 1, 7).unwrap();
+        let e = iso.embedding();
+        // Geodesic distances along a line equal Euclidean; embedding must
+        // reproduce them.
+        for i in 0..15 {
+            for j in 0..15 {
+                let de = (e[(i, 0)] - e[(j, 0)]).abs();
+                let expected = (i as f64 - j as f64).abs();
+                assert!((de - expected).abs() < 1e-5, "pair ({i},{j}): {de}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_consistent_with_training_embedding() {
+        let data = Matrix::from_fn(20, 2, |i, j| if j == 0 { i as f64 * 0.5 } else { 0.0 });
+        let iso = Isomap::fit(&data, 3, 1, 1).unwrap();
+        // Re-embedding training points lands near their fitted embedding.
+        for i in [0usize, 7, 19] {
+            let t = iso.transform_point(data.row(i));
+            let fitted = iso.embedding().row(i);
+            assert!(
+                (t[0] - fitted[0]).abs() < 0.3,
+                "row {i}: transform {t:?} vs fitted {fitted:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrolls_a_curve_better_than_euclid() {
+        // Points on a C-shaped arc: geodesic (along-curve) distance between
+        // the tips is much larger than the Euclidean chord. Isomap with a
+        // 1-D output should place the tips far apart.
+        let n = 30;
+        let mut pts = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let theta = std::f64::consts::PI * 1.5 * (i as f64) / (n - 1) as f64;
+            pts[(i, 0)] = theta.cos();
+            pts[(i, 1)] = theta.sin();
+        }
+        let iso = Isomap::fit(&pts, 3, 1, 11).unwrap();
+        let e = iso.embedding();
+        let embedded_span = (e[(0, 0)] - e[(n - 1, 0)]).abs();
+        let chord = euclidean_distance(pts.row(0), pts.row(n - 1));
+        assert!(
+            embedded_span > chord * 1.5,
+            "embedded span {embedded_span} should exceed chord {chord}"
+        );
+    }
+
+    #[test]
+    fn disconnected_data_restricts_to_largest_component() {
+        // Two far-apart clusters, k=1: graph splits. Within-cluster gaps
+        // shrink monotonically so each point's single nearest neighbor
+        // chains the cluster together without relying on tie-breaking.
+        let mut data = Matrix::zeros(9, 1);
+        for (i, &x) in [0.0, 1.0, 1.9, 2.7, 3.4, 4.0].iter().enumerate() {
+            data[(i, 0)] = x;
+        }
+        for (i, &x) in [1000.0, 1000.5, 1001.5].iter().enumerate() {
+            data[(6 + i, 0)] = x;
+        }
+        let iso = Isomap::fit(&data, 1, 1, 0).unwrap();
+        assert_eq!(iso.retained_indices(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(iso.embedding().rows(), 6);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let data = Matrix::zeros(5, 2);
+        assert!(Isomap::fit(&data, 5, 1, 0).is_err());
+        let line = Matrix::from_fn(10, 1, |i, _| i as f64);
+        assert!(Isomap::fit(&line, 2, 0, 0).is_err());
+        assert!(Isomap::fit(&line, 2, 11, 0).is_err());
+    }
+
+    #[test]
+    fn transform_batch_shape() {
+        let data = Matrix::from_fn(12, 2, |i, j| (i * (j + 1)) as f64 * 0.3);
+        let iso = Isomap::fit(&data, 3, 2, 5).unwrap();
+        let q = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        assert_eq!(iso.transform(&q).shape(), (4, 2));
+        assert_eq!(iso.dim(), 2);
+        assert_eq!(iso.k(), 3);
+    }
+}

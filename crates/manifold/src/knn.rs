@@ -1,0 +1,290 @@
+//! Nearest-neighbor search: brute force and a k-d tree.
+
+use noble_linalg::{euclidean_distance, Matrix};
+
+/// Full pairwise Euclidean distance matrix between the rows of `data`.
+pub fn pairwise_distances(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = euclidean_distance(data.row(i), data.row(j));
+            d[(i, j)] = dist;
+            d[(j, i)] = dist;
+        }
+    }
+    d
+}
+
+/// Brute-force k-nearest-neighbor query against the rows of `data`.
+///
+/// Returns up to `k` `(row_index, distance)` pairs sorted by distance.
+/// A row exactly equal to `query` is *included* (callers that search a
+/// dataset for one of its own rows should ask for `k + 1` and drop the
+/// self-match).
+pub fn knn_brute(data: &Matrix, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = (0..data.rows())
+        .map(|i| (i, euclidean_distance(data.row(i), query)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    all.truncate(k);
+    all
+}
+
+/// A k-d tree over the rows of a matrix for `O(log n)` expected-time
+/// nearest-neighbor queries.
+///
+/// Built once from a dataset; nodes split on the dimension of maximum
+/// spread at the median. Query results are identical to [`knn_brute`].
+///
+/// # Example
+///
+/// ```
+/// use noble_linalg::Matrix;
+/// use noble_manifold::KdTree;
+///
+/// let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![1.0, 1.0]]).unwrap();
+/// let tree = KdTree::build(&data);
+/// let hits = tree.knn(&[0.9, 0.9], 2);
+/// assert_eq!(hits[0].0, 2);
+/// assert_eq!(hits[1].0, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Matrix,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    point_index: usize,
+    split_dim: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds a tree over the rows of `data`. An empty matrix yields an
+    /// empty tree that returns no neighbors.
+    pub fn build(data: &Matrix) -> Self {
+        let mut tree = KdTree {
+            points: data.clone(),
+            nodes: Vec::with_capacity(data.rows()),
+            root: None,
+        };
+        let mut indices: Vec<usize> = (0..data.rows()).collect();
+        tree.root = tree.build_recursive(&mut indices);
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn build_recursive(&mut self, indices: &mut [usize]) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let dim = self.widest_dimension(indices);
+        indices.sort_by(|&a, &b| {
+            self.points[(a, dim)]
+                .partial_cmp(&self.points[(b, dim)])
+                .expect("finite coordinates")
+        });
+        let mid = indices.len() / 2;
+        let point_index = indices[mid];
+        let node_index = self.nodes.len();
+        self.nodes.push(Node {
+            point_index,
+            split_dim: dim,
+            left: None,
+            right: None,
+        });
+        // Split buffers around the median; recursion owns each side.
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = self.build_recursive(&mut left_slice.to_vec());
+        let right = self.build_recursive(&mut right_slice.to_vec());
+        self.nodes[node_index].left = left;
+        self.nodes[node_index].right = right;
+        Some(node_index)
+    }
+
+    fn widest_dimension(&self, indices: &[usize]) -> usize {
+        let d = self.points.cols();
+        let mut best_dim = 0;
+        let mut best_spread = f64::NEG_INFINITY;
+        for j in 0..d {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in indices {
+                let v = self.points[(i, j)];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = j;
+            }
+        }
+        best_dim
+    }
+
+    /// The `k` nearest neighbors of `query` as `(row_index, distance)`
+    /// pairs sorted by distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the indexed dimensionality
+    /// (for a non-empty tree).
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        assert_eq!(
+            query.len(),
+            self.points.cols(),
+            "query dimension {} != indexed dimension {}",
+            query.len(),
+            self.points.cols()
+        );
+        // Max-heap of the best k (store negated distance comparisons via Vec
+        // kept sorted; k is small in all our uses).
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut best);
+        best
+    }
+
+    fn search(
+        &self,
+        node: Option<usize>,
+        query: &[f64],
+        k: usize,
+        best: &mut Vec<(usize, f64)>,
+    ) {
+        let Some(idx) = node else { return };
+        let n = &self.nodes[idx];
+        let point = self.points.row(n.point_index);
+        let dist = euclidean_distance(point, query);
+        // Insert into the sorted best list.
+        let pos = best
+            .binary_search_by(|probe| probe.1.partial_cmp(&dist).expect("finite distances"))
+            .unwrap_or_else(|p| p);
+        best.insert(pos, (n.point_index, dist));
+        best.truncate(k);
+
+        let diff = query[n.split_dim] - point[n.split_dim];
+        let (near, far) = if diff < 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        self.search(near, query, k, best);
+        // Prune the far side unless the splitting plane is within the
+        // current worst distance (or we still lack k results).
+        let worst = best.last().map(|b| b.1).unwrap_or(f64::INFINITY);
+        if best.len() < k || diff.abs() < worst {
+            self.search(far, query, k, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |_, _| rng.gen_range(-10.0..10.0))
+    }
+
+    #[test]
+    fn pairwise_symmetric_zero_diagonal() {
+        let data = random_data(8, 3, 1);
+        let d = pairwise_distances(&data);
+        assert!(d.is_symmetric(1e-12));
+        for i in 0..8 {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_nearest() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![10.0], vec![3.0]]).unwrap();
+        let hits = knn_brute(&data, &[2.5], 2);
+        assert_eq!(hits[0].0, 2);
+        assert_eq!(hits[1].0, 0);
+        assert!((hits[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_k_larger_than_n() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(knn_brute(&data, &[0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force() {
+        let data = random_data(200, 4, 7);
+        let tree = KdTree::build(&data);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..25 {
+            let q: Vec<f64> = (0..4).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let brute = knn_brute(&data, &q, 5);
+            let fast = tree.knn(&q, 5);
+            assert_eq!(fast.len(), 5);
+            for (b, f) in brute.iter().zip(&fast) {
+                assert!(
+                    (b.1 - f.1).abs() < 1e-9,
+                    "distance mismatch: brute {b:?} vs kdtree {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kdtree_exact_match_distance_zero() {
+        let data = random_data(50, 3, 3);
+        let tree = KdTree::build(&data);
+        let q: Vec<f64> = data.row(17).to_vec();
+        let hits = tree.knn(&q, 1);
+        assert_eq!(hits[0].0, 17);
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn kdtree_empty_and_zero_k() {
+        let empty = KdTree::build(&Matrix::zeros(0, 3));
+        assert!(empty.is_empty());
+        assert!(empty.knn(&[0.0, 0.0, 0.0], 3).is_empty());
+        let tree = KdTree::build(&random_data(5, 2, 0));
+        assert!(tree.knn(&[0.0, 0.0], 0).is_empty());
+        assert_eq!(tree.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension")]
+    fn kdtree_rejects_wrong_dimension() {
+        let tree = KdTree::build(&random_data(5, 3, 0));
+        tree.knn(&[0.0, 0.0], 1);
+    }
+
+    #[test]
+    fn kdtree_duplicate_points() {
+        let data = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let tree = KdTree::build(&data);
+        let hits = tree.knn(&[1.0, 1.0], 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, 0.0);
+        assert_eq!(hits[1].1, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! From-scratch manifold learning for the NObLe baselines.
+//!
+//! The paper contrasts NObLe with classical manifold methods that rely on
+//! input-space Euclidean neighborhoods. This crate implements those
+//! comparators end to end:
+//!
+//! - [`knn_brute`] / [`KdTree`] — nearest-neighbor search,
+//! - [`NeighborGraph`] — symmetric kNN graphs with connectivity analysis,
+//! - [`geodesic_distances`] — Dijkstra shortest paths over the graph,
+//! - [`classical_mds`] — multidimensional scaling (the objective NObLe's
+//!   §III-C analysis references),
+//! - [`Isomap`] — geodesic MDS \[Tenenbaum et al., Science 2000\] with
+//!   Nyström out-of-sample extension,
+//! - [`Lle`] — locally linear embedding \[Roweis & Saul, Science 2000\]
+//!   with barycentric out-of-sample extension.
+//!
+//! # Example
+//!
+//! ```
+//! use noble_linalg::Matrix;
+//! use noble_manifold::Isomap;
+//!
+//! // Points along a line embed to a line.
+//! let data = Matrix::from_fn(20, 3, |i, j| if j == 0 { i as f64 } else { 0.0 });
+//! let isomap = Isomap::fit(&data, 3, 1, 42).unwrap();
+//! assert_eq!(isomap.embedding().shape(), (20, 1));
+//! ```
+
+mod error;
+mod graph;
+mod isomap;
+mod knn;
+mod lle;
+mod mds;
+mod pca;
+
+pub use error::ManifoldError;
+pub use graph::{dijkstra, geodesic_distances, NeighborGraph};
+pub use isomap::Isomap;
+pub use knn::{knn_brute, pairwise_distances, KdTree};
+pub use lle::Lle;
+pub use mds::classical_mds;
+pub use pca::Pca;

@@ -1,0 +1,272 @@
+//! Locally linear embedding \[Roweis & Saul, Science 2000\].
+//!
+//! Step 2 of the paper's manifold-learning template specializes to LLE's
+//! local reconstruction weights (a small regularized Gram solve per point);
+//! step 3 takes the *bottom* eigenvectors of `(I - W)ᵀ(I - W)`. New points
+//! embed barycentrically: reconstruct the query from its training
+//! neighbors with the same weight computation, then combine the neighbors'
+//! embeddings.
+
+use crate::{knn_brute, ManifoldError};
+use noble_linalg::{jacobi_eigen, smallest_eigenpairs, solve, EigenSort, Matrix};
+
+/// A fitted LLE embedding with barycentric out-of-sample extension.
+#[derive(Debug, Clone)]
+pub struct Lle {
+    data: Matrix,
+    embedding: Matrix,
+    k: usize,
+    dim: usize,
+    reg: f64,
+}
+
+impl Lle {
+    /// Fits LLE on the rows of `data` with `k` neighbors, `dim` output
+    /// dimensions and regularization `reg` (relative to the local Gram
+    /// trace; `1e-3` is the customary default).
+    ///
+    /// # Errors
+    ///
+    /// - [`ManifoldError::TooFewPoints`] when `data.rows() <= k` or `k == 0`.
+    /// - [`ManifoldError::BadDimension`] when `dim` is zero or
+    ///   `dim + 1 > data.rows()`.
+    /// - Propagates linear-algebra failures.
+    pub fn fit(data: &Matrix, k: usize, dim: usize, reg: f64, seed: u64) -> Result<Self, ManifoldError> {
+        let n = data.rows();
+        if n <= k || k == 0 {
+            return Err(ManifoldError::TooFewPoints { points: n, k });
+        }
+        if dim == 0 || dim + 1 > n {
+            return Err(ManifoldError::BadDimension { dim, max: n.saturating_sub(1) });
+        }
+
+        // Reconstruction weights W: each row i reconstructs x_i from its k
+        // nearest neighbors.
+        let mut w = Matrix::zeros(n, n);
+        for i in 0..n {
+            let neighbors: Vec<usize> = knn_brute(data, data.row(i), k + 1)
+                .into_iter()
+                .filter(|&(j, _)| j != i)
+                .take(k)
+                .map(|(j, _)| j)
+                .collect();
+            let weights = local_weights(data, i, &neighbors, reg)?;
+            for (w_ij, &j) in weights.iter().zip(&neighbors) {
+                w[(i, j)] = *w_ij;
+            }
+        }
+
+        // M = (I - W)^T (I - W)
+        let mut iw = w.scale(-1.0);
+        for i in 0..n {
+            iw[(i, i)] += 1.0;
+        }
+        let m = iw.transpose().matmul(&iw)?;
+
+        // Bottom dim+1 eigenvectors; drop the constant (near-zero eigenvalue)
+        // one. Power iteration with spectral shift first; Jacobi fallback for
+        // clustered spectra.
+        let pairs = match smallest_eigenpairs(&m, dim + 1, seed) {
+            Ok(p) if p.len() == dim + 1 => p,
+            // Clustered bottom spectra can stall power iteration; Jacobi is
+            // slower but unconditionally robust for these sizes.
+            _ => jacobi_eigen(&m, EigenSort::Ascending)
+                .map_err(ManifoldError::from)?
+                .into_iter()
+                .take(dim + 1)
+                .collect(),
+        };
+
+        let mut embedding = Matrix::zeros(n, dim);
+        for (col, pair) in pairs.iter().skip(1).take(dim).enumerate() {
+            for i in 0..n {
+                embedding[(i, col)] = pair.vector[i] * (n as f64).sqrt();
+            }
+        }
+        Ok(Lle {
+            data: data.clone(),
+            embedding,
+            k,
+            dim,
+            reg,
+        })
+    }
+
+    /// The `(n, dim)` training embedding.
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
+    /// Neighborhood size used at fit time.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds one new point barycentrically.
+    pub fn transform_point(&self, query: &[f64]) -> Vec<f64> {
+        let neighbors: Vec<usize> = knn_brute(&self.data, query, self.k)
+            .into_iter()
+            .map(|(j, _)| j)
+            .collect();
+        let weights = local_weights_for_query(&self.data, query, &neighbors, self.reg)
+            .unwrap_or_else(|_| vec![1.0 / neighbors.len() as f64; neighbors.len()]);
+        let mut out = vec![0.0; self.dim];
+        for (w, &j) in weights.iter().zip(&neighbors) {
+            for (o, &e) in out.iter_mut().zip(self.embedding.row(j)) {
+                *o += w * e;
+            }
+        }
+        out
+    }
+
+    /// Embeds every row of `queries`; returns an `(m, dim)` matrix.
+    pub fn transform(&self, queries: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(queries.rows(), self.dim);
+        for i in 0..queries.rows() {
+            let row = self.transform_point(queries.row(i));
+            out.row_mut(i).copy_from_slice(&row);
+        }
+        out
+    }
+}
+
+/// Solves the regularized local reconstruction weights of training row `i`.
+fn local_weights(
+    data: &Matrix,
+    i: usize,
+    neighbors: &[usize],
+    reg: f64,
+) -> Result<Vec<f64>, ManifoldError> {
+    local_weights_for_query(data, data.row(i), neighbors, reg)
+}
+
+/// Solves `min_w ||q - sum_j w_j x_j||^2 s.t. sum w = 1` via the local Gram
+/// system `(G + reg*tr(G)/k * I) w = 1`, then normalizes.
+fn local_weights_for_query(
+    data: &Matrix,
+    query: &[f64],
+    neighbors: &[usize],
+    reg: f64,
+) -> Result<Vec<f64>, ManifoldError> {
+    let k = neighbors.len();
+    let mut gram = Matrix::zeros(k, k);
+    // Shifted neighbors z_j = x_j - q.
+    let diffs: Vec<Vec<f64>> = neighbors
+        .iter()
+        .map(|&j| {
+            data.row(j)
+                .iter()
+                .zip(query)
+                .map(|(x, q)| x - q)
+                .collect()
+        })
+        .collect();
+    for a in 0..k {
+        for b in a..k {
+            let dot: f64 = diffs[a].iter().zip(&diffs[b]).map(|(x, y)| x * y).sum();
+            gram[(a, b)] = dot;
+            gram[(b, a)] = dot;
+        }
+    }
+    let trace: f64 = (0..k).map(|a| gram[(a, a)]).sum();
+    let ridge = if trace > 0.0 { reg * trace / k as f64 } else { reg.max(1e-12) };
+    for a in 0..k {
+        gram[(a, a)] += ridge;
+    }
+    let ones = vec![1.0; k];
+    let mut w = solve(&gram, &ones).map_err(ManifoldError::from)?;
+    let sum: f64 = w.iter().sum();
+    if sum.abs() > 1e-300 {
+        for v in &mut w {
+            *v /= sum;
+        }
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize) -> Matrix {
+        Matrix::from_fn(n, 2, |i, j| if j == 0 { i as f64 } else { 0.0 })
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = line_data(10);
+        let w = local_weights(&data, 5, &[4, 6, 3], 1e-3).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn weights_reconstruct_interior_point() {
+        let data = line_data(10);
+        // Point 5 from neighbors 4 and 6: weights 0.5 / 0.5 reconstruct exactly.
+        let w = local_weights(&data, 5, &[4, 6], 1e-6).unwrap();
+        assert!((w[0] - 0.5).abs() < 1e-3);
+        assert!((w[1] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fit_preserves_line_ordering() {
+        let data = line_data(20);
+        let lle = Lle::fit(&data, 3, 1, 1e-3, 9).unwrap();
+        let e = lle.embedding();
+        // A line must embed monotonically (up to sign).
+        let col: Vec<f64> = (0..20).map(|i| e[(i, 0)]).collect();
+        let increasing = col.windows(2).all(|w| w[1] > w[0]);
+        let decreasing = col.windows(2).all(|w| w[1] < w[0]);
+        assert!(
+            increasing || decreasing,
+            "line embedding should be monotone, got {col:?}"
+        );
+    }
+
+    #[test]
+    fn embedding_is_centered_and_scaled() {
+        let data = line_data(16);
+        let lle = Lle::fit(&data, 3, 1, 1e-3, 3).unwrap();
+        let col = lle.embedding().column(0);
+        let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+        assert!(mean.abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn transform_interpolates_between_neighbors() {
+        let data = line_data(20);
+        let lle = Lle::fit(&data, 3, 1, 1e-3, 17).unwrap();
+        // Query halfway between points 7 and 8.
+        let q = [7.5, 0.0];
+        let t = lle.transform_point(&q)[0];
+        let e7 = lle.embedding()[(7, 0)];
+        let e8 = lle.embedding()[(8, 0)];
+        let lo = e7.min(e8) - 0.35 * (e8 - e7).abs();
+        let hi = e7.max(e8) + 0.35 * (e8 - e7).abs();
+        assert!(t > lo && t < hi, "transform {t} not between {e7} and {e8}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let data = line_data(5);
+        assert!(Lle::fit(&data, 5, 1, 1e-3, 0).is_err());
+        assert!(Lle::fit(&data, 0, 1, 1e-3, 0).is_err());
+        assert!(Lle::fit(&data, 2, 0, 1e-3, 0).is_err());
+        assert!(Lle::fit(&data, 2, 5, 1e-3, 0).is_err());
+    }
+
+    #[test]
+    fn transform_batch_shape() {
+        let data = line_data(12);
+        let lle = Lle::fit(&data, 3, 1, 1e-3, 2).unwrap();
+        let q = Matrix::from_fn(3, 2, |i, _| i as f64 + 0.25);
+        assert_eq!(lle.transform(&q).shape(), (3, 1));
+        assert_eq!(lle.k(), 3);
+        assert_eq!(lle.dim(), 1);
+    }
+}

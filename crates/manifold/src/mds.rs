@@ -1,0 +1,121 @@
+//! Classical multidimensional scaling.
+//!
+//! The paper's §III-C frames NObLe's cross-entropy objective as implicit
+//! MDS on the learned embedding; this module provides the explicit
+//! algorithm, both for the Isomap baseline and for tests of that analogy.
+
+use crate::ManifoldError;
+use noble_linalg::{gram_from_distances, top_eigenpairs, Matrix};
+
+/// Classical (Torgerson) MDS: embeds `n` points into `dim` dimensions from
+/// an `n x n` matrix of pairwise distances, preserving them as well as a
+/// Euclidean embedding can.
+///
+/// Returns an `(n, dim)` coordinate matrix. Components with non-positive
+/// eigenvalues (non-Euclidean residue) are zero-filled — callers asking for
+/// more dimensions than the distance matrix supports get degenerate
+/// trailing columns rather than an error, matching standard
+/// implementations.
+///
+/// # Errors
+///
+/// - [`ManifoldError::BadDimension`] when `dim` is zero or exceeds `n`.
+/// - Propagates eigensolver failures.
+pub fn classical_mds(distances: &Matrix, dim: usize, seed: u64) -> Result<Matrix, ManifoldError> {
+    let n = distances.rows();
+    if dim == 0 || dim > n {
+        return Err(ManifoldError::BadDimension { dim, max: n });
+    }
+    let gram = gram_from_distances(distances)?;
+    let pairs = top_eigenpairs(&gram, dim, seed)?;
+    let mut coords = Matrix::zeros(n, dim);
+    for (k, pair) in pairs.iter().enumerate() {
+        if pair.value <= 0.0 {
+            continue; // non-Euclidean component: leave zeros
+        }
+        let scale = pair.value.sqrt();
+        for i in 0..n {
+            coords[(i, k)] = scale * pair.vector[i];
+        }
+    }
+    Ok(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noble_linalg::euclidean_distance;
+
+    fn distance_matrix(points: &[Vec<f64>]) -> Matrix {
+        let n = points.len();
+        Matrix::from_fn(n, n, |i, j| euclidean_distance(&points[i], &points[j]))
+    }
+
+    #[test]
+    fn recovers_line_configuration() {
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0], vec![6.0]];
+        let d = distance_matrix(&pts);
+        let y = classical_mds(&d, 1, 3).unwrap();
+        // Distances in the embedding must match the input distances.
+        for i in 0..4 {
+            for j in 0..4 {
+                let de = (y[(i, 0)] - y[(j, 0)]).abs();
+                assert!(
+                    (de - d[(i, j)]).abs() < 1e-6,
+                    "pair ({i},{j}): {de} vs {}",
+                    d[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_planar_configuration() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let d = distance_matrix(&pts);
+        let y = classical_mds(&d, 2, 5).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let de = euclidean_distance(y.row(i), y.row(j));
+                assert!((de - d[(i, j)]).abs() < 1e-6, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn extra_dimensions_zero_filled() {
+        // Three collinear points have rank-1 structure; dim 3 of 3 points.
+        let pts = vec![vec![0.0], vec![2.0], vec![5.0]];
+        let d = distance_matrix(&pts);
+        let y = classical_mds(&d, 3, 1).unwrap();
+        // Column 1 and 2 carry (near) zero variance.
+        for k in 1..3 {
+            let col = y.column(k);
+            let spread = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - col.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(spread < 1e-6, "column {k} spread {spread}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dims() {
+        let d = Matrix::zeros(3, 3);
+        assert!(classical_mds(&d, 0, 0).is_err());
+        assert!(classical_mds(&d, 4, 0).is_err());
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let pts = vec![vec![10.0, 3.0], vec![12.0, 3.0], vec![11.0, 7.0]];
+        let d = distance_matrix(&pts);
+        let y = classical_mds(&d, 2, 2).unwrap();
+        let means = y.column_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-8), "means {means:?}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Principal component analysis.
+//!
+//! The linear-projection reference point for the manifold baselines: if
+//! Isomap/LLE cannot beat PCA on a task, the nonlinear neighborhood
+//! structure was not informative. Implemented as the top eigenpairs of the
+//! sample covariance matrix.
+
+use crate::ManifoldError;
+use noble_linalg::{top_eigenpairs, Matrix};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `(d, dim)` projection matrix (columns are components).
+    components: Matrix,
+    /// Variance captured by each retained component.
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on the rows of `data`, retaining `dim` components.
+    ///
+    /// # Errors
+    ///
+    /// - [`ManifoldError::TooFewPoints`] for an empty matrix.
+    /// - [`ManifoldError::BadDimension`] when `dim` is zero or exceeds the
+    ///   feature dimension.
+    /// - Propagates eigensolver failures.
+    pub fn fit(data: &Matrix, dim: usize, seed: u64) -> Result<Self, ManifoldError> {
+        let n = data.rows();
+        let d = data.cols();
+        if n == 0 {
+            return Err(ManifoldError::TooFewPoints { points: 0, k: 1 });
+        }
+        if dim == 0 || dim > d {
+            return Err(ManifoldError::BadDimension { dim, max: d });
+        }
+        let mean = data.column_means();
+        // Covariance (d x d), computed as (X - mu)^T (X - mu) / n.
+        let mut centered = data.clone();
+        for i in 0..n {
+            for (v, m) in centered.row_mut(i).iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        let cov = centered
+            .transpose()
+            .matmul(&centered)
+            .map_err(ManifoldError::from)?
+            .scale(1.0 / n as f64);
+        let pairs = top_eigenpairs(&cov, dim, seed)?;
+        let mut components = Matrix::zeros(d, dim);
+        let mut explained = Vec::with_capacity(dim);
+        for (c, pair) in pairs.iter().enumerate() {
+            for r in 0..d {
+                components[(r, c)] = pair.vector[r];
+            }
+            explained.push(pair.value.max(0.0));
+        }
+        Ok(Pca {
+            mean,
+            components,
+            explained,
+        })
+    }
+
+    /// Number of retained components.
+    pub fn dim(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Variance captured by each retained component, in order.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// Projects one point into the principal subspace.
+    pub fn transform_point(&self, x: &[f64]) -> Vec<f64> {
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        (0..self.dim())
+            .map(|c| {
+                centered
+                    .iter()
+                    .enumerate()
+                    .map(|(r, v)| v * self.components[(r, c)])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects every row of `data`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(data.rows(), self.dim());
+        for i in 0..data.rows() {
+            let row = self.transform_point(data.row(i));
+            out.row_mut(i).copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// Reconstructs a projected point back in the original space.
+    pub fn inverse_transform_point(&self, z: &[f64]) -> Vec<f64> {
+        let d = self.mean.len();
+        let mut out = self.mean.clone();
+        for (c, &zc) in z.iter().enumerate().take(self.dim()) {
+            for (r, o) in out.iter_mut().enumerate().take(d) {
+                *o += zc * self.components[(r, c)];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data along the diagonal y = x with small orthogonal noise.
+    fn diagonal_data(n: usize) -> Matrix {
+        Matrix::from_fn(n, 2, |i, j| {
+            let t = i as f64 / n as f64 * 10.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            if j == 0 {
+                t + noise
+            } else {
+                t - noise
+            }
+        })
+    }
+
+    #[test]
+    fn first_component_follows_diagonal() {
+        let data = diagonal_data(50);
+        let pca = Pca::fit(&data, 1, 3).unwrap();
+        // Component should be ~(1/sqrt2, 1/sqrt2) up to sign.
+        let c0 = (pca.components[(0, 0)], pca.components[(1, 0)]);
+        assert!(
+            (c0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "component {c0:?}"
+        );
+        assert!((c0.0 - c0.1).abs() < 0.02, "diagonal components equal");
+    }
+
+    #[test]
+    fn explained_variance_ordered() {
+        let data = diagonal_data(50);
+        let pca = Pca::fit(&data, 2, 3).unwrap();
+        let ev = pca.explained_variance();
+        assert!(ev[0] > ev[1]);
+        assert!(ev[1] >= 0.0);
+        // Diagonal direction dominates by construction.
+        assert!(ev[0] / (ev[1] + 1e-12) > 100.0);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = diagonal_data(40);
+        let pca = Pca::fit(&data, 2, 1).unwrap();
+        let z = pca.transform(&data);
+        let means = z.column_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-9), "projected means {means:?}");
+    }
+
+    #[test]
+    fn round_trip_reconstruction() {
+        // Full-dimensional PCA reconstructs exactly.
+        let data = diagonal_data(30);
+        let pca = Pca::fit(&data, 2, 1).unwrap();
+        for i in [0usize, 7, 29] {
+            let z = pca.transform_point(data.row(i));
+            let back = pca.inverse_transform_point(&z);
+            for (a, b) in back.iter().zip(data.row(i)) {
+                assert!((a - b).abs() < 1e-5, "reconstruction {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let data = diagonal_data(10);
+        assert!(Pca::fit(&data, 0, 0).is_err());
+        assert!(Pca::fit(&data, 3, 0).is_err());
+        assert!(Pca::fit(&Matrix::zeros(0, 2), 1, 0).is_err());
+    }
+
+    #[test]
+    fn reduction_loses_orthogonal_noise_only() {
+        let data = diagonal_data(60);
+        let pca = Pca::fit(&data, 1, 5).unwrap();
+        let z = pca.transform(&data);
+        for i in [0usize, 30, 59] {
+            let back = pca.inverse_transform_point(z.row(i));
+            // Reconstruction stays within the noise amplitude of the truth.
+            for (a, b) in back.iter().zip(data.row(i)) {
+                assert!((a - b).abs() < 0.12, "lossy reconstruction too far: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Inverted dropout regularization.
+//!
+//! Not used by the paper's base models but exercised by the ablation
+//! configurations; provided so capacity/regularization sweeps don't need
+//! an external framework.
+
+use crate::{NnError, Param};
+use noble_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: in training mode, zeroes each activation with
+/// probability `rate` and scales survivors by `1/(1-rate)`; in inference
+/// mode it is the identity.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    rate: f64,
+    rng: StdRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `0 <= rate < 1`.
+    pub fn new(rate: f64, seed: u64) -> Result<Self, NnError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(NnError::InvalidConfig(format!(
+                "dropout rate {rate} outside [0, 1)"
+            )));
+        }
+        Ok(Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        })
+    }
+
+    /// Drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        if !training || self.rate == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+            if self.rng.gen_range(0.0..1.0) < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let y = x.hadamard(&mask).expect("same shape by construction");
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Backward pass: applies the cached mask to the gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when called before a
+    /// training-mode forward pass (inference-mode forwards clear the mask).
+    pub fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix, NnError> {
+        match &self.mask {
+            Some(mask) => Ok(grad_out.hadamard(mask)?),
+            None => {
+                if self.rate == 0.0 {
+                    Ok(grad_out.clone())
+                } else {
+                    Err(NnError::InvalidConfig(
+                        "dropout backward called before training forward".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Dropout holds no trainable parameters; provided for interface
+    /// symmetry with the other stages.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_rates() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+        assert!(Dropout::new(0.99, 0).is_ok());
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1).unwrap();
+        let x = Matrix::filled(4, 4, 2.0);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.4, 7).unwrap();
+        let x = Matrix::filled(200, 50, 1.0);
+        let y = d.forward(&x, true);
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / y.as_slice().len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+        // Entries are either 0 or 1/keep.
+        let keep_scale = 1.0 / 0.6;
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - keep_scale).abs() < 1e-12));
+    }
+
+    #[test]
+    fn backward_masks_gradient_identically() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Matrix::filled(5, 5, 1.0);
+        let y = d.forward(&x, true);
+        let g = Matrix::filled(5, 5, 1.0);
+        let gx = d.backward(&g).unwrap();
+        // Gradient flows exactly where activations survived.
+        for (yv, gv) in y.as_slice().iter().zip(gx.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        assert!(d.backward(&Matrix::zeros(1, 1)).is_err());
+        // Rate 0 is exempt (identity).
+        let mut d0 = Dropout::new(0.0, 3).unwrap();
+        assert!(d0.backward(&Matrix::zeros(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_passthrough() {
+        let mut d = Dropout::new(0.0, 0).unwrap();
+        let x = Matrix::filled(3, 3, 5.0);
+        assert_eq!(d.forward(&x, true), x);
+        assert!(d.params_mut().is_empty());
+        assert_eq!(d.rate(), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+use noble_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the neural-network substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor had the wrong shape for the operation.
+    ShapeMismatch {
+        /// What was being computed.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// Training data was empty or degenerate.
+    EmptyData,
+    /// A configuration value was invalid (e.g. zero batch size).
+    InvalidConfig(String),
+    /// Loss diverged to a non-finite value.
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// An underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "shape mismatch in {context}: expected {expected}, found {found}"),
+            NnError::EmptyData => write!(f, "empty training data"),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::Diverged { epoch } => {
+                write!(f, "training diverged to a non-finite loss at epoch {epoch}")
+            }
+            NnError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for NnError {
+    fn from(e: LinalgError) -> Self {
+        NnError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NnError::ShapeMismatch {
+            context: "dense forward",
+            expected: 8,
+            found: 4,
+        };
+        assert!(e.to_string().contains("dense forward"));
+        assert!(NnError::EmptyData.to_string().contains("empty"));
+        assert!(NnError::Diverged { epoch: 3 }.to_string().contains("epoch 3"));
+    }
+
+    #[test]
+    fn from_linalg_preserves_source() {
+        let e: NnError = LinalgError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Weight initialization schemes.
+//!
+//! The paper trains its MLPs with Xavier (Glorot) initialization
+//! \[Glorot & Bengio, AISTATS 2010\]; He initialization is provided for the
+//! ReLU variants exercised in ablations.
+
+use noble_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot *uniform* initialization: entries drawn from
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..a))
+}
+
+/// Xavier/Glorot *normal* initialization: entries drawn from
+/// `N(0, 2 / (fan_in + fan_out))`.
+pub fn xavier_normal(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let std = (2.0 / (fan_in + fan_out) as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(fan_in, fan_out, |_, _| std * standard_normal(&mut rng))
+}
+
+/// He (Kaiming) uniform initialization for ReLU networks:
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn he_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let a = (6.0 / fan_in as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..a))
+}
+
+/// Standard normal sample via Box–Muller.
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_uniform_within_bounds() {
+        let m = xavier_uniform(100, 50, 1);
+        let a = (6.0 / 150.0f64).sqrt();
+        assert_eq!(m.shape(), (100, 50));
+        assert!(m.as_slice().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn xavier_uniform_deterministic_per_seed() {
+        assert_eq!(
+            xavier_uniform(10, 10, 7).as_slice(),
+            xavier_uniform(10, 10, 7).as_slice()
+        );
+        assert_ne!(
+            xavier_uniform(10, 10, 7).as_slice(),
+            xavier_uniform(10, 10, 8).as_slice()
+        );
+    }
+
+    #[test]
+    fn xavier_normal_variance_close() {
+        let m = xavier_normal(200, 200, 3);
+        let vals = m.as_slice();
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        let expected = 2.0 / 400.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn he_uniform_wider_than_xavier_for_relu() {
+        let he = he_uniform(100, 100, 5);
+        let a_he = (6.0 / 100.0f64).sqrt();
+        assert!(he.as_slice().iter().all(|&v| v.abs() < a_he));
+        // He bound is strictly wider than the Xavier bound for equal fans.
+        let a_xavier = (6.0 / 200.0f64).sqrt();
+        assert!(a_he > a_xavier);
+    }
+}

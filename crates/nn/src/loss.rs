@@ -1,0 +1,217 @@
+//! Loss functions.
+//!
+//! All losses implement [`Loss`], returning the scalar loss and the gradient
+//! with respect to the network's raw output (logits for the classification
+//! losses). Gradients are averaged over the batch so learning rates are
+//! batch-size independent.
+
+use crate::activation::sigmoid;
+use crate::metrics::softmax_row;
+use crate::NnError;
+use noble_linalg::Matrix;
+
+/// A differentiable training objective.
+///
+/// `outputs` and `targets` are `(batch, k)` matrices; the meaning of
+/// `targets` depends on the loss (regression targets, one-hot rows, or
+/// multi-hot rows).
+pub trait Loss {
+    /// Computes `(loss, dL/d_outputs)`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`NnError::ShapeMismatch`] when `outputs` and
+    /// `targets` disagree, and [`NnError::EmptyData`] on empty batches.
+    fn evaluate(&self, outputs: &Matrix, targets: &Matrix) -> Result<(f64, Matrix), NnError>;
+}
+
+fn check_shapes(outputs: &Matrix, targets: &Matrix, context: &'static str) -> Result<(), NnError> {
+    if outputs.shape() != targets.shape() {
+        return Err(NnError::ShapeMismatch {
+            context,
+            expected: targets.cols(),
+            found: outputs.cols(),
+        });
+    }
+    if outputs.rows() == 0 {
+        return Err(NnError::EmptyData);
+    }
+    Ok(())
+}
+
+/// Mean squared error: `1/(2n) * sum ||y - t||^2` (per-batch mean, the 1/2
+/// makes the gradient exactly `(y - t)/n`).
+///
+/// This is the objective of the paper's *Deep Regression* baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn evaluate(&self, outputs: &Matrix, targets: &Matrix) -> Result<(f64, Matrix), NnError> {
+        check_shapes(outputs, targets, "mse")?;
+        let n = outputs.rows() as f64;
+        let diff = outputs.sub(targets)?;
+        let loss = diff.as_slice().iter().map(|v| v * v).sum::<f64>() / (2.0 * n);
+        Ok((loss, diff.scale(1.0 / n)))
+    }
+}
+
+/// Binary cross-entropy over logits, averaged over the batch: the paper's
+/// multi-label objective `J(h, ĥ) = -Σ h log ĥ + (1-h) log(1-ĥ)` with
+/// `ĥ = sigmoid(logit)`.
+///
+/// Targets are multi-hot rows in `{0, 1}` (soft labels in `[0,1]` are also
+/// accepted). The loss is summed over classes and averaged over the batch,
+/// matching the paper's formulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BceWithLogitsLoss;
+
+impl Loss for BceWithLogitsLoss {
+    fn evaluate(&self, outputs: &Matrix, targets: &Matrix) -> Result<(f64, Matrix), NnError> {
+        check_shapes(outputs, targets, "bce")?;
+        let n = outputs.rows() as f64;
+        let mut loss = 0.0;
+        let mut grad = Matrix::zeros(outputs.rows(), outputs.cols());
+        for i in 0..outputs.rows() {
+            for j in 0..outputs.cols() {
+                let z = outputs[(i, j)];
+                let t = targets[(i, j)];
+                // Stable: max(z,0) - z*t + ln(1 + e^{-|z|})
+                loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+                grad[(i, j)] = (sigmoid(z) - t) / n;
+            }
+        }
+        Ok((loss / n, grad))
+    }
+}
+
+/// Softmax cross-entropy over logits with one-hot targets, averaged over
+/// the batch. Used for the single-label heads (building, floor) and for the
+/// single-resolution NObLe variant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropyLoss;
+
+impl Loss for SoftmaxCrossEntropyLoss {
+    fn evaluate(&self, outputs: &Matrix, targets: &Matrix) -> Result<(f64, Matrix), NnError> {
+        check_shapes(outputs, targets, "softmax-ce")?;
+        let n = outputs.rows() as f64;
+        let mut loss = 0.0;
+        let mut grad = Matrix::zeros(outputs.rows(), outputs.cols());
+        for i in 0..outputs.rows() {
+            let probs = softmax_row(outputs.row(i));
+            for j in 0..outputs.cols() {
+                let t = targets[(i, j)];
+                if t > 0.0 {
+                    loss -= t * probs[j].max(1e-300).ln();
+                }
+                grad[(i, j)] = (probs[j] - t) / n;
+            }
+        }
+        Ok((loss / n, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check(loss: &dyn Loss, outputs: &Matrix, targets: &Matrix, tol: f64) {
+        let (_, grad) = loss.evaluate(outputs, targets).unwrap();
+        let h = 1e-6;
+        for i in 0..outputs.rows() {
+            for j in 0..outputs.cols() {
+                let mut op = outputs.clone();
+                op[(i, j)] += h;
+                let mut om = outputs.clone();
+                om[(i, j)] -= h;
+                let (lp, _) = loss.evaluate(&op, targets).unwrap();
+                let (lm, _) = loss.evaluate(&om, targets).unwrap();
+                let num = (lp - lm) / (2.0 * h);
+                assert!(
+                    (grad[(i, j)] - num).abs() < tol,
+                    "grad[{i}{j}]: analytic {} vs numeric {num}",
+                    grad[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let y = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let (l, g) = MseLoss.evaluate(&y, &y).unwrap();
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let y = Matrix::from_rows(&[vec![3.0], vec![0.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![1.0], vec![0.0]]).unwrap();
+        let (l, g) = MseLoss.evaluate(&y, &t).unwrap();
+        assert!((l - 1.0).abs() < 1e-12); // (2^2)/(2*2)
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12); // (3-1)/2
+        grad_check(&MseLoss, &y, &t, 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let z = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let (l, g) = BceWithLogitsLoss.evaluate(&z, &t).unwrap();
+        assert!((l - (2.0f64).ln()).abs() < 1e-12); // -ln(0.5)
+        assert!((g[(0, 0)] + 0.5).abs() < 1e-12); // sigmoid(0) - 1
+    }
+
+    #[test]
+    fn bce_gradient_check_multihot() {
+        let z = Matrix::from_rows(&[vec![0.3, -1.2, 2.0], vec![-0.5, 0.8, 0.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        grad_check(&BceWithLogitsLoss, &z, &t, 1e-6);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let z = Matrix::from_rows(&[vec![500.0, -500.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let (l, g) = BceWithLogitsLoss.evaluate(&z, &t).unwrap();
+        assert!(l.is_finite());
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+        assert!(l < 1e-6, "perfectly classified extreme logits should give ~0 loss");
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits() {
+        let z = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![0.0, 1.0, 0.0]]).unwrap();
+        let (l, _) = SoftmaxCrossEntropyLoss.evaluate(&z, &t).unwrap();
+        assert!((l - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_check() {
+        let z = Matrix::from_rows(&[vec![1.0, -0.5, 0.2], vec![0.0, 2.0, -1.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]]).unwrap();
+        grad_check(&SoftmaxCrossEntropyLoss, &z, &t, 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_rows_sum_to_zero() {
+        let z = Matrix::from_rows(&[vec![3.0, 1.0, -2.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![0.0, 1.0, 0.0]]).unwrap();
+        let (_, g) = SoftmaxCrossEntropyLoss.evaluate(&z, &t).unwrap();
+        let row_sum: f64 = g.row(0).iter().sum();
+        assert!(row_sum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn losses_reject_shape_mismatch_and_empty() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(MseLoss.evaluate(&a, &b).is_err());
+        assert!(BceWithLogitsLoss.evaluate(&a, &b).is_err());
+        assert!(SoftmaxCrossEntropyLoss.evaluate(&a, &b).is_err());
+        let e = Matrix::zeros(0, 2);
+        assert!(MseLoss.evaluate(&e, &e).is_err());
+    }
+}

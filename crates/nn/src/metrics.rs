@@ -1,0 +1,108 @@
+//! Classification metrics and small encoding helpers.
+
+use noble_linalg::Matrix;
+
+/// Numerically stable softmax of one row of logits.
+pub fn softmax_row(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// One-hot encodes `labels` into a `(n, num_classes)` matrix.
+///
+/// # Panics
+///
+/// Panics if any label is `>= num_classes`.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), num_classes);
+    for (i, &c) in labels.iter().enumerate() {
+        assert!(c < num_classes, "label {c} >= num_classes {num_classes}");
+        m[(i, c)] = 1.0;
+    }
+    m
+}
+
+/// Fraction of positions where `predicted == actual`.
+///
+/// Returns 0.0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "accuracy: length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Confusion counts as a `(num_classes, num_classes)` matrix where entry
+/// `(a, p)` counts samples of true class `a` predicted as `p`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or a label is out of range.
+pub fn confusion_counts(predicted: &[usize], actual: &[usize], num_classes: usize) -> Matrix {
+    assert_eq!(predicted.len(), actual.len(), "confusion: length mismatch");
+    let mut m = Matrix::zeros(num_classes, num_classes);
+    for (&p, &a) in predicted.iter().zip(actual) {
+        assert!(p < num_classes && a < num_classes, "label out of range");
+        m[(a, p)] += 1.0;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax_row(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let p = softmax_row(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let m = one_hot(&[2, 0], 3);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_classes")]
+    fn one_hot_rejects_out_of_range() {
+        one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_entries() {
+        let m = confusion_counts(&[0, 1, 1], &[0, 0, 1], 2);
+        assert_eq!(m[(0, 0)], 1.0); // true 0 predicted 0
+        assert_eq!(m[(0, 1)], 1.0); // true 0 predicted 1
+        assert_eq!(m[(1, 1)], 1.0); // true 1 predicted 1
+        assert_eq!(m[(1, 0)], 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The multilayer perceptron: a sequential stack of dense, batch-norm and
+//! activation layers.
+
+use crate::{Activation, BatchNorm, Dense, NnError, Optimizer, Param};
+use noble_linalg::Matrix;
+
+/// One stage of an [`Mlp`].
+#[derive(Debug, Clone)]
+enum Layer {
+    Dense(Dense),
+    BatchNorm(BatchNorm),
+    Activation(Activation, Option<Matrix>),
+}
+
+/// A feed-forward network built from dense, batch-norm and activation
+/// stages.
+///
+/// The paper's WiFi model is
+/// `Dense(W, 128) → BatchNorm → Tanh → Dense(128, 128) → BatchNorm → Tanh →
+/// Dense(128, K)`; build it with [`Mlp::builder`]:
+///
+/// ```
+/// use noble_nn::{Activation, Mlp};
+///
+/// let mlp = Mlp::builder(32, 7)
+///     .dense(128).batch_norm().activation(Activation::Tanh)
+///     .dense(128).batch_norm().activation(Activation::Tanh)
+///     .dense(10)
+///     .build();
+/// assert_eq!(mlp.in_dim(), 32);
+/// assert_eq!(mlp.out_dim(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Builder for [`Mlp`] (see [`Mlp::builder`]).
+#[derive(Debug)]
+pub struct MlpBuilder {
+    layers: Vec<Layer>,
+    in_dim: usize,
+    current_dim: usize,
+    seed: u64,
+    next_layer_index: u64,
+}
+
+impl MlpBuilder {
+    /// Appends a dense layer mapping the current width to `out_dim`.
+    pub fn dense(mut self, out_dim: usize) -> Self {
+        let layer_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.next_layer_index);
+        self.next_layer_index += 1;
+        self.layers
+            .push(Layer::Dense(Dense::new(self.current_dim, out_dim, layer_seed)));
+        self.current_dim = out_dim;
+        self
+    }
+
+    /// Appends a batch-normalization stage over the current width.
+    pub fn batch_norm(mut self) -> Self {
+        self.layers.push(Layer::BatchNorm(BatchNorm::new(self.current_dim)));
+        self
+    }
+
+    /// Appends an element-wise activation.
+    pub fn activation(mut self, act: Activation) -> Self {
+        self.layers.push(Layer::Activation(act, None));
+        self
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> Mlp {
+        Mlp {
+            out_dim: self.current_dim,
+            in_dim: self.in_dim,
+            layers: self.layers,
+        }
+    }
+}
+
+impl Mlp {
+    /// Starts building a network that accepts `in_dim` features.
+    ///
+    /// `seed` drives all weight initialization deterministically; each layer
+    /// derives its own sub-seed.
+    pub fn builder(in_dim: usize, seed: u64) -> MlpBuilder {
+        MlpBuilder {
+            layers: Vec::new(),
+            in_dim,
+            current_dim: in_dim,
+            seed,
+            next_layer_index: 0,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => d.parameter_count(),
+                Layer::BatchNorm(b) => b.parameter_count(),
+                Layer::Activation(..) => 0,
+            })
+            .sum()
+    }
+
+    /// Number of dense layers (used by the energy model's MAC counter).
+    pub fn dense_shapes(&self) -> Vec<(usize, usize)> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                Layer::Dense(d) => Some((d.in_dim(), d.out_dim())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the network contains batch-norm stages.
+    pub fn has_batch_norm(&self) -> bool {
+        self.layers.iter().any(|l| matches!(l, Layer::BatchNorm(_)))
+    }
+
+    /// Forward pass over a `(batch, in_dim)` matrix.
+    ///
+    /// In training mode intermediate values are cached for
+    /// [`Mlp::backward`]; in inference mode batch-norm uses its running
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the constituent layers.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Result<Matrix, NnError> {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = match layer {
+                Layer::Dense(d) => d.forward(&h, training)?,
+                Layer::BatchNorm(b) => b.forward(&h, training)?,
+                Layer::Activation(a, cache) => {
+                    let y = a.forward(&h);
+                    if training {
+                        *cache = Some(y.clone());
+                    }
+                    y
+                }
+            };
+        }
+        Ok(h)
+    }
+
+    /// Convenience inference pass (no caching, running batch-norm stats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the constituent layers.
+    pub fn predict(&mut self, x: &Matrix) -> Result<Matrix, NnError> {
+        self.forward(x, false)
+    }
+
+    /// Output of the *penultimate* stage in inference mode — the learned
+    /// embedding the paper analyzes in its manifold argument (§III-C).
+    ///
+    /// Runs all layers except the final dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the constituent layers.
+    pub fn embed(&mut self, x: &Matrix) -> Result<Matrix, NnError> {
+        let last_dense = self
+            .layers
+            .iter()
+            .rposition(|l| matches!(l, Layer::Dense(_)))
+            .ok_or_else(|| NnError::InvalidConfig("network has no dense layer".to_string()))?;
+        let mut h = x.clone();
+        for layer in &mut self.layers[..last_dense] {
+            h = match layer {
+                Layer::Dense(d) => d.forward(&h, false)?,
+                Layer::BatchNorm(b) => b.forward(&h, false)?,
+                Layer::Activation(a, _) => a.forward(&h),
+            };
+        }
+        Ok(h)
+    }
+
+    /// Backward pass: consumes `dL/d_output` and accumulates parameter
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when called before a
+    /// training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Result<(), NnError> {
+        self.backward_with_input_grad(grad_out).map(|_| ())
+    }
+
+    /// Backward pass that also returns `dL/d_input` — needed when several
+    /// networks are chained end-to-end (e.g. NObLe's projection →
+    /// displacement → location modules) and the upstream module continues
+    /// the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when called before a
+    /// training-mode forward pass.
+    pub fn backward_with_input_grad(&mut self, grad_out: &Matrix) -> Result<Matrix, NnError> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = match layer {
+                Layer::Dense(d) => d.backward(&g)?,
+                Layer::BatchNorm(b) => b.backward(&g)?,
+                Layer::Activation(a, cache) => {
+                    let y = cache.as_ref().ok_or_else(|| {
+                        NnError::InvalidConfig(
+                            "activation backward called before training forward".to_string(),
+                        )
+                    })?;
+                    let d = a.derivative_from_output(y);
+                    g.hadamard(&d)?
+                }
+            };
+        }
+        Ok(g)
+    }
+
+    /// Applies one optimizer step to every parameter and clears gradients.
+    pub fn apply_gradients(&mut self, optimizer: &mut Optimizer) {
+        optimizer.begin_step();
+        for p in self.params_mut() {
+            optimizer.update(p);
+        }
+    }
+
+    /// Mutable access to every trainable parameter tensor.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Dense(d) => out.extend(d.params_mut()),
+                Layer::BatchNorm(b) => out.extend(b.params_mut()),
+                Layer::Activation(..) => {}
+            }
+        }
+        out
+    }
+
+    /// Gradient L2 norm across all parameters (diagnostics, divergence
+    /// detection).
+    pub fn grad_norm(&mut self) -> f64 {
+        self.params_mut()
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Loss, MseLoss};
+
+    #[test]
+    fn builder_tracks_dims() {
+        let mlp = Mlp::builder(5, 0)
+            .dense(16)
+            .batch_norm()
+            .activation(Activation::Tanh)
+            .dense(3)
+            .build();
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.dense_shapes(), vec![(5, 16), (16, 3)]);
+        assert!(mlp.has_batch_norm());
+        assert_eq!(mlp.parameter_count(), 5 * 16 + 16 + 16 + 16 + 16 * 3 + 3);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut mlp = Mlp::builder(4, 1).dense(8).activation(Activation::Relu).dense(2).build();
+        let x = Matrix::zeros(10, 4);
+        let y = mlp.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), (10, 2));
+        assert!(mlp.forward(&Matrix::zeros(1, 5), false).is_err());
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let mut a = Mlp::builder(3, 9).dense(4).dense(2).build();
+        let mut b = Mlp::builder(3, 9).dense(4).dense(2).build();
+        let x = Matrix::filled(2, 3, 0.7);
+        assert_eq!(
+            a.forward(&x, false).unwrap().as_slice(),
+            b.forward(&x, false).unwrap().as_slice()
+        );
+        let mut c = Mlp::builder(3, 10).dense(4).dense(2).build();
+        assert_ne!(
+            a.forward(&x, false).unwrap().as_slice(),
+            c.forward(&x, false).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn distinct_layers_get_distinct_seeds() {
+        let mlp = Mlp::builder(4, 3).dense(4).dense(4).build();
+        let shapes = mlp.dense_shapes();
+        assert_eq!(shapes[0], shapes[1]);
+        // Probe: outputs differ layer-to-layer because weights differ.
+        let mut m = mlp.clone();
+        let x = Matrix::identity(4);
+        let h1 = m.forward(&x, false).unwrap();
+        assert!(h1.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut mlp = Mlp::builder(2, 0).dense(2).activation(Activation::Tanh).build();
+        assert!(mlp.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut mlp = Mlp::builder(3, 5)
+            .dense(4)
+            .activation(Activation::Tanh)
+            .dense(2)
+            .build();
+        let x = Matrix::from_rows(&[vec![0.2, -0.4, 0.9], vec![1.0, 0.1, -0.3]]).unwrap();
+        let t = Matrix::from_rows(&[vec![0.5, -0.5], vec![0.0, 1.0]]).unwrap();
+
+        let out = mlp.forward(&x, true).unwrap();
+        let (_, grad) = MseLoss.evaluate(&out, &t).unwrap();
+        mlp.backward(&grad).unwrap();
+
+        // Numerically check the gradient of the FIRST dense layer's first weight.
+        let analytic = {
+            let params = mlp.params_mut();
+            params[0].grad[(0, 0)]
+        };
+        let h = 1e-6;
+        let loss_with_perturbation = |mlp: &Mlp, delta: f64| -> f64 {
+            let mut m = mlp.clone();
+            {
+                let mut params = m.params_mut();
+                params[0].value[(0, 0)] += delta;
+            }
+            let out = m.forward(&x, true).unwrap();
+            MseLoss.evaluate(&out, &t).unwrap().0
+        };
+        let base = mlp.clone();
+        let num = (loss_with_perturbation(&base, h) - loss_with_perturbation(&base, -h)) / (2.0 * h);
+        assert!(
+            (analytic - num).abs() < 1e-6,
+            "analytic {analytic} vs numeric {num}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss_on_xor() {
+        // XOR is the classic non-linear sanity check.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let t = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]).unwrap();
+        let mut mlp = Mlp::builder(2, 13)
+            .dense(8)
+            .activation(Activation::Tanh)
+            .dense(1)
+            .build();
+        let mut opt = Optimizer::adam(0.05);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..500 {
+            let out = mlp.forward(&x, true).unwrap();
+            let (l, g) = MseLoss.evaluate(&out, &t).unwrap();
+            mlp.backward(&g).unwrap();
+            mlp.apply_gradients(&mut opt);
+            first_loss.get_or_insert(l);
+            last_loss = l;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.05, "loss {last_loss}");
+        assert!(last_loss < 0.02);
+    }
+
+    #[test]
+    fn embed_returns_penultimate_width() {
+        let mut mlp = Mlp::builder(3, 2)
+            .dense(7)
+            .activation(Activation::Tanh)
+            .dense(4)
+            .build();
+        let e = mlp.embed(&Matrix::zeros(5, 3)).unwrap();
+        assert_eq!(e.shape(), (5, 7));
+    }
+
+    #[test]
+    fn grad_norm_zero_after_apply() {
+        let mut mlp = Mlp::builder(2, 0).dense(2).build();
+        let x = Matrix::filled(1, 2, 1.0);
+        let out = mlp.forward(&x, true).unwrap();
+        let (_, g) = MseLoss
+            .evaluate(&out, &Matrix::zeros(1, 2))
+            .unwrap();
+        mlp.backward(&g).unwrap();
+        assert!(mlp.grad_norm() >= 0.0);
+        let mut opt = Optimizer::sgd(0.1);
+        mlp.apply_gradients(&mut opt);
+        assert_eq!(mlp.grad_norm(), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+use noble_linalg::Matrix;
+
+/// A trainable parameter tensor with its gradient and optimizer state.
+///
+/// Keeping the Adam/momentum moments inside the parameter avoids a separate
+/// state registry keyed by parameter identity: the optimizer is a pure
+/// update rule applied uniformly to every [`Param`] a network exposes.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient for the current step.
+    pub grad: Matrix,
+    /// First-moment buffer (momentum / Adam m).
+    pub m: Matrix,
+    /// Second-moment buffer (Adam v).
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient and moments.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters in this tensor.
+    pub fn len(&self) -> usize {
+        self.value.as_slice().len()
+    }
+
+    /// Whether this parameter holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_zeroed_state() {
+        let p = Param::new(Matrix::filled(2, 3, 1.5));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(p.m.as_slice().iter().all(|&g| g == 0.0));
+        assert!(p.v.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.as_mut_slice().copy_from_slice(&[1.0, -2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Binary serialization of trained parameters.
+//!
+//! On-device deployment (the paper's whole premise) ships trained weights
+//! to the edge; this module provides a dependency-free, versioned binary
+//! format for any [`Mlp`]'s parameters. Only parameter *values* travel —
+//! optimizer state and caches stay behind.
+//!
+//! Format: magic `NOBL`, format version u32, tensor count u32, then per
+//! tensor: rows u32, cols u32, row-major f64 little-endian payload.
+
+use crate::{Mlp, NnError};
+
+const MAGIC: &[u8; 4] = b"NOBL";
+const VERSION: u32 = 1;
+
+/// Serializes every trainable parameter of `mlp` into a byte buffer.
+pub fn save_parameters(mlp: &mut Mlp) -> Vec<u8> {
+    let params = mlp.params_mut();
+    let mut out = Vec::with_capacity(16 + params.iter().map(|p| 8 + p.len() * 8).sum::<usize>());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        let (r, c) = p.value.shape();
+        out.extend_from_slice(&(r as u32).to_le_bytes());
+        out.extend_from_slice(&(c as u32).to_le_bytes());
+        for v in p.value.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restores parameters previously produced by [`save_parameters`] into a
+/// *structurally identical* network (same builder calls).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the buffer is malformed, the
+/// version is unsupported, or tensor shapes do not match the target
+/// network.
+pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let magic = cursor.take(4)?;
+    if magic != MAGIC {
+        return Err(NnError::InvalidConfig("bad magic: not a NObLe parameter blob".into()));
+    }
+    let version = cursor.u32()?;
+    if version != VERSION {
+        return Err(NnError::InvalidConfig(format!(
+            "unsupported parameter format version {version}"
+        )));
+    }
+    let count = cursor.u32()? as usize;
+    let mut params = mlp.params_mut();
+    if count != params.len() {
+        return Err(NnError::InvalidConfig(format!(
+            "blob has {count} tensors, network has {}",
+            params.len()
+        )));
+    }
+    for p in params.iter_mut() {
+        let rows = cursor.u32()? as usize;
+        let cols = cursor.u32()? as usize;
+        if (rows, cols) != p.value.shape() {
+            return Err(NnError::InvalidConfig(format!(
+                "tensor shape {rows}x{cols} does not match network tensor {}x{}",
+                p.value.shape().0,
+                p.value.shape().1
+            )));
+        }
+        for v in p.value.as_mut_slice() {
+            *v = cursor.f64()?;
+        }
+    }
+    if cursor.pos != bytes.len() {
+        return Err(NnError::InvalidConfig(format!(
+            "{} trailing bytes after parameters",
+            bytes.len() - cursor.pos
+        )));
+    }
+    Ok(())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(NnError::InvalidConfig("truncated parameter blob".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, NnError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, NnError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+    use noble_linalg::Matrix;
+
+    fn network(seed: u64) -> Mlp {
+        Mlp::builder(3, seed)
+            .dense(5)
+            .batch_norm()
+            .activation(Activation::Tanh)
+            .dense(2)
+            .build()
+    }
+
+    #[test]
+    fn round_trip_preserves_outputs() {
+        let mut a = network(1);
+        let blob = save_parameters(&mut a);
+        let mut b = network(99); // different init
+        load_parameters(&mut b, &blob).unwrap();
+        let x = Matrix::from_rows(&[vec![0.4, -1.0, 2.0]]).unwrap();
+        let ya = a.predict(&x).unwrap();
+        let yb = b.predict(&x).unwrap();
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut a = network(1);
+        let mut blob = save_parameters(&mut a);
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert!(load_parameters(&mut network(2), &bad).is_err());
+        blob.truncate(blob.len() - 3);
+        assert!(load_parameters(&mut network(2), &blob).is_err());
+    }
+
+    #[test]
+    fn rejects_structural_mismatch() {
+        let mut a = network(1);
+        let blob = save_parameters(&mut a);
+        let mut wider = Mlp::builder(3, 0)
+            .dense(6)
+            .batch_norm()
+            .activation(Activation::Tanh)
+            .dense(2)
+            .build();
+        assert!(load_parameters(&mut wider, &blob).is_err());
+        let mut fewer = Mlp::builder(3, 0).dense(2).build();
+        assert!(load_parameters(&mut fewer, &blob).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_and_bad_version() {
+        let mut a = network(1);
+        let mut blob = save_parameters(&mut a);
+        blob.push(0);
+        assert!(load_parameters(&mut network(2), &blob).is_err());
+        let mut blob = save_parameters(&mut a);
+        blob[4] = 9; // version
+        assert!(load_parameters(&mut network(2), &blob).is_err());
+    }
+
+    #[test]
+    fn blob_size_is_deterministic() {
+        let mut a = network(1);
+        let b1 = save_parameters(&mut a);
+        let b2 = save_parameters(&mut a);
+        assert_eq!(b1, b2);
+    }
+}

@@ -1,0 +1,80 @@
+use noble_geo::GeoError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantizeError {
+    /// No training samples were given.
+    NoSamples,
+    /// A class id does not exist in the registry.
+    UnknownClass {
+        /// The offending class id.
+        class: usize,
+        /// Number of registered classes.
+        num_classes: usize,
+    },
+    /// A point fell outside the fitted grid.
+    OutOfBounds {
+        /// The x coordinate.
+        x: f64,
+        /// The y coordinate.
+        y: f64,
+    },
+    /// Invalid resolution parameters (e.g. coarse side not larger than
+    /// fine side).
+    InvalidResolution(String),
+    /// An underlying geometry failure.
+    Geo(GeoError),
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizeError::NoSamples => write!(f, "quantizer needs at least one sample"),
+            QuantizeError::UnknownClass { class, num_classes } => {
+                write!(f, "class {class} not in registry of {num_classes} classes")
+            }
+            QuantizeError::OutOfBounds { x, y } => {
+                write!(f, "point ({x}, {y}) outside the fitted grid")
+            }
+            QuantizeError::InvalidResolution(msg) => write!(f, "invalid resolution: {msg}"),
+            QuantizeError::Geo(e) => write!(f, "geometry failure: {e}"),
+        }
+    }
+}
+
+impl Error for QuantizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantizeError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for QuantizeError {
+    fn from(e: GeoError) -> Self {
+        QuantizeError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QuantizeError::NoSamples.to_string().contains("at least one"));
+        assert!(QuantizeError::UnknownClass { class: 7, num_classes: 3 }
+            .to_string()
+            .contains("class 7"));
+        assert!(QuantizeError::OutOfBounds { x: 1.0, y: 2.0 }.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn geo_source_preserved() {
+        let e: QuantizeError = GeoError::EmptyMap.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,339 @@
+use crate::QuantizeError;
+use noble_geo::{Grid, GridCell, Point};
+use std::collections::HashMap;
+
+/// Compact identifier of a neighborhood class (0-based, dense).
+pub type ClassId = usize;
+
+/// How a class id is decoded back to coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodePolicy {
+    /// Geometric center of the grid cell.
+    CellCenter,
+    /// Mean of the training samples that fell in the cell (the paper's
+    /// "central coordinates" — tighter than the cell center, and the reason
+    /// NObLe's *median* error can be far below `τ`).
+    #[default]
+    SampleMean,
+}
+
+/// A single-resolution space quantizer (paper §III-B).
+///
+/// Fitting builds a [`Grid`] of side `tau` over the samples' bounding box,
+/// assigns a dense [`ClassId`] to every *occupied* cell, and records decode
+/// coordinates per class. Empty cells are discarded exactly as the paper
+/// prescribes, which is what removes courtyards and other inaccessible
+/// space from the output vocabulary.
+#[derive(Debug, Clone)]
+pub struct GridQuantizer {
+    grid: Grid,
+    policy: DecodePolicy,
+    /// Flat cell index -> dense class id.
+    cell_to_class: HashMap<usize, ClassId>,
+    /// Dense class id -> flat cell index.
+    class_to_cell: Vec<usize>,
+    /// Dense class id -> decode coordinates.
+    centroids: Vec<Point>,
+    /// Dense class id -> training-sample count.
+    counts: Vec<usize>,
+}
+
+impl GridQuantizer {
+    /// Fits a quantizer of cell side `tau` to training coordinates.
+    ///
+    /// # Errors
+    ///
+    /// - [`QuantizeError::NoSamples`] when `samples` is empty.
+    /// - [`QuantizeError::Geo`] when `tau` is not a positive finite number.
+    pub fn fit(samples: &[Point], tau: f64, policy: DecodePolicy) -> Result<Self, QuantizeError> {
+        if samples.is_empty() {
+            return Err(QuantizeError::NoSamples);
+        }
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in samples {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        let grid = Grid::cover(min, max, tau)?;
+
+        let mut cell_to_class: HashMap<usize, ClassId> = HashMap::new();
+        let mut class_to_cell: Vec<usize> = Vec::new();
+        let mut sums: Vec<Point> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for p in samples {
+            let cell = grid
+                .cell_of(*p)
+                .expect("grid covers the samples' bounding box");
+            let flat = grid.flat_index(cell);
+            let class = *cell_to_class.entry(flat).or_insert_with(|| {
+                class_to_cell.push(flat);
+                sums.push(Point::ORIGIN);
+                counts.push(0);
+                class_to_cell.len() - 1
+            });
+            sums[class] = sums[class] + *p;
+            counts[class] += 1;
+        }
+        let centroids: Vec<Point> = match policy {
+            DecodePolicy::CellCenter => class_to_cell
+                .iter()
+                .map(|&flat| grid.cell_center(grid.cell_from_flat(flat)))
+                .collect(),
+            DecodePolicy::SampleMean => sums
+                .iter()
+                .zip(&counts)
+                .map(|(s, &c)| *s * (1.0 / c as f64))
+                .collect(),
+        };
+        Ok(GridQuantizer {
+            grid,
+            policy,
+            cell_to_class,
+            class_to_cell,
+            centroids,
+            counts,
+        })
+    }
+
+    /// Cell side length `τ`.
+    pub fn tau(&self) -> f64 {
+        self.grid.cell_size()
+    }
+
+    /// Decode policy in use.
+    pub fn policy(&self) -> DecodePolicy {
+        self.policy
+    }
+
+    /// Number of registered (occupied) classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_to_cell.len()
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Training-sample count of a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::UnknownClass`] for an unregistered id.
+    pub fn class_count(&self, class: ClassId) -> Result<usize, QuantizeError> {
+        self.counts
+            .get(class)
+            .copied()
+            .ok_or(QuantizeError::UnknownClass {
+                class,
+                num_classes: self.num_classes(),
+            })
+    }
+
+    /// Maps a point to its neighborhood class, if the point falls in an
+    /// occupied cell.
+    pub fn quantize(&self, p: Point) -> Option<ClassId> {
+        let cell = self.grid.cell_of(p)?;
+        self.cell_to_class.get(&self.grid.flat_index(cell)).copied()
+    }
+
+    /// Maps a point to the *nearest* registered class (by decode
+    /// coordinates). Unlike [`GridQuantizer::quantize`] this never fails:
+    /// test samples that fall in cells unseen during training are assigned
+    /// to the closest occupied neighborhood, which is how labels are
+    /// produced for evaluation.
+    pub fn quantize_nearest(&self, p: Point) -> ClassId {
+        if let Some(c) = self.quantize(p) {
+            return c;
+        }
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d = centroid.squared_distance(p);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Decodes a class id to coordinates per the decode policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::UnknownClass`] for an unregistered id.
+    pub fn decode(&self, class: ClassId) -> Result<Point, QuantizeError> {
+        self.centroids
+            .get(class)
+            .copied()
+            .ok_or(QuantizeError::UnknownClass {
+                class,
+                num_classes: self.num_classes(),
+            })
+    }
+
+    /// The grid cell of a registered class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::UnknownClass`] for an unregistered id.
+    pub fn class_cell(&self, class: ClassId) -> Result<GridCell, QuantizeError> {
+        self.class_to_cell
+            .get(class)
+            .map(|&flat| self.grid.cell_from_flat(flat))
+            .ok_or(QuantizeError::UnknownClass {
+                class,
+                num_classes: self.num_classes(),
+            })
+    }
+
+    /// Registered classes occupying cells adjacent (8-connected) to the
+    /// cell of `class`, excluding `class` itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::UnknownClass`] for an unregistered id.
+    pub fn adjacent_classes(&self, class: ClassId) -> Result<Vec<ClassId>, QuantizeError> {
+        let cell = self.class_cell(class)?;
+        Ok(self
+            .grid
+            .neighbors(cell)
+            .into_iter()
+            .filter_map(|n| self.cell_to_class.get(&self.grid.flat_index(n)).copied())
+            .collect())
+    }
+
+    /// Quantization error of decoding: distance between `p` and the decode
+    /// coordinates of its nearest class. This bounds the error NObLe makes
+    /// when classification is perfect.
+    pub fn decode_error(&self, p: Point) -> f64 {
+        let class = self.quantize_nearest(p);
+        self.centroids[class].distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_samples() -> Vec<Point> {
+        vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.3, 0.2),
+            Point::new(0.2, 0.3),
+            Point::new(5.1, 5.1),
+            Point::new(5.4, 5.2),
+            Point::new(9.9, 0.1),
+        ]
+    }
+
+    #[test]
+    fn fit_discards_empty_cells() {
+        let q = GridQuantizer::fit(&cluster_samples(), 1.0, DecodePolicy::CellCenter).unwrap();
+        // 10x6 grid has 60 cells but only 3 are occupied.
+        assert_eq!(q.num_classes(), 3);
+        assert!(q.grid().cell_count() >= 50);
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_bad_tau() {
+        assert!(matches!(
+            GridQuantizer::fit(&[], 1.0, DecodePolicy::CellCenter),
+            Err(QuantizeError::NoSamples)
+        ));
+        assert!(GridQuantizer::fit(&[Point::ORIGIN], 0.0, DecodePolicy::CellCenter).is_err());
+    }
+
+    #[test]
+    fn quantize_round_trip_within_tau() {
+        let samples = cluster_samples();
+        let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::CellCenter).unwrap();
+        for p in &samples {
+            let c = q.quantize(*p).expect("training samples are in occupied cells");
+            let decoded = q.decode(c).unwrap();
+            // Decode is within half a cell diagonal.
+            assert!(decoded.distance(*p) <= (2.0f64).sqrt() / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_mean_policy_returns_exact_mean() {
+        let q = GridQuantizer::fit(&cluster_samples(), 1.0, DecodePolicy::SampleMean).unwrap();
+        let c = q.quantize(Point::new(0.2, 0.2)).unwrap();
+        let decoded = q.decode(c).unwrap();
+        assert!((decoded.x - 0.2).abs() < 1e-12);
+        assert!((decoded.y - 0.2).abs() < 1e-12);
+        assert_eq!(q.class_count(c).unwrap(), 3);
+    }
+
+    #[test]
+    fn quantize_unoccupied_cell_is_none() {
+        let q = GridQuantizer::fit(&cluster_samples(), 1.0, DecodePolicy::CellCenter).unwrap();
+        assert_eq!(q.quantize(Point::new(3.5, 3.5)), None);
+        assert_eq!(q.quantize(Point::new(-10.0, 0.0)), None);
+    }
+
+    #[test]
+    fn quantize_nearest_always_resolves() {
+        let q = GridQuantizer::fit(&cluster_samples(), 1.0, DecodePolicy::SampleMean).unwrap();
+        // Near the (5,5) cluster but in an empty cell.
+        let c = q.quantize_nearest(Point::new(4.6, 4.6));
+        let decoded = q.decode(c).unwrap();
+        assert!(decoded.distance(Point::new(5.25, 5.15)) < 1e-9);
+        // Far outside the grid also resolves.
+        let c2 = q.quantize_nearest(Point::new(100.0, 100.0));
+        assert!(c2 < q.num_classes());
+    }
+
+    #[test]
+    fn decode_unknown_class_errors() {
+        let q = GridQuantizer::fit(&cluster_samples(), 1.0, DecodePolicy::CellCenter).unwrap();
+        assert!(matches!(
+            q.decode(99),
+            Err(QuantizeError::UnknownClass { class: 99, .. })
+        ));
+        assert!(q.class_count(99).is_err());
+        assert!(q.class_cell(99).is_err());
+        assert!(q.adjacent_classes(99).is_err());
+    }
+
+    #[test]
+    fn adjacency_links_occupied_neighbors() {
+        // Two samples in touching cells, one far away.
+        let samples = vec![
+            Point::new(0.5, 0.5),
+            Point::new(1.5, 0.5),
+            Point::new(8.5, 8.5),
+        ];
+        let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::CellCenter).unwrap();
+        let c0 = q.quantize(samples[0]).unwrap();
+        let c1 = q.quantize(samples[1]).unwrap();
+        let c2 = q.quantize(samples[2]).unwrap();
+        assert_eq!(q.adjacent_classes(c0).unwrap(), vec![c1]);
+        assert_eq!(q.adjacent_classes(c1).unwrap(), vec![c0]);
+        assert!(q.adjacent_classes(c2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn finer_tau_means_more_classes_and_less_decode_error() {
+        let samples: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let coarse = GridQuantizer::fit(&samples, 4.0, DecodePolicy::CellCenter).unwrap();
+        let fine = GridQuantizer::fit(&samples, 1.0, DecodePolicy::CellCenter).unwrap();
+        assert!(fine.num_classes() > coarse.num_classes());
+        let probe = Point::new(2.3, 2.7);
+        assert!(fine.decode_error(probe) <= coarse.decode_error(probe));
+    }
+
+    #[test]
+    fn tau_accessor() {
+        let q = GridQuantizer::fit(&[Point::ORIGIN], 0.25, DecodePolicy::CellCenter).unwrap();
+        assert_eq!(q.tau(), 0.25);
+        assert_eq!(q.policy(), DecodePolicy::CellCenter);
+    }
+}

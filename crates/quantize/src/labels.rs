@@ -1,0 +1,143 @@
+use crate::{ClassId, GridQuantizer, QuantizeError};
+use noble_linalg::Matrix;
+
+/// Builds multi-hot classification targets from neighborhood classes.
+///
+/// The paper addresses fine-grid data sparsity by optionally "assign\[ing\]
+/// data samples with multiple classes, the ones that are adjacent to the
+/// real class" — [`LabelEncoder::with_adjacency`] turns that on.
+#[derive(Debug, Clone)]
+pub struct LabelEncoder {
+    num_classes: usize,
+    include_adjacent: bool,
+    /// Weight given to adjacent positives (the true class always gets 1.0).
+    adjacent_weight: f64,
+}
+
+impl LabelEncoder {
+    /// An encoder producing plain one-hot rows over `num_classes`.
+    pub fn new(num_classes: usize) -> Self {
+        LabelEncoder {
+            num_classes,
+            include_adjacent: false,
+            adjacent_weight: 1.0,
+        }
+    }
+
+    /// Enables adjacency expansion with the given positive weight for
+    /// neighbors (`1.0` reproduces the paper's hard multi-label).
+    pub fn with_adjacency(mut self, weight: f64) -> Self {
+        self.include_adjacent = true;
+        self.adjacent_weight = weight;
+        self
+    }
+
+    /// Number of classes (target matrix width).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Whether adjacency expansion is on.
+    pub fn adjacency_enabled(&self) -> bool {
+        self.include_adjacent
+    }
+
+    /// Encodes class labels to a `(n, num_classes)` target matrix. When
+    /// adjacency is enabled, `quantizer` supplies each class's occupied
+    /// neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::UnknownClass`] when a label is out of range
+    /// or when the quantizer does not recognize a class.
+    pub fn encode(
+        &self,
+        labels: &[ClassId],
+        quantizer: Option<&GridQuantizer>,
+    ) -> Result<Matrix, QuantizeError> {
+        let mut m = Matrix::zeros(labels.len(), self.num_classes);
+        for (i, &c) in labels.iter().enumerate() {
+            if c >= self.num_classes {
+                return Err(QuantizeError::UnknownClass {
+                    class: c,
+                    num_classes: self.num_classes,
+                });
+            }
+            m[(i, c)] = 1.0;
+            if self.include_adjacent {
+                if let Some(q) = quantizer {
+                    for adj in q.adjacent_classes(c)? {
+                        if adj < self.num_classes && m[(i, adj)] == 0.0 {
+                            m[(i, adj)] = self.adjacent_weight;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecodePolicy;
+    use noble_geo::Point;
+
+    #[test]
+    fn one_hot_rows() {
+        let enc = LabelEncoder::new(4);
+        let m = enc.encode(&[2, 0], None).unwrap();
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0, 0.0]);
+        assert!(!enc.adjacency_enabled());
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let enc = LabelEncoder::new(2);
+        assert!(matches!(
+            enc.encode(&[2], None),
+            Err(QuantizeError::UnknownClass { class: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn adjacency_adds_neighbor_positives() {
+        // Samples across a row of touching cells; the extra point keeps the
+        // grid's max edge away from the third cell so boundary clamping
+        // cannot merge cells.
+        let samples = vec![
+            Point::new(0.5, 0.5),
+            Point::new(1.5, 0.5),
+            Point::new(2.5, 0.5),
+            Point::new(3.4, 0.5),
+        ];
+        let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::CellCenter).unwrap();
+        let middle = q.quantize(samples[1]).unwrap();
+        let enc = LabelEncoder::new(q.num_classes()).with_adjacency(0.5);
+        let m = enc.encode(&[middle], Some(&q)).unwrap();
+        // True class 1.0; the two flanking classes 0.5.
+        let row = m.row(0);
+        assert_eq!(row[middle], 1.0);
+        let halves = row.iter().filter(|&&v| (v - 0.5).abs() < 1e-12).count();
+        assert_eq!(halves, 2);
+    }
+
+    #[test]
+    fn adjacency_never_downgrades_true_class() {
+        let samples = vec![Point::new(0.5, 0.5), Point::new(1.5, 0.5)];
+        let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::CellCenter).unwrap();
+        let c0 = q.quantize(samples[0]).unwrap();
+        let enc = LabelEncoder::new(q.num_classes()).with_adjacency(0.3);
+        let m = enc.encode(&[c0], Some(&q)).unwrap();
+        assert_eq!(m.row(0)[c0], 1.0);
+    }
+
+    #[test]
+    fn adjacency_without_quantizer_degrades_to_one_hot() {
+        let enc = LabelEncoder::new(3).with_adjacency(1.0);
+        let m = enc.encode(&[1], None).unwrap();
+        assert_eq!(m.row(0), &[0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Output-space quantization: the paper's §III-B.
+//!
+//! NObLe turns coordinate regression into fine-grained classification by
+//! dividing the localization space into square grid cells of side `τ`,
+//! keeping only cells that contain training samples ("discard all classes
+//! without any data points"), and training against the resulting
+//! *neighborhood classes*. At inference the predicted class is decoded back
+//! to its central coordinates.
+//!
+//! This crate provides:
+//!
+//! - [`GridQuantizer`] — a single-resolution quantizer with a compact class
+//!   registry and two decode policies ([`DecodePolicy`]),
+//! - [`MultiResolutionQuantizer`] — the paper's `(c, r)` formulation: a fine
+//!   grid of side `τ` plus a coarse grid of side `l > τ`,
+//! - [`LabelEncoder`] — multi-hot target construction, optionally expanding
+//!   positives to adjacent occupied cells (the paper's remedy for class
+//!   data sparsity).
+//!
+//! # Example
+//!
+//! ```
+//! use noble_geo::Point;
+//! use noble_quantize::{DecodePolicy, GridQuantizer};
+//!
+//! let samples = vec![Point::new(0.1, 0.1), Point::new(0.2, 0.15), Point::new(5.0, 5.0)];
+//! let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::SampleMean).unwrap();
+//! assert_eq!(q.num_classes(), 2);
+//! let class = q.quantize(Point::new(0.12, 0.11)).unwrap();
+//! let decoded = q.decode(class).unwrap();
+//! assert!(decoded.distance(Point::new(0.15, 0.125)) < 1e-9);
+//! ```
+
+mod error;
+mod grid_quantizer;
+mod labels;
+mod multires;
+
+pub use error::QuantizeError;
+pub use grid_quantizer::{ClassId, DecodePolicy, GridQuantizer};
+pub use labels::LabelEncoder;
+pub use multires::MultiResolutionQuantizer;

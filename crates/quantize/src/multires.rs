@@ -1,0 +1,112 @@
+use crate::{ClassId, DecodePolicy, GridQuantizer, QuantizeError};
+use noble_geo::Point;
+
+/// The paper's multi-resolution formulation (§III-B): each sample carries a
+/// fine class `c` (grid side `τ`) *and* a coarse class `r` (grid side
+/// `l > τ`), "giving different levels of granularity of the output
+/// manifold".
+///
+/// The fine quantizer decodes predictions; the coarse head regularizes
+/// training and mitigates fine-class data sparsity.
+#[derive(Debug, Clone)]
+pub struct MultiResolutionQuantizer {
+    fine: GridQuantizer,
+    coarse: GridQuantizer,
+}
+
+impl MultiResolutionQuantizer {
+    /// Fits fine (`tau`) and coarse (`l`) quantizers to the same samples.
+    ///
+    /// # Errors
+    ///
+    /// - [`QuantizeError::InvalidResolution`] unless `l > tau`.
+    /// - Propagates [`GridQuantizer::fit`] failures.
+    pub fn fit(
+        samples: &[Point],
+        tau: f64,
+        l: f64,
+        policy: DecodePolicy,
+    ) -> Result<Self, QuantizeError> {
+        if !(l > tau) {
+            return Err(QuantizeError::InvalidResolution(format!(
+                "coarse side {l} must exceed fine side {tau}"
+            )));
+        }
+        Ok(MultiResolutionQuantizer {
+            fine: GridQuantizer::fit(samples, tau, policy)?,
+            coarse: GridQuantizer::fit(samples, l, policy)?,
+        })
+    }
+
+    /// The fine quantizer (side `τ`).
+    pub fn fine(&self) -> &GridQuantizer {
+        &self.fine
+    }
+
+    /// The coarse quantizer (side `l`).
+    pub fn coarse(&self) -> &GridQuantizer {
+        &self.coarse
+    }
+
+    /// `(c, r)` labels of a point: fine and coarse nearest classes.
+    pub fn labels(&self, p: Point) -> (ClassId, ClassId) {
+        (self.fine.quantize_nearest(p), self.coarse.quantize_nearest(p))
+    }
+
+    /// Decodes a fine class prediction to coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::UnknownClass`] for an unregistered id.
+    pub fn decode_fine(&self, class: ClassId) -> Result<Point, QuantizeError> {
+        self.fine.decode(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Point> {
+        (0..64)
+            .map(|i| Point::new((i % 8) as f64 * 0.5, (i / 8) as f64 * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn fit_requires_coarser_l() {
+        assert!(MultiResolutionQuantizer::fit(&samples(), 1.0, 1.0, DecodePolicy::CellCenter).is_err());
+        assert!(MultiResolutionQuantizer::fit(&samples(), 1.0, 0.5, DecodePolicy::CellCenter).is_err());
+        assert!(MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).is_ok());
+    }
+
+    #[test]
+    fn coarse_has_fewer_classes() {
+        let q = MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).unwrap();
+        assert!(q.coarse().num_classes() < q.fine().num_classes());
+        assert!(q.fine().num_classes() <= 64);
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        let q = MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::SampleMean).unwrap();
+        let p = Point::new(1.3, 2.1);
+        let (c, r) = q.labels(p);
+        // Decoding the fine class should be closer (or equal) to p than the
+        // coarse class decode.
+        let fine_err = q.fine().decode(c).unwrap().distance(p);
+        let coarse_err = q.coarse().decode(r).unwrap().distance(p);
+        assert!(fine_err <= coarse_err + 1e-9);
+        assert_eq!(q.decode_fine(c).unwrap(), q.fine().decode(c).unwrap());
+    }
+
+    #[test]
+    fn coarse_groups_fine_cells() {
+        let q = MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).unwrap();
+        // Points in the same coarse cell but different fine cells.
+        let (c1, r1) = q.labels(Point::new(0.2, 0.2));
+        let (c2, r2) = q.labels(Point::new(1.2, 1.2));
+        assert_ne!(c1, c2);
+        assert_eq!(r1, r2);
+    }
+}

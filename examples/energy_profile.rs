@@ -1,0 +1,49 @@
+//! Edge-device energy profile of the NObLe models: the paper's §IV-C /
+//! §V-D argument that on-device inference plus inertial sensing beats GPS
+//! by more than an order of magnitude.
+//!
+//! Run with: `cargo run --release --example energy_profile`
+
+use noble_suite::noble::imu::{ImuNoble, ImuNobleConfig};
+use noble_suite::noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble_suite::noble_datasets::{uji_campaign, ImuConfig, ImuDataset, UjiConfig};
+use noble_suite::noble_energy::{
+    mac_count, EnergyModel, SensorConstants, TrackingEnergyReport,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tx2 = EnergyModel::jetson_tx2();
+    let mcu = EnergyModel::cortex_m7();
+
+    // WiFi localizer.
+    let campaign = uji_campaign(&UjiConfig::small())?;
+    let wifi = WifiNoble::train(&campaign, &WifiNobleConfig::small())?;
+    let wifi_macs = mac_count(&wifi.dense_shapes());
+    println!("WiFi localizer: {} dense layers, {wifi_macs} MACs/inference", wifi.dense_shapes().len());
+    for (name, device) in [("Jetson-TX2-like", &tx2), ("Cortex-M7-like", &mcu)] {
+        let p = device.profile(wifi_macs);
+        println!(
+            "  {name:>16}: {:.2} ms, {:.5} J per fingerprint",
+            p.latency_s * 1e3,
+            p.energy_j
+        );
+    }
+
+    // IMU tracker and the GPS comparison.
+    let mut imu_cfg = ImuConfig::default();
+    imu_cfg.num_reference_points = 30;
+    imu_cfg.num_paths = 200;
+    imu_cfg.max_path_segments = 5;
+    let dataset = ImuDataset::generate(&imu_cfg)?;
+    let imu = ImuNoble::train(&dataset, &ImuNobleConfig::small())?;
+    let imu_macs = mac_count(&imu.dense_shapes());
+    let profile = tx2.profile(imu_macs);
+    println!("\nIMU tracker: {imu_macs} MACs/inference");
+    let report = TrackingEnergyReport::compare(profile, SensorConstants::default(), 8.0);
+    println!("  {report}");
+    println!(
+        "\n=> NObLe tracking is {:.0}x cheaper than GPS for the same window (paper: ~27x).",
+        report.advantage
+    );
+    Ok(())
+}

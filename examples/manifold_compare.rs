@@ -1,0 +1,70 @@
+//! Manifold learning on localization signals: fit Isomap and LLE on RSSI
+//! fingerprints and inspect how well input-space embeddings recover the
+//! campus geometry — the premise the paper challenges in §III-A.
+//!
+//! Run with: `cargo run --release --example manifold_compare`
+
+use noble_suite::noble_datasets::{uji_campaign, UjiConfig};
+use noble_suite::noble_linalg::euclidean_distance;
+use noble_suite::noble_manifold::{Isomap, Lle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let campaign = uji_campaign(&UjiConfig::small())?;
+    let features = campaign.features(&campaign.train);
+    println!(
+        "fitting Isomap and LLE on {} fingerprints of dimension {}\n",
+        features.rows(),
+        features.cols()
+    );
+
+    let isomap = Isomap::fit(&features, 8, 2, 42)?;
+    let lle = Lle::fit(&features, 8, 2, 1e-3, 42)?;
+
+    // Correlate embedding distance with true position distance over random
+    // pairs: a perfect manifold recovery gives correlation 1; noisy RSSI
+    // makes input-space neighborhoods unreliable (the paper's motivation).
+    for (name, embedding, retained) in [
+        ("Isomap", isomap.embedding(), Some(isomap.retained_indices())),
+        ("LLE", lle.embedding(), None),
+    ] {
+        let mut embed_d = Vec::new();
+        let mut true_d = Vec::new();
+        let n = embedding.rows();
+        for i in (0..n).step_by(3) {
+            for j in (i + 1..n).step_by(7) {
+                embed_d.push(euclidean_distance(embedding.row(i), embedding.row(j)));
+                let (oi, oj) = match retained {
+                    Some(r) => (r[i], r[j]),
+                    None => (i, j),
+                };
+                true_d.push(
+                    campaign.train[oi]
+                        .position
+                        .distance(campaign.train[oj].position),
+                );
+            }
+        }
+        let corr = correlation(&embed_d, &true_d);
+        println!(
+            "{name:>7}: embedding of {} points, distance correlation with ground truth = {corr:.3}",
+            n
+        );
+    }
+    println!("\ncorrelations well below 1 illustrate why NObLe avoids input-space neighborhoods.");
+    Ok(())
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}

@@ -1,0 +1,26 @@
+//! Facade crate for the NObLe localization suite.
+//!
+//! Re-exports every member crate under one roof so the repository-level
+//! examples and integration tests can `use noble_suite::...` without
+//! spelling out individual crate names. Downstream users should depend on
+//! the individual crates (`noble`, `noble-nn`, ...) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use noble_suite::noble_geo::Point;
+//! use noble_suite::noble_quantize::{DecodePolicy, GridQuantizer};
+//!
+//! let samples = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
+//! let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::SampleMean).unwrap();
+//! assert_eq!(q.num_classes(), 2);
+//! ```
+
+pub use noble;
+pub use noble_datasets;
+pub use noble_energy;
+pub use noble_geo;
+pub use noble_linalg;
+pub use noble_manifold;
+pub use noble_nn;
+pub use noble_quantize;

@@ -1,0 +1,89 @@
+//! Cross-crate dataset invariants: generated campaigns must be consistent
+//! with the geometry and signal model they are built on.
+
+use noble_suite::noble_datasets::rssi::{normalize_fingerprint, normalize_rssi};
+use noble_suite::noble_datasets::{
+    uji_campaign, ImuConfig, ImuDataset, UjiConfig, NOT_DETECTED, SAMPLES_PER_SEGMENT,
+};
+use proptest::prelude::*;
+
+#[test]
+fn wifi_samples_consistent_with_map_and_waps() {
+    let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+    for s in campaign.train.iter().chain(&campaign.val).chain(&campaign.test) {
+        assert_eq!(s.rssi.len(), campaign.num_waps());
+        assert_eq!(campaign.map.building_containing(s.position), Some(s.building));
+        for &r in &s.rssi {
+            assert!(
+                r == NOT_DETECTED || (-100.0..=0.0).contains(&r),
+                "rssi {r} out of range"
+            );
+        }
+    }
+}
+
+#[test]
+fn wifi_val_split_disjoint_from_train() {
+    let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+    // Samples are cloned into splits; verify no fingerprint vector appears
+    // in both train and val (positions may repeat across references).
+    for v in &campaign.val {
+        assert!(
+            !campaign.train.iter().any(|t| t.rssi == v.rssi && t.position == v.position),
+            "validation sample duplicated in train"
+        );
+    }
+}
+
+#[test]
+fn imu_paths_have_bounded_displacement() {
+    let d = ImuDataset::generate(&ImuConfig::small()).unwrap();
+    let dt = SAMPLES_PER_SEGMENT as f64 / 50.0;
+    for p in d.train.iter().chain(&d.val).chain(&d.test) {
+        // A pedestrian cannot displace farther than max speed x time.
+        let bound = 2.0 * dt * p.segments.len() as f64;
+        assert!(
+            p.true_displacement().length() <= bound,
+            "displacement {} exceeds kinematic bound {bound}",
+            p.true_displacement().length()
+        );
+    }
+}
+
+#[test]
+fn imu_reference_points_spaced_reasonably() {
+    let d = ImuDataset::generate(&ImuConfig::small()).unwrap();
+    for w in d.reference_points.windows(2) {
+        let gap = w[0].distance(w[1]);
+        assert!(gap > 1.0, "references collapsed: {gap}");
+        assert!(gap < 40.0, "references too far apart: {gap}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Normalization maps the full dBm range into [0, 1] monotonically.
+    #[test]
+    fn rssi_normalization_monotone(a in -95.0f64..0.0, b in -95.0f64..0.0) {
+        let na = normalize_rssi(a, -95.0);
+        let nb = normalize_rssi(b, -95.0);
+        prop_assert!((0.0..=1.0).contains(&na));
+        if a < b {
+            prop_assert!(na <= nb);
+        }
+    }
+
+    /// NOT_DETECTED always normalizes to exactly zero regardless of the
+    /// neighbors in the fingerprint.
+    #[test]
+    fn not_detected_is_zero(values in prop::collection::vec(-95.0f64..0.0, 1..8)) {
+        let mut raw = values.clone();
+        raw.push(NOT_DETECTED);
+        let norm = normalize_fingerprint(&raw, -95.0);
+        prop_assert_eq!(norm[norm.len() - 1], 0.0);
+        for v in &norm[..norm.len() - 1] {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate manifold pipeline: embeddings of RSSI fingerprints must be
+//! usable end to end (fit on landmarks, transform held-out scans, regress).
+
+use noble_suite::noble_datasets::{uji_campaign, UjiConfig};
+use noble_suite::noble_linalg::{euclidean_distance, Matrix};
+use noble_suite::noble_manifold::{
+    classical_mds, geodesic_distances, pairwise_distances, Isomap, Lle, NeighborGraph,
+};
+
+#[test]
+fn isomap_embeds_train_and_test_fingerprints() {
+    let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+    let train = campaign.features(&campaign.train);
+    let isomap = Isomap::fit(&train, 8, 4, 3).unwrap();
+    assert_eq!(isomap.embedding().cols(), 4);
+    let test = campaign.features(&campaign.test);
+    let embedded = isomap.transform(&test);
+    assert_eq!(embedded.shape(), (test.rows(), 4));
+    assert!(embedded.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn lle_embeds_train_and_test_fingerprints() {
+    let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+    let train = campaign.features(&campaign.train);
+    // Subsample to keep the eigenproblem small.
+    let idx: Vec<usize> = (0..train.rows()).step_by(3).collect();
+    let landmarks = train.select_rows(&idx);
+    let lle = Lle::fit(&landmarks, 6, 3, 1e-3, 3).unwrap();
+    let test = campaign.features(&campaign.test);
+    let embedded = lle.transform(&test);
+    assert_eq!(embedded.shape(), (test.rows(), 3));
+    assert!(embedded.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn mds_on_geodesics_recovers_a_grid() {
+    // Points on a 2-D grid: geodesic MDS through a kNN graph must recover
+    // pairwise distances up to the inherent graph-metric inflation. A
+    // 4-neighbor graph measures Manhattan-like path lengths, which exceed
+    // Euclidean diagonals by up to sqrt(2) (~41 %), so the distortion
+    // bound must sit above that floor; 0.75 catches real regressions
+    // (wrong eigenvectors, broken centering) while tolerating the metric
+    // mismatch.
+    let mut rows = Vec::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            rows.push(vec![i as f64, j as f64]);
+        }
+    }
+    let data = Matrix::from_rows(&rows).unwrap();
+    let graph = NeighborGraph::knn_graph(&data, 4).unwrap();
+    let geo = geodesic_distances(&graph).unwrap();
+    let embedding = classical_mds(&geo, 2, 9).unwrap();
+    // Compare embedding distances against original grid distances.
+    let orig = pairwise_distances(&data);
+    let mut max_rel = 0.0f64;
+    let mut sum_rel = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..data.rows() {
+        for j in (i + 1)..data.rows() {
+            let de = euclidean_distance(embedding.row(i), embedding.row(j));
+            let rel = (de - orig[(i, j)]).abs() / orig[(i, j)].max(1.0);
+            max_rel = max_rel.max(rel);
+            sum_rel += rel;
+            count += 1;
+        }
+    }
+    assert!(max_rel < 0.75, "max relative distortion {max_rel}");
+    // The *average* distortion must stay near the Manhattan-vs-Euclidean
+    // floor (measured ~0.27 for a 6x6 grid); far above it means broken
+    // eigenvectors or centering.
+    let mean_rel = sum_rel / count as f64;
+    assert!(mean_rel < 0.4, "mean relative distortion {mean_rel}");
+}
+
+#[test]
+fn embedding_distance_correlates_with_position_distance() {
+    // The premise of the manifold baselines: RSSI embeddings carry *some*
+    // geometry (correlation well above 0) even though they are noisy.
+    let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+    let train = campaign.features(&campaign.train);
+    let isomap = Isomap::fit(&train, 8, 4, 5).unwrap();
+    let e = isomap.embedding();
+    let retained = isomap.retained_indices();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for a in (0..e.rows()).step_by(5) {
+        for b in (a + 1..e.rows()).step_by(11) {
+            xs.push(euclidean_distance(e.row(a), e.row(b)));
+            ys.push(
+                campaign.train[retained[a]]
+                    .position
+                    .distance(campaign.train[retained[b]].position),
+            );
+        }
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    let corr = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
+    assert!(corr > 0.3, "correlation {corr} too weak — embedding uninformative");
+}

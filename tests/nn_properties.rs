@@ -1,0 +1,99 @@
+//! Property-based tests of the neural-network substrate: gradients match
+//! finite differences for arbitrary small networks and data.
+
+use noble_suite::noble_linalg::Matrix;
+use noble_suite::noble_nn::{
+    Activation, BceWithLogitsLoss, Loss, Mlp, MseLoss, SoftmaxCrossEntropyLoss,
+};
+use proptest::prelude::*;
+
+fn tiny_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2.0f64..2.0, rows * cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end MLP gradient vs central finite differences, randomized
+    /// over inputs, targets and seed.
+    #[test]
+    fn mlp_gradient_matches_finite_difference(
+        x_data in tiny_matrix(3, 4),
+        t_data in tiny_matrix(3, 2),
+        seed in 0u64..1000,
+    ) {
+        let x = Matrix::from_vec(3, 4, x_data).unwrap();
+        let t = Matrix::from_vec(3, 2, t_data).unwrap();
+        let mut mlp = Mlp::builder(4, seed)
+            .dense(5)
+            .activation(Activation::Tanh)
+            .dense(2)
+            .build();
+        let out = mlp.forward(&x, true).unwrap();
+        let (_, grad) = MseLoss.evaluate(&out, &t).unwrap();
+        mlp.backward(&grad).unwrap();
+        let analytic = {
+            let mut params = mlp.params_mut();
+            params[0].grad[(0, 0)]
+        };
+
+        let h = 1e-6;
+        let mut loss_at = |delta: f64| -> f64 {
+            let mut m = mlp.clone();
+            {
+                let mut params = m.params_mut();
+                params[0].value[(0, 0)] += delta;
+            }
+            let out = m.forward(&x, true).unwrap();
+            MseLoss.evaluate(&out, &t).unwrap().0
+        };
+        let numeric = (loss_at(h) - loss_at(-h)) / (2.0 * h);
+        prop_assert!((analytic - numeric).abs() < 1e-5,
+            "analytic {analytic} vs numeric {numeric}");
+    }
+
+    /// Softmax CE gradient rows always sum to ~0 (probability mass
+    /// conservation) for arbitrary logits.
+    #[test]
+    fn softmax_ce_grad_rows_sum_zero(z_data in tiny_matrix(2, 5), class_a in 0usize..5, class_b in 0usize..5) {
+        let z = Matrix::from_vec(2, 5, z_data).unwrap();
+        let mut t = Matrix::zeros(2, 5);
+        t[(0, class_a)] = 1.0;
+        t[(1, class_b)] = 1.0;
+        let (_, g) = SoftmaxCrossEntropyLoss.evaluate(&z, &t).unwrap();
+        for i in 0..2 {
+            let s: f64 = g.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-10, "row {i} grad sum {s}");
+        }
+    }
+
+    /// BCE with logits is always non-negative and finite, even for extreme
+    /// logits.
+    #[test]
+    fn bce_nonnegative_finite(z_data in prop::collection::vec(-100.0f64..100.0, 6)) {
+        let z = Matrix::from_vec(2, 3, z_data).unwrap();
+        let t = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        let (l, g) = BceWithLogitsLoss.evaluate(&z, &t).unwrap();
+        prop_assert!(l >= 0.0 && l.is_finite());
+        prop_assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// One SGD step on a linear layer strictly decreases MSE for a small
+    /// enough learning rate (descent property).
+    #[test]
+    fn sgd_step_decreases_loss(x_data in tiny_matrix(4, 3), t_data in tiny_matrix(4, 2), seed in 0u64..100) {
+        use noble_suite::noble_nn::Optimizer;
+        let x = Matrix::from_vec(4, 3, x_data).unwrap();
+        let t = Matrix::from_vec(4, 2, t_data).unwrap();
+        let mut mlp = Mlp::builder(3, seed).dense(2).build();
+        let out = mlp.forward(&x, true).unwrap();
+        let (l0, grad) = MseLoss.evaluate(&out, &t).unwrap();
+        prop_assume!(l0 > 1e-9); // already at a minimum: nothing to descend
+        mlp.backward(&grad).unwrap();
+        let mut opt = Optimizer::sgd(1e-3);
+        mlp.apply_gradients(&mut opt);
+        let out1 = mlp.forward(&x, false).unwrap();
+        let (l1, _) = MseLoss.evaluate(&out1, &t).unwrap();
+        prop_assert!(l1 <= l0 + 1e-12, "loss rose from {l0} to {l1}");
+    }
+}

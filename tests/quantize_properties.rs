@@ -1,0 +1,98 @@
+//! Property-based tests of the quantization/geometry invariants the NObLe
+//! decode path relies on.
+
+use noble_suite::noble_geo::{Building, CampusMap, Point, Polygon};
+use noble_suite::noble_quantize::{DecodePolicy, GridQuantizer};
+use proptest::prelude::*;
+
+fn arbitrary_points(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(
+        (
+            prop::num::f64::NORMAL.prop_map(|v| (v % 100.0).abs()),
+            prop::num::f64::NORMAL.prop_map(|v| (v % 100.0).abs()),
+        ),
+        1..max,
+    )
+}
+
+proptest! {
+    /// Decoding a training point's own class never errs by more than the
+    /// cell diagonal (cell-center policy).
+    #[test]
+    fn decode_error_bounded_by_cell_diagonal(raw in arbitrary_points(60), tau in 0.5f64..8.0) {
+        let points: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let q = GridQuantizer::fit(&points, tau, DecodePolicy::CellCenter).unwrap();
+        let bound = tau * std::f64::consts::SQRT_2 / 2.0 + 1e-6;
+        for p in &points {
+            let class = q.quantize(*p).expect("training point in occupied cell");
+            let decoded = q.decode(class).unwrap();
+            prop_assert!(decoded.distance(*p) <= bound,
+                "decode error {} exceeds half-diagonal {bound}", decoded.distance(*p));
+        }
+    }
+
+    /// Sample-mean decode always lands inside the convex hull bounding box
+    /// of the samples (it is a mean of training points in the cell).
+    #[test]
+    fn sample_mean_decode_within_data_bounds(raw in arbitrary_points(60), tau in 0.5f64..8.0) {
+        let points: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let q = GridQuantizer::fit(&points, tau, DecodePolicy::SampleMean).unwrap();
+        let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let max_x = points.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+        let max_y = points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+        for class in 0..q.num_classes() {
+            let c = q.decode(class).unwrap();
+            prop_assert!(c.x >= min_x - 1e-9 && c.x <= max_x + 1e-9);
+            prop_assert!(c.y >= min_y - 1e-9 && c.y <= max_y + 1e-9);
+        }
+    }
+
+    /// quantize_nearest is total: every probe resolves to a registered
+    /// class, and for points in occupied cells it agrees with quantize.
+    #[test]
+    fn quantize_nearest_total_and_consistent(
+        raw in arbitrary_points(40),
+        probe_x in -50.0f64..150.0,
+        probe_y in -50.0f64..150.0,
+    ) {
+        let points: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let q = GridQuantizer::fit(&points, 2.0, DecodePolicy::CellCenter).unwrap();
+        let probe = Point::new(probe_x, probe_y);
+        let nearest = q.quantize_nearest(probe);
+        prop_assert!(nearest < q.num_classes());
+        if let Some(direct) = q.quantize(probe) {
+            prop_assert_eq!(direct, nearest);
+        }
+    }
+
+    /// Map projection is idempotent and always lands on accessible space.
+    #[test]
+    fn projection_idempotent(px in -50.0f64..100.0, py in -50.0f64..100.0) {
+        let building = Building::new(
+            Polygon::rectangle(0.0, 0.0, 40.0, 30.0).unwrap(), 2,
+        ).unwrap().with_hole(Polygon::rectangle(10.0, 10.0, 30.0, 20.0).unwrap());
+        let map = CampusMap::new(vec![building]).unwrap();
+        let p = Point::new(px, py);
+        let projected = map.project(p);
+        prop_assert!(map.is_accessible(projected), "projection left the map: {projected}");
+        let twice = map.project(projected);
+        prop_assert!(projected.distance(twice) < 1e-6, "projection not idempotent");
+    }
+
+    /// Off-map distance is zero exactly for accessible points.
+    #[test]
+    fn off_map_distance_zero_iff_accessible(px in -10.0f64..60.0, py in -10.0f64..40.0) {
+        let building = Building::new(
+            Polygon::rectangle(0.0, 0.0, 40.0, 30.0).unwrap(), 1,
+        ).unwrap();
+        let map = CampusMap::new(vec![building]).unwrap();
+        let p = Point::new(px, py);
+        let d = map.off_map_distance(p);
+        if map.is_accessible(p) {
+            prop_assert!(d < 1e-9);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+}
