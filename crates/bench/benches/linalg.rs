@@ -23,11 +23,17 @@ fn bench_linalg(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg");
     let a = random_matrix(128, 1);
     let b = random_matrix(128, 2);
-    group.bench_function("matmul_128", |bch| bch.iter(|| a.matmul(&b).expect("shapes")));
+    group.bench_function("matmul_128", |bch| {
+        bch.iter(|| a.matmul(&b).expect("shapes"))
+    });
 
     let spd = random_spd(64, 3);
-    group.bench_function("cholesky_64", |bch| bch.iter(|| cholesky(&spd).expect("spd")));
-    group.bench_function("lu_64", |bch| bch.iter(|| lu_decompose(&spd).expect("nonsingular")));
+    group.bench_function("cholesky_64", |bch| {
+        bch.iter(|| cholesky(&spd).expect("spd"))
+    });
+    group.bench_function("lu_64", |bch| {
+        bch.iter(|| lu_decompose(&spd).expect("nonsingular"))
+    });
 
     let sym = {
         let m = random_matrix(48, 5);

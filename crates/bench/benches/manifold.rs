@@ -18,9 +18,7 @@ fn bench_manifold(c: &mut Criterion) {
     let mut group = c.benchmark_group("manifold");
     group.sample_size(20);
 
-    group.bench_function("knn_brute_400", |b| {
-        b.iter(|| knn_brute(&data, &query, 10))
-    });
+    group.bench_function("knn_brute_400", |b| b.iter(|| knn_brute(&data, &query, 10)));
 
     let tree = KdTree::build(&data);
     group.bench_function("kdtree_query_400", |b| b.iter(|| tree.knn(&query, 10)));

@@ -23,12 +23,7 @@ fn bench_quantizer(c: &mut Criterion) {
         b.iter(|| GridQuantizer::fit(&points, 1.0, DecodePolicy::SampleMean).expect("fit"))
     });
     group.bench_function("quantize_nearest_256", |b| {
-        b.iter(|| {
-            probes
-                .iter()
-                .map(|&p| q.quantize_nearest(p))
-                .sum::<usize>()
-        })
+        b.iter(|| probes.iter().map(|&p| q.quantize_nearest(p)).sum::<usize>())
     });
     group.bench_function("decode_all_classes", |b| {
         b.iter(|| {

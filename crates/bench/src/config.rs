@@ -1,8 +1,8 @@
 //! Experiment scaling: paper-scaled `Full` runs vs CI-friendly `Quick`
 //! runs.
 
-use noble::imu::ImuNobleConfig;
 use noble::imu::baselines::ImuRegressionConfig;
+use noble::imu::ImuNobleConfig;
 use noble::wifi::baselines::{ManifoldKind, ManifoldRegressionConfig, RegressionConfig};
 use noble::wifi::WifiNobleConfig;
 use noble_datasets::{CampusConfig, ImuConfig, UjiConfig};

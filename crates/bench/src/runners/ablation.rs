@@ -163,7 +163,10 @@ pub fn run_decode(scale: Scale) -> RunnerResult {
     let campaign = uji_campaign(&uji_config(scale))?;
     let base = wifi_noble_config(scale);
     let variants: Vec<(&str, DecodePolicy)> = vec![
-        ("sample mean (paper's central coords)", DecodePolicy::SampleMean),
+        (
+            "sample mean (paper's central coords)",
+            DecodePolicy::SampleMean,
+        ),
         ("cell center", DecodePolicy::CellCenter),
     ];
     let mut table = TextTable::new(vec![

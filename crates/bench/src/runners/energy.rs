@@ -36,11 +36,7 @@ pub fn run(scale: Scale) -> RunnerResult {
     let imu_profile = device.profile(mac_count(&imu_model.dense_shapes()));
     let tracking = TrackingEnergyReport::compare(imu_profile, SensorConstants::default(), 8.0);
 
-    let mut table = TextTable::new(vec![
-        "QUANTITY".into(),
-        "MEASURED".into(),
-        "PAPER".into(),
-    ]);
+    let mut table = TextTable::new(vec!["QUANTITY".into(), "MEASURED".into(), "PAPER".into()]);
     table.add_row(vec![
         "WIFI INFERENCE ENERGY (J)".into(),
         format!("{:.5}", wifi_profile.energy_j),

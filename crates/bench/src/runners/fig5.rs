@@ -29,7 +29,11 @@ pub fn run(scale: Scale) -> RunnerResult {
     let refs: Vec<&ImuPathSample> = dataset.test.iter().collect();
     let regression_preds = regression.predict(&refs)?;
 
-    let dr_preds: Vec<Point> = dataset.test.iter().map(DeadReckoning::predict_one).collect();
+    let dr_preds: Vec<Point> = dataset
+        .test
+        .iter()
+        .map(DeadReckoning::predict_one)
+        .collect();
 
     let mut noble_model = ImuNoble::train(&dataset, &imu_noble_config(scale))?;
     let noble_preds = noble_model.predict(&refs)?;

@@ -63,7 +63,11 @@ pub fn run(scale: Scale) -> RunnerResult {
         "MEASURED".into(),
         "PAPER".into(),
     ]);
-    err.add_row(vec!["MEAN".into(), meters(report.position_error.mean), "4.45".into()]);
+    err.add_row(vec![
+        "MEAN".into(),
+        meters(report.position_error.mean),
+        "4.45".into(),
+    ]);
     err.add_row(vec![
         "MEDIAN".into(),
         meters(report.position_error.median),

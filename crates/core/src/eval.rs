@@ -36,10 +36,7 @@ pub fn position_errors(predicted: &[Point], truth: &[Point]) -> Vec<f64> {
 /// # Errors
 ///
 /// Returns [`NobleError::InvalidData`] for empty inputs.
-pub fn position_error_summary(
-    predicted: &[Point],
-    truth: &[Point],
-) -> Result<Summary, NobleError> {
+pub fn position_error_summary(predicted: &[Point], truth: &[Point]) -> Result<Summary, NobleError> {
     if predicted.is_empty() {
         return Err(NobleError::InvalidData("no predictions to evaluate".into()));
     }

@@ -83,7 +83,9 @@ impl ImuDeepRegression {
     /// training failures.
     pub fn train(dataset: &ImuDataset, cfg: &ImuRegressionConfig) -> Result<Self, NobleError> {
         if dataset.train.is_empty() {
-            return Err(NobleError::InvalidData("dataset has no training paths".into()));
+            return Err(NobleError::InvalidData(
+                "dataset has no training paths".into(),
+            ));
         }
         // Coordinate scaler over end positions.
         let n = dataset.train.len() as f64;

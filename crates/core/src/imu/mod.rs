@@ -12,7 +12,7 @@
 //!
 //! Training is end-to-end: cross-entropy on the end class plus an
 //! auxiliary mean-squared-error term on the displacement vector. The
-//! baselines of Table III are in [`baselines`](crate::imu::baselines).
+//! baselines of Table III are in [`baselines`].
 
 pub mod baselines;
 
@@ -22,7 +22,7 @@ use noble_datasets::{ImuDataset, ImuPathSample, SEGMENT_FEATURE_DIM};
 use noble_geo::Point;
 use noble_linalg::{Matrix, Summary};
 use noble_nn::{
-    one_hot, softmax_row, Activation, Dense, Mlp, Optimizer, SoftmaxCrossEntropyLoss, Loss,
+    one_hot, softmax_row, Activation, Dense, Loss, Mlp, Optimizer, SoftmaxCrossEntropyLoss,
 };
 use noble_quantize::{DecodePolicy, GridQuantizer};
 use rand::rngs::StdRng;
@@ -121,11 +121,14 @@ impl ImuNoble {
     /// quantizer and network failures.
     pub fn train(dataset: &ImuDataset, cfg: &ImuNobleConfig) -> Result<Self, NobleError> {
         if dataset.train.is_empty() {
-            return Err(NobleError::InvalidData("dataset has no training paths".into()));
+            return Err(NobleError::InvalidData(
+                "dataset has no training paths".into(),
+            ));
         }
         // Quantize over both start and end positions so the start one-hot
         // and the end classes share one vocabulary.
-        let mut anchor_positions: Vec<Point> = dataset.train.iter().map(|p| p.end_position).collect();
+        let mut anchor_positions: Vec<Point> =
+            dataset.train.iter().map(|p| p.end_position).collect();
         anchor_positions.extend(dataset.train.iter().map(|p| p.start_position));
         let quantizer = GridQuantizer::fit(&anchor_positions, cfg.tau, cfg.decode_policy)?;
         let num_classes = quantizer.num_classes();

@@ -58,8 +58,8 @@ impl TextTable {
             .unwrap_or(0);
         let cell = |row: &[String], c: usize| row.get(c).cloned().unwrap_or_default();
         let mut widths = vec![0usize; cols];
-        for c in 0..cols {
-            widths[c] = std::iter::once(&self.header)
+        for (c, w) in widths.iter_mut().enumerate() {
+            *w = std::iter::once(&self.header)
                 .chain(self.rows.iter())
                 .map(|r| cell(r, c).len())
                 .max()

@@ -119,7 +119,9 @@ impl DeepRegression {
     /// training failures.
     pub fn train(campaign: &WifiCampaign, cfg: &RegressionConfig) -> Result<Self, NobleError> {
         if campaign.train.is_empty() {
-            return Err(NobleError::InvalidData("campaign has no training samples".into()));
+            return Err(NobleError::InvalidData(
+                "campaign has no training samples".into(),
+            ));
         }
         let x = campaign.features(&campaign.train);
         let positions: Vec<Point> = campaign.train.iter().map(|s| s.position).collect();
@@ -154,7 +156,9 @@ impl DeepRegression {
     /// Propagates network failures.
     pub fn predict(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
         let out = self.mlp.predict(features)?;
-        Ok((0..out.rows()).map(|i| self.scaler.decode_row(out.row(i))).collect())
+        Ok((0..out.rows())
+            .map(|i| self.scaler.decode_row(out.row(i)))
+            .collect())
     }
 
     /// *Deep Regression Projection*: predictions snapped onto the map's
@@ -291,7 +295,9 @@ impl ManifoldRegression {
         cfg: &ManifoldRegressionConfig,
     ) -> Result<Self, NobleError> {
         if campaign.train.is_empty() {
-            return Err(NobleError::InvalidData("campaign has no training samples".into()));
+            return Err(NobleError::InvalidData(
+                "campaign has no training samples".into(),
+            ));
         }
         let x = campaign.features(&campaign.train);
         // Landmark subsample for the embedding fit.
@@ -372,7 +378,9 @@ impl ManifoldRegression {
             FittedEmbedding::Pca(m) => m.transform(features),
         };
         let out = self.mlp.predict(&embedded)?;
-        Ok((0..out.rows()).map(|i| self.scaler.decode_row(out.row(i))).collect())
+        Ok((0..out.rows())
+            .map(|i| self.scaler.decode_row(out.row(i)))
+            .collect())
     }
 
     /// Position-error summary on a labeled set.
@@ -411,7 +419,9 @@ impl KnnFingerprint {
     /// [`NobleError::InvalidData`] for an empty campaign or zero `k`.
     pub fn fit(campaign: &WifiCampaign, k: usize) -> Result<Self, NobleError> {
         if campaign.train.is_empty() {
-            return Err(NobleError::InvalidData("campaign has no training samples".into()));
+            return Err(NobleError::InvalidData(
+                "campaign has no training samples".into(),
+            ));
         }
         if k == 0 {
             return Err(NobleError::InvalidConfig("k must be positive".into()));

@@ -7,7 +7,7 @@
 //! binary cross-entropy (Fig. 3). Inference decodes the predicted class to
 //! its neighborhood's central coordinates.
 //!
-//! The comparison models of Table II live in [`baselines`](crate::wifi::baselines).
+//! The comparison models of Table II live in [`baselines`].
 
 pub mod baselines;
 pub mod tracking;
@@ -18,8 +18,8 @@ use noble_datasets::{WifiCampaign, WifiSample};
 use noble_geo::Point;
 use noble_linalg::{Matrix, Summary};
 use noble_nn::{
-    accuracy, Activation, HeadSpec, Mlp, MultiHeadLoss, Optimizer, OutputLayout, TrainConfig,
-    Trainer, EarlyStopping,
+    accuracy, Activation, EarlyStopping, HeadSpec, Mlp, MultiHeadLoss, Optimizer, OutputLayout,
+    TrainConfig, Trainer,
 };
 use noble_quantize::{DecodePolicy, GridQuantizer, LabelEncoder};
 
@@ -121,6 +121,25 @@ pub struct WifiEvalReport {
 }
 
 /// The trained NObLe WiFi localizer.
+///
+/// # Example
+///
+/// Train on a small synthetic campaign and localize its test fingerprints:
+///
+/// ```
+/// use noble::wifi::{WifiNoble, WifiNobleConfig};
+/// use noble_datasets::{uji_campaign, UjiConfig};
+///
+/// let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+/// let mut cfg = WifiNobleConfig::small();
+/// cfg.epochs = 2; // keep the doctest fast; accuracy needs more
+/// let mut model = WifiNoble::train(&campaign, &cfg).unwrap();
+///
+/// let features = campaign.features(&campaign.test);
+/// let predictions = model.predict(&features).unwrap();
+/// assert_eq!(predictions.len(), campaign.test.len());
+/// assert!(predictions.iter().all(|p| p.position.x.is_finite()));
+/// ```
 #[derive(Debug, Clone)]
 pub struct WifiNoble {
     mlp: Mlp,
@@ -142,7 +161,9 @@ impl WifiNoble {
     /// samples.
     pub fn train(campaign: &WifiCampaign, cfg: &WifiNobleConfig) -> Result<Self, NobleError> {
         if campaign.train.is_empty() {
-            return Err(NobleError::InvalidData("campaign has no training samples".into()));
+            return Err(NobleError::InvalidData(
+                "campaign has no training samples".into(),
+            ));
         }
         let positions: Vec<Point> = campaign.train.iter().map(|s| s.position).collect();
         let fine = GridQuantizer::fit(&positions, cfg.tau, cfg.decode_policy)?;
@@ -191,13 +212,27 @@ impl WifiNoble {
         let head_fine = layout.head_index("fine").expect("declared above");
 
         let x = campaign.features(&campaign.train);
-        let y = Self::targets(campaign, &campaign.train, &layout, &fine, coarse.as_ref(), cfg)?;
+        let y = Self::targets(
+            campaign,
+            &campaign.train,
+            &layout,
+            &fine,
+            coarse.as_ref(),
+            cfg,
+        )?;
         let (x_val, y_val);
         let validation = if campaign.val.is_empty() {
             None
         } else {
             x_val = campaign.features(&campaign.val);
-            y_val = Self::targets(campaign, &campaign.val, &layout, &fine, coarse.as_ref(), cfg)?;
+            y_val = Self::targets(
+                campaign,
+                &campaign.val,
+                &layout,
+                &fine,
+                coarse.as_ref(),
+                cfg,
+            )?;
             Some((&x_val, &y_val))
         };
 
@@ -355,7 +390,9 @@ impl WifiNoble {
         k: usize,
     ) -> Result<Vec<(Point, f64)>, NobleError> {
         if k == 0 {
-            return Err(NobleError::InvalidConfig("top-k decode needs k >= 1".into()));
+            return Err(NobleError::InvalidConfig(
+                "top-k decode needs k >= 1".into(),
+            ));
         }
         let logits = self.mlp.predict(features)?;
         let probs = self.layout.predict_probabilities(&logits, self.head_fine)?;
@@ -447,7 +484,11 @@ mod tests {
             "building accuracy {}",
             report.building_accuracy
         );
-        assert!(report.position_error.mean < 60.0, "mean {}", report.position_error.mean);
+        assert!(
+            report.position_error.mean < 60.0,
+            "mean {}",
+            report.position_error.mean
+        );
         // Decoded positions are training centroids, hence on the map.
         assert!(report.structure.on_map_fraction > 0.95);
     }
@@ -514,13 +555,38 @@ mod tests {
         let argmax_preds = model.predict(&features).unwrap();
         let expected = model.predict_expected(&features, 3).unwrap();
         assert_eq!(expected.len(), argmax_preds.len());
+
+        // The expectation is a convex combination of fine-cell centroids, so
+        // it must stay inside their bounding box, and its distance from the
+        // arg-max centroid is bounded by the probability mass the model puts
+        // on the *other* top-k cells times the largest centroid spread.
+        let centroids: Vec<Point> = (0..model.fine_quantizer().num_classes())
+            .map(|c| model.fine_quantizer().decode(c).unwrap())
+            .collect();
+        let min_x = centroids.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let max_x = centroids
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_y = centroids.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+        let max_y = centroids
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let spread = centroids
+            .iter()
+            .flat_map(|a| centroids.iter().map(move |b| a.distance(*b)))
+            .fold(0.0f64, f64::max);
         for ((pos, confidence), amax) in expected.iter().zip(&argmax_preds) {
             assert!((0.0..=1.0).contains(confidence));
-            // Expectation over top-3 cells cannot stray far from the
-            // arg-max centroid when the grid is coarse.
             assert!(
-                pos.distance(amax.position) < model.fine_quantizer().tau() * 6.0,
-                "expected decode {pos} vs argmax {}",
+                (min_x - 1e-9..=max_x + 1e-9).contains(&pos.x)
+                    && (min_y - 1e-9..=max_y + 1e-9).contains(&pos.y),
+                "expected decode {pos} escapes the centroid bounding box"
+            );
+            assert!(
+                pos.distance(amax.position) <= (1.0 - confidence) * spread + 1e-9,
+                "expected decode {pos} vs argmax {} exceeds mass bound",
                 amax.position
             );
         }

@@ -67,7 +67,9 @@ pub fn ipin_building(cfg: &CampusConfig) -> Result<CampusMap, DatasetError> {
 
 fn validate(cfg: &CampusConfig) -> Result<(), DatasetError> {
     if cfg.building_width_m <= 0.0 || cfg.building_depth_m <= 0.0 {
-        return Err(DatasetError::InvalidConfig("building dimensions must be positive".into()));
+        return Err(DatasetError::InvalidConfig(
+            "building dimensions must be positive".into(),
+        ));
     }
     if cfg.ring_thickness_m <= 0.0
         || 2.0 * cfg.ring_thickness_m >= cfg.building_width_m.min(cfg.building_depth_m)
@@ -78,13 +80,16 @@ fn validate(cfg: &CampusConfig) -> Result<(), DatasetError> {
         )));
     }
     if cfg.floors == 0 {
-        return Err(DatasetError::InvalidConfig("at least one floor required".into()));
+        return Err(DatasetError::InvalidConfig(
+            "at least one floor required".into(),
+        ));
     }
     Ok(())
 }
 
 fn ring_building(cfg: &CampusConfig, x0: f64, y0: f64) -> Result<Building, DatasetError> {
-    let footprint = Polygon::rectangle(x0, y0, x0 + cfg.building_width_m, y0 + cfg.building_depth_m)?;
+    let footprint =
+        Polygon::rectangle(x0, y0, x0 + cfg.building_width_m, y0 + cfg.building_depth_m)?;
     let t = cfg.ring_thickness_m;
     let hole = Polygon::rectangle(
         x0 + t,
@@ -153,7 +158,10 @@ mod tests {
         let map = uji_campus(&CampusConfig::default()).unwrap();
         for b in map.buildings() {
             let center = b.footprint().vertex_centroid();
-            assert!(!b.contains_accessible(center), "courtyard center must be off-map");
+            assert!(
+                !b.contains_accessible(center),
+                "courtyard center must be off-map"
+            );
         }
     }
 
@@ -188,14 +196,20 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut cfg = CampusConfig::default();
-        cfg.ring_thickness_m = 100.0;
+        let cfg = CampusConfig {
+            ring_thickness_m: 100.0,
+            ..CampusConfig::default()
+        };
         assert!(uji_campus(&cfg).is_err());
-        let mut cfg = CampusConfig::default();
-        cfg.floors = 0;
+        let cfg = CampusConfig {
+            floors: 0,
+            ..CampusConfig::default()
+        };
         assert!(uji_campus(&cfg).is_err());
-        let mut cfg = CampusConfig::default();
-        cfg.building_width_m = -5.0;
+        let cfg = CampusConfig {
+            building_width_m: -5.0,
+            ..CampusConfig::default()
+        };
         assert!(uji_campus(&cfg).is_err());
     }
 

@@ -22,7 +22,10 @@ impl fmt::Display for DatasetError {
         match self {
             DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DatasetError::SamplingFailed { attempts } => {
-                write!(f, "failed to sample an accessible point after {attempts} attempts")
+                write!(
+                    f,
+                    "failed to sample an accessible point after {attempts} attempts"
+                )
             }
             DatasetError::Geo(e) => write!(f, "geometry failure: {e}"),
         }
@@ -50,8 +53,12 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(DatasetError::InvalidConfig("x".into()).to_string().contains("x"));
-        assert!(DatasetError::SamplingFailed { attempts: 9 }.to_string().contains('9'));
+        assert!(DatasetError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(DatasetError::SamplingFailed { attempts: 9 }
+            .to_string()
+            .contains('9'));
         let e: DatasetError = GeoError::EmptyMap.into();
         assert!(Error::source(&e).is_some());
     }

@@ -258,18 +258,25 @@ impl ImuDataset {
 
                 gyro_z.push(turn_rate + gyro_bias + cfg.gyro_noise * standard_normal(&mut rng));
                 accel_fwd.push(
-                    lin_acc_fwd + gait_fwd + accel_bias + cfg.accel_noise * standard_normal(&mut rng),
+                    lin_acc_fwd
+                        + gait_fwd
+                        + accel_bias
+                        + cfg.accel_noise * standard_normal(&mut rng),
                 );
-                accel_lat
-                    .push(centripetal + cfg.accel_noise * standard_normal(&mut rng));
-                accel_vert.push(
-                    9.81 + gait_vert + cfg.accel_noise * standard_normal(&mut rng),
-                );
+                accel_lat.push(centripetal + cfg.accel_noise * standard_normal(&mut rng));
+                accel_vert.push(9.81 + gait_vert + cfg.accel_noise * standard_normal(&mut rng));
                 speeds.push(speed);
             }
 
             segments.push(featurize(
-                cfg, &gyro_z, &accel_fwd, &accel_lat, &accel_vert, compass, dt, &mut rng,
+                cfg,
+                &gyro_z,
+                &accel_fwd,
+                &accel_lat,
+                &accel_vert,
+                compass,
+                dt,
+                &mut rng,
             ));
             reference_points.push(loop_path.point_at(arc % total_len));
         }
@@ -313,7 +320,9 @@ impl ImuDataset {
 
 fn validate(cfg: &ImuConfig) -> Result<(), DatasetError> {
     if cfg.num_reference_points < 2 {
-        return Err(DatasetError::InvalidConfig("need at least 2 reference points".into()));
+        return Err(DatasetError::InvalidConfig(
+            "need at least 2 reference points".into(),
+        ));
     }
     if cfg.max_path_segments == 0 || cfg.max_path_segments >= cfg.num_reference_points {
         return Err(DatasetError::InvalidConfig(format!(
@@ -327,12 +336,17 @@ fn validate(cfg: &ImuConfig) -> Result<(), DatasetError> {
     if cfg.sample_rate_hz <= 0.0 || cfg.base_speed_mps <= 0.0 {
         return Err(DatasetError::InvalidConfig("rates must be positive".into()));
     }
-    if cfg.loop_width_m <= 2.0 * cfg.walkway_width_m || cfg.loop_height_m <= 2.0 * cfg.walkway_width_m
+    if cfg.loop_width_m <= 2.0 * cfg.walkway_width_m
+        || cfg.loop_height_m <= 2.0 * cfg.walkway_width_m
     {
-        return Err(DatasetError::InvalidConfig("loop too small for walkway".into()));
+        return Err(DatasetError::InvalidConfig(
+            "loop too small for walkway".into(),
+        ));
     }
     if cfg.train_fraction + cfg.val_fraction >= 1.0 {
-        return Err(DatasetError::InvalidConfig("train+val fractions must leave test data".into()));
+        return Err(DatasetError::InvalidConfig(
+            "train+val fractions must leave test data".into(),
+        ));
     }
     Ok(())
 }
@@ -358,7 +372,9 @@ fn walkway_map(cfg: &ImuConfig) -> Result<CampusMap, DatasetError> {
     let h = cfg.loop_height_m;
     let outer = Polygon::rectangle(-half, -half, w + half, h + half)?;
     let inner = Polygon::rectangle(half, half, w - half, h - half)?;
-    Ok(CampusMap::new(vec![Building::new(outer, 1)?.with_hole(inner)])?)
+    Ok(CampusMap::new(vec![
+        Building::new(outer, 1)?.with_hole(inner)
+    ])?)
 }
 
 /// Time-varying walking speed (smooth, strictly positive).
@@ -486,7 +502,10 @@ mod tests {
         let d = small();
         for p in d.train.iter().take(20) {
             assert_eq!(p.start_position, d.reference_points[p.start_ref]);
-            assert_eq!(p.end_position, d.reference_points[p.start_ref + p.segments.len()]);
+            assert_eq!(
+                p.end_position,
+                d.reference_points[p.start_ref + p.segments.len()]
+            );
         }
     }
 

@@ -81,7 +81,9 @@ impl PathLossModel {
     ) -> f64 {
         let planar = wap.position.distance(position);
         let dz = (wap.floor as f64 - floor as f64) * self.floor_height_m;
-        let d = (planar * planar + dz * dz).sqrt().max(self.reference_distance_m);
+        let d = (planar * planar + dz * dz)
+            .sqrt()
+            .max(self.reference_distance_m);
         let mut loss = 10.0 * self.exponent * (d / self.reference_distance_m).log10();
         loss += self.floor_loss_db * (wap.floor as f64 - floor as f64).abs();
         if wap.building != building {

@@ -50,8 +50,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(split_indices(50, 0.8, 0.1, 7), split_indices(50, 0.8, 0.1, 7));
-        assert_ne!(split_indices(50, 0.8, 0.1, 7).0, split_indices(50, 0.8, 0.1, 8).0);
+        assert_eq!(
+            split_indices(50, 0.8, 0.1, 7),
+            split_indices(50, 0.8, 0.1, 7)
+        );
+        assert_ne!(
+            split_indices(50, 0.8, 0.1, 7).0,
+            split_indices(50, 0.8, 0.1, 8).0
+        );
     }
 
     #[test]

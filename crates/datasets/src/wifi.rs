@@ -153,7 +153,9 @@ pub fn ipin_campaign(cfg: &UjiConfig) -> Result<WifiCampaign, DatasetError> {
 
 fn campaign_on_map(cfg: &UjiConfig, map: CampusMap) -> Result<WifiCampaign, DatasetError> {
     if cfg.waps_per_building_floor == 0 {
-        return Err(DatasetError::InvalidConfig("need at least one WAP per floor".into()));
+        return Err(DatasetError::InvalidConfig(
+            "need at least one WAP per floor".into(),
+        ));
     }
     if cfg.references_per_floor == 0
         || cfg.samples_per_reference == 0
@@ -201,7 +203,9 @@ fn campaign_on_map(cfg: &UjiConfig, map: CampusMap) -> Result<WifiCampaign, Data
                 .collect::<Result<_, _>>()?;
             for &position in &refs {
                 for _ in 0..cfg.samples_per_reference {
-                    let rssi = cfg.channel.fingerprint(&waps, position, b_idx, floor, &mut rng);
+                    let rssi = cfg
+                        .channel
+                        .fingerprint(&waps, position, b_idx, floor, &mut rng);
                     offline.push(WifiSample {
                         rssi,
                         building: b_idx,
@@ -227,7 +231,9 @@ fn campaign_on_map(cfg: &UjiConfig, map: CampusMap) -> Result<WifiCampaign, Data
                 } else {
                     sample_accessible_point(&map, b_idx, &mut rng)?
                 };
-                let rssi = cfg.channel.fingerprint(&waps, position, b_idx, floor, &mut rng);
+                let rssi = cfg
+                    .channel
+                    .fingerprint(&waps, position, b_idx, floor, &mut rng);
                 test.push(WifiSample {
                     rssi,
                     building: b_idx,
@@ -238,8 +244,12 @@ fn campaign_on_map(cfg: &UjiConfig, map: CampusMap) -> Result<WifiCampaign, Data
         }
     }
 
-    let (train_idx, val_idx, _) =
-        split_indices(offline.len(), 1.0 - cfg.val_fraction, cfg.val_fraction, cfg.seed ^ 0x51);
+    let (train_idx, val_idx, _) = split_indices(
+        offline.len(),
+        1.0 - cfg.val_fraction,
+        cfg.val_fraction,
+        cfg.seed ^ 0x51,
+    );
     let train: Vec<WifiSample> = train_idx.iter().map(|&i| offline[i].clone()).collect();
     let val: Vec<WifiSample> = val_idx.iter().map(|&i| offline[i].clone()).collect();
 

@@ -80,7 +80,8 @@ mod tests {
 
     #[test]
     fn noble_outlasts_gps() {
-        let life = BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
+        let life =
+            BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
         assert!(life.noble_hours > life.gps_hours);
         assert!(life.advantage() > 20.0, "advantage {}", life.advantage());
     }
@@ -89,14 +90,25 @@ mod tests {
     fn paper_scale_sanity() {
         // GPS at 5.925 J per 8 s window on a 15 Wh battery:
         // 54000 J / 5.925 J ≈ 9113 windows ≈ 20.3 h.
-        let life = BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
-        assert!((life.gps_hours - 20.25).abs() < 0.5, "gps hours {}", life.gps_hours);
+        let life =
+            BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
+        assert!(
+            (life.gps_hours - 20.25).abs() < 0.5,
+            "gps hours {}",
+            life.gps_hours
+        );
     }
 
     #[test]
     fn bigger_battery_scales_linearly() {
-        let small = BatteryLife::project(Battery::wearable(), profile(), SensorConstants::default(), 8.0);
-        let big = BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
+        let small = BatteryLife::project(
+            Battery::wearable(),
+            profile(),
+            SensorConstants::default(),
+            8.0,
+        );
+        let big =
+            BatteryLife::project(Battery::phone(), profile(), SensorConstants::default(), 8.0);
         assert!((big.noble_hours / small.noble_hours - 15.0).abs() < 1e-9);
     }
 

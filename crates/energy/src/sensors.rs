@@ -49,11 +49,7 @@ pub struct TrackingEnergyReport {
 
 impl TrackingEnergyReport {
     /// Builds the comparison for one tracking window.
-    pub fn compare(
-        inference: InferenceProfile,
-        sensors: SensorConstants,
-        duration_s: f64,
-    ) -> Self {
+    pub fn compare(inference: InferenceProfile, sensors: SensorConstants, duration_s: f64) -> Self {
         let sensing_j = sensors.imu_energy_j(duration_s);
         let noble_total_j = inference.energy_j + sensing_j;
         TrackingEnergyReport {
@@ -98,16 +94,26 @@ mod tests {
         };
         let r = TrackingEnergyReport::compare(inference, SensorConstants::default(), 8.0);
         assert!((r.noble_total_j - 0.22159).abs() < 1e-5);
-        assert!((r.advantage - 26.74).abs() < 0.1, "advantage {}", r.advantage);
+        assert!(
+            (r.advantage - 26.74).abs() < 0.1,
+            "advantage {}",
+            r.advantage
+        );
     }
 
     #[test]
     fn smaller_models_only_increase_advantage() {
         let m = EnergyModel::jetson_tx2();
-        let small = TrackingEnergyReport::compare(m.profile(100_000), SensorConstants::default(), 8.0);
-        let big = TrackingEnergyReport::compare(m.profile(50_000_000), SensorConstants::default(), 8.0);
+        let small =
+            TrackingEnergyReport::compare(m.profile(100_000), SensorConstants::default(), 8.0);
+        let big =
+            TrackingEnergyReport::compare(m.profile(50_000_000), SensorConstants::default(), 8.0);
         assert!(small.advantage > big.advantage);
-        assert!(small.advantage > 20.0, "small advantage {}", small.advantage);
+        assert!(
+            small.advantage > 20.0,
+            "small advantage {}",
+            small.advantage
+        );
     }
 
     #[test]

@@ -54,10 +54,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GeoError::DegeneratePolygon { vertices: 2 }.to_string().contains("3 vertices"));
-        assert!(GeoError::EmptyMap.to_string().contains("no buildings"));
-        assert!(GeoError::UnknownFloor { building: 1, floor: 9 }
+        assert!(GeoError::DegeneratePolygon { vertices: 2 }
             .to_string()
-            .contains("floor 9"));
+            .contains("3 vertices"));
+        assert!(GeoError::EmptyMap.to_string().contains("no buildings"));
+        assert!(GeoError::UnknownFloor {
+            building: 1,
+            floor: 9
+        }
+        .to_string()
+        .contains("floor 9"));
     }
 }

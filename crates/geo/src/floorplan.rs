@@ -39,7 +39,9 @@ impl Building {
     /// Returns [`GeoError::InvalidGrid`] when `floors == 0`.
     pub fn new(footprint: Polygon, floors: usize) -> Result<Self, GeoError> {
         if floors == 0 {
-            return Err(GeoError::InvalidGrid("building needs at least one floor".into()));
+            return Err(GeoError::InvalidGrid(
+                "building needs at least one floor".into(),
+            ));
         }
         Ok(Building {
             footprint,
@@ -65,7 +67,9 @@ impl Building {
         floors: usize,
     ) -> Result<Self, GeoError> {
         if width <= 0.0 || depth <= 0.0 || notch_w <= 0.0 || notch_d <= 0.0 {
-            return Err(GeoError::InvalidGrid("L-shape dimensions must be positive".into()));
+            return Err(GeoError::InvalidGrid(
+                "L-shape dimensions must be positive".into(),
+            ));
         }
         if notch_w >= width || notch_d >= depth {
             return Err(GeoError::InvalidGrid(format!(
@@ -291,7 +295,10 @@ mod tests {
         let b = ring_building();
         let p = b.project_accessible(Point::new(10.0, 9.0));
         assert!(b.contains_accessible(p));
-        assert!((p.y - 5.0).abs() < 1e-9, "should hit the south hole edge, got {p}");
+        assert!(
+            (p.y - 5.0).abs() < 1e-9,
+            "should hit the south hole edge, got {p}"
+        );
     }
 
     #[test]
@@ -338,7 +345,10 @@ mod tests {
         let p = Point::new(35.0, 10.0);
         let proj = m.project(p);
         assert!(m.is_accessible(proj));
-        assert!((proj.x - 40.0).abs() < 1e-9, "nearest edge is building 2 at x=40, got {proj}");
+        assert!(
+            (proj.x - 40.0).abs() < 1e-9,
+            "nearest edge is building 2 at x=40, got {proj}"
+        );
         assert!((m.off_map_distance(p) - 5.0).abs() < 1e-9);
     }
 
@@ -373,7 +383,7 @@ mod tests {
         assert!(b.contains_accessible(Point::new(2.0, 9.0))); // left arm
         assert!(b.contains_accessible(Point::new(18.0, 2.0))); // bottom arm
         assert!(!b.contains_accessible(Point::new(18.0, 9.0))); // notch
-        // Area: full rect minus notch.
+                                                                // Area: full rect minus notch.
         assert!((b.footprint().area() - (200.0 - 32.0)).abs() < 1e-9);
     }
 

@@ -32,8 +32,10 @@ impl Grid {
     /// Returns [`GeoError::InvalidGrid`] for non-positive `cell_size`,
     /// non-finite bounds, or an inverted box.
     pub fn cover(min: Point, max: Point, cell_size: f64) -> Result<Self, GeoError> {
-        if !(cell_size > 0.0) || !cell_size.is_finite() {
-            return Err(GeoError::InvalidGrid(format!("cell size {cell_size} must be positive")));
+        if cell_size <= 0.0 || !cell_size.is_finite() {
+            return Err(GeoError::InvalidGrid(format!(
+                "cell size {cell_size} must be positive"
+            )));
         }
         if !(min.x.is_finite() && min.y.is_finite() && max.x.is_finite() && max.y.is_finite()) {
             return Err(GeoError::InvalidGrid("non-finite bounds".into()));
@@ -108,7 +110,10 @@ impl Grid {
     ///
     /// Panics when the cell is outside the grid.
     pub fn cell_center(&self, cell: GridCell) -> Point {
-        assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        assert!(
+            cell.col < self.cols && cell.row < self.rows,
+            "cell out of range"
+        );
         Point::new(
             self.origin.x + (cell.col as f64 + 0.5) * self.cell_size,
             self.origin.y + (cell.row as f64 + 0.5) * self.cell_size,
@@ -121,7 +126,10 @@ impl Grid {
     ///
     /// Panics when the cell is outside the grid.
     pub fn flat_index(&self, cell: GridCell) -> usize {
-        assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        assert!(
+            cell.col < self.cols && cell.row < self.rows,
+            "cell out of range"
+        );
         cell.row * self.cols + cell.col
     }
 
@@ -195,10 +203,19 @@ mod tests {
     #[test]
     fn cell_of_interior_and_boundary() {
         let g = grid10();
-        assert_eq!(g.cell_of(Point::new(0.5, 0.5)), Some(GridCell { col: 0, row: 0 }));
-        assert_eq!(g.cell_of(Point::new(9.99, 4.99)), Some(GridCell { col: 9, row: 4 }));
+        assert_eq!(
+            g.cell_of(Point::new(0.5, 0.5)),
+            Some(GridCell { col: 0, row: 0 })
+        );
+        assert_eq!(
+            g.cell_of(Point::new(9.99, 4.99)),
+            Some(GridCell { col: 9, row: 4 })
+        );
         // Max edge maps into the last cell rather than falling out.
-        assert_eq!(g.cell_of(Point::new(10.0, 5.0)), Some(GridCell { col: 9, row: 4 }));
+        assert_eq!(
+            g.cell_of(Point::new(10.0, 5.0)),
+            Some(GridCell { col: 9, row: 4 })
+        );
         assert_eq!(g.cell_of(Point::new(-0.1, 1.0)), None);
         assert_eq!(g.cell_of(Point::new(11.0, 1.0)), None);
     }

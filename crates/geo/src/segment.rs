@@ -56,7 +56,10 @@ mod tests {
         let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
         assert_eq!(s.closest_point(Point::new(5.0, 3.0)), Point::new(5.0, 0.0));
         assert_eq!(s.closest_point(Point::new(-4.0, 2.0)), Point::new(0.0, 0.0));
-        assert_eq!(s.closest_point(Point::new(14.0, -2.0)), Point::new(10.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(14.0, -2.0)),
+            Point::new(10.0, 0.0)
+        );
     }
 
     #[test]

@@ -142,7 +142,12 @@ pub fn jacobi_eigen(a: &Matrix, sort: EigenSort) -> Result<Vec<EigenPair>, Linal
 /// - [`LinalgError::NotSquare`] / [`LinalgError::Empty`] on bad input.
 /// - [`LinalgError::NoConvergence`] if the iteration stalls (e.g. the two
 ///   dominant eigenvalues coincide in magnitude with opposite signs).
-pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64, seed: u64) -> Result<EigenPair, LinalgError> {
+pub fn power_iteration(
+    a: &Matrix,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+) -> Result<EigenPair, LinalgError> {
     match power_iteration_inner(a, max_iter, tol, seed)? {
         (pair, true) => Ok(pair),
         (_, false) => Err(LinalgError::NoConvergence {
@@ -183,7 +188,13 @@ fn power_iteration_inner(
         let norm = crate::vector::normalize_in_place(&mut w);
         if norm < 1e-300 {
             // Matrix annihilated the vector: eigenvalue 0 with this vector.
-            return Ok((EigenPair { value: 0.0, vector: v }, true));
+            return Ok((
+                EigenPair {
+                    value: 0.0,
+                    vector: v,
+                },
+                true,
+            ));
         }
         let aw = a.matvec(&w)?;
         lambda = crate::vector::dot(&w, &aw);
@@ -197,10 +208,22 @@ fn power_iteration_inner(
             .sqrt();
         v = w;
         if residual < tol.sqrt() * a_scale * 1e-2 {
-            return Ok((EigenPair { value: lambda, vector: v }, true));
+            return Ok((
+                EigenPair {
+                    value: lambda,
+                    vector: v,
+                },
+                true,
+            ));
         }
     }
-    Ok((EigenPair { value: lambda, vector: v }, false))
+    Ok((
+        EigenPair {
+            value: lambda,
+            vector: v,
+        },
+        false,
+    ))
 }
 
 /// Top-`k` eigenpairs of a symmetric matrix by power iteration with
@@ -231,7 +254,11 @@ pub fn top_eigenpairs(a: &Matrix, k: usize, seed: u64) -> Result<Vec<EigenPair>,
 /// # Errors
 ///
 /// Validates shapes and `k <= n`; never fails on convergence.
-pub fn top_eigenpairs_lenient(a: &Matrix, k: usize, seed: u64) -> Result<Vec<EigenPair>, LinalgError> {
+pub fn top_eigenpairs_lenient(
+    a: &Matrix,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<EigenPair>, LinalgError> {
     top_eigenpairs_impl(a, k, seed, false)
 }
 
@@ -253,31 +280,32 @@ fn top_eigenpairs_impl(
     let mut deflated = a.clone();
     let mut out = Vec::with_capacity(k);
     for idx in 0..k {
-        let pair = match power_iteration_inner(&deflated, 2000, 1e-12, seed.wrapping_add(idx as u64))? {
-            (pair, true) => pair,
-            (best, false) => {
-                if strict {
-                    return Err(LinalgError::NoConvergence {
-                        method: "top_eigenpairs",
-                        iterations: 2000,
-                    });
-                }
-                let retry_seed = seed.wrapping_add(idx as u64).wrapping_mul(0x9E3779B9);
-                match power_iteration_inner(&deflated, 4000, 1e-10, retry_seed)? {
-                    (pair, true) => pair,
-                    (retry_best, false) => {
-                        // Keep whichever iterate has the larger Rayleigh
-                        // quotient magnitude (further along the dominant
-                        // direction).
-                        if retry_best.value.abs() > best.value.abs() {
-                            retry_best
-                        } else {
-                            best
+        let pair =
+            match power_iteration_inner(&deflated, 2000, 1e-12, seed.wrapping_add(idx as u64))? {
+                (pair, true) => pair,
+                (best, false) => {
+                    if strict {
+                        return Err(LinalgError::NoConvergence {
+                            method: "top_eigenpairs",
+                            iterations: 2000,
+                        });
+                    }
+                    let retry_seed = seed.wrapping_add(idx as u64).wrapping_mul(0x9E3779B9);
+                    match power_iteration_inner(&deflated, 4000, 1e-10, retry_seed)? {
+                        (pair, true) => pair,
+                        (retry_best, false) => {
+                            // Keep whichever iterate has the larger Rayleigh
+                            // quotient magnitude (further along the dominant
+                            // direction).
+                            if retry_best.value.abs() > best.value.abs() {
+                                retry_best
+                            } else {
+                                best
+                            }
                         }
                     }
                 }
-            }
-        };
+            };
         // Hotelling deflation: A <- A - lambda v v^T
         for i in 0..n {
             for j in 0..n {

@@ -49,7 +49,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
             }
             LinalgError::Singular { pivot } => {
-                write!(f, "matrix is singular or not positive definite at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular or not positive definite at pivot {pivot}"
+                )
             }
             LinalgError::NoConvergence { method, iterations } => {
                 write!(f, "{method} did not converge after {iterations} iterations")

@@ -31,19 +31,17 @@ mod solve;
 mod stats;
 mod vector;
 
-pub use error::LinalgError;
-pub use qr::{least_squares, qr_decompose, QrFactors};
-pub use matrix::Matrix;
-pub use vector::{
-    add_assign, axpy, dot, euclidean_distance, linspace, mean, norm, normalize_in_place,
-    scale_in_place, squared_distance, sub,
-};
-pub use solve::{cholesky, lu_decompose, lu_solve, solve, solve_cholesky, LuFactors};
+pub use centering::{double_center, gram_from_distances};
 pub use eigen::{
     jacobi_eigen, power_iteration, smallest_eigenpairs, top_eigenpairs, top_eigenpairs_lenient,
     EigenPair, EigenSort,
 };
-pub use centering::{double_center, gram_from_distances};
-pub use stats::{
-    argmax, argmin, median, percentile, std_dev, Summary,
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::{least_squares, qr_decompose, QrFactors};
+pub use solve::{cholesky, lu_decompose, lu_solve, solve, solve_cholesky, LuFactors};
+pub use stats::{argmax, argmin, median, percentile, std_dev, Summary};
+pub use vector::{
+    add_assign, axpy, dot, euclidean_distance, linspace, mean, norm, normalize_in_place,
+    scale_in_place, squared_distance, sub,
 };

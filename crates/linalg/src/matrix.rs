@@ -168,7 +168,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn column(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 

@@ -103,12 +103,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let f = qr_decompose(&a).unwrap();
         let recon = f.q.matmul(&f.r).unwrap();
         assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
@@ -139,7 +134,8 @@ mod tests {
     #[test]
     fn rejects_wide_and_rank_deficient() {
         assert!(qr_decompose(&Matrix::zeros(2, 3)).is_err());
-        let dependent = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let dependent =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         assert!(matches!(
             qr_decompose(&dependent).unwrap_err(),
             LinalgError::Singular { .. }
@@ -153,7 +149,11 @@ mod tests {
         let xs = [0.0, 1.0, 2.0, 3.0];
         let noise = [0.1, -0.1, 0.1, -0.1];
         let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { xs[i] } else { 1.0 });
-        let b: Vec<f64> = xs.iter().zip(&noise).map(|(x, n)| 2.0 * x + 1.0 + n).collect();
+        let b: Vec<f64> = xs
+            .iter()
+            .zip(&noise)
+            .map(|(x, n)| 2.0 * x + 1.0 + n)
+            .collect();
         let coef = least_squares(&a, &b).unwrap();
         assert!((coef[0] - 1.96).abs() < 0.1, "slope {}", coef[0]);
         assert!((coef[1] - 1.0).abs() < 0.25, "intercept {}", coef[1]);

@@ -107,15 +107,15 @@ pub fn lu_solve(factors: &LuFactors, b: &[f64]) -> Result<Vec<f64>, LinalgError>
     let mut x: Vec<f64> = factors.perm.iter().map(|&p| b[p]).collect();
     for i in 1..n {
         let mut sum = x[i];
-        for j in 0..i {
-            sum -= factors.lu[(i, j)] * x[j];
+        for (j, &xj) in x.iter().enumerate().take(i) {
+            sum -= factors.lu[(i, j)] * xj;
         }
         x[i] = sum;
     }
     for i in (0..n).rev() {
         let mut sum = x[i];
-        for j in (i + 1)..n {
-            sum -= factors.lu[(i, j)] * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            sum -= factors.lu[(i, j)] * xj;
         }
         x[i] = sum / factors.lu[(i, i)];
     }
@@ -207,7 +207,10 @@ mod tests {
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
         let ax = a.matvec(x).unwrap();
-        ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+        ax.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -36,10 +36,16 @@ impl fmt::Display for ManifoldError {
                 write!(f, "{points} points cannot support k={k} neighborhoods")
             }
             ManifoldError::BadDimension { dim, max } => {
-                write!(f, "embedding dimension {dim} exceeds the feasible maximum {max}")
+                write!(
+                    f,
+                    "embedding dimension {dim} exceeds the feasible maximum {max}"
+                )
             }
             ManifoldError::Disconnected { components } => {
-                write!(f, "neighborhood graph has {components} components; increase k")
+                write!(
+                    f,
+                    "neighborhood graph has {components} components; increase k"
+                )
             }
             ManifoldError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -67,9 +73,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ManifoldError::TooFewPoints { points: 2, k: 5 }.to_string().contains("k=5"));
-        assert!(ManifoldError::Disconnected { components: 3 }.to_string().contains("3 components"));
-        assert!(ManifoldError::BadDimension { dim: 9, max: 4 }.to_string().contains("9"));
+        assert!(ManifoldError::TooFewPoints { points: 2, k: 5 }
+            .to_string()
+            .contains("k=5"));
+        assert!(ManifoldError::Disconnected { components: 3 }
+            .to_string()
+            .contains("3 components"));
+        assert!(ManifoldError::BadDimension { dim: 9, max: 4 }
+            .to_string()
+            .contains("9"));
     }
 
     #[test]

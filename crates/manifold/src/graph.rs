@@ -143,9 +143,7 @@ impl NeighborGraph {
             .map(|&old| {
                 self.adj[old]
                     .iter()
-                    .filter_map(|&(u, w)| {
-                        (remap[u] != usize::MAX).then_some((remap[u], w))
-                    })
+                    .filter_map(|&(u, w)| (remap[u] != usize::MAX).then_some((remap[u], w)))
                     .collect()
             })
             .collect();
@@ -201,7 +199,10 @@ pub fn dijkstra(graph: &NeighborGraph, source: usize) -> Vec<f64> {
             let nd = d + w;
             if nd < dist[u] {
                 dist[u] = nd;
-                heap.push(HeapEntry { dist: nd, vertex: u });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: u,
+                });
             }
         }
     }
@@ -283,7 +284,10 @@ mod tests {
         let g = NeighborGraph::knn_graph(&data, 2).unwrap();
         assert_eq!(g.len(), 10);
         let labels = g.connected_components();
-        assert!(labels.iter().all(|&l| l == 0), "a line with k=2 is connected");
+        assert!(
+            labels.iter().all(|&l| l == 0),
+            "a line with k=2 is connected"
+        );
         // Geodesic 0 -> 9 should be exactly 9 (sum of unit steps).
         let m = geodesic_distances(&g).unwrap();
         assert!((m[(0, 9)] - 9.0).abs() < 1e-9);
@@ -303,7 +307,9 @@ mod tests {
         for i in 0..g.len() {
             for &(j, w) in g.neighbors(i) {
                 assert!(
-                    g.neighbors(j).iter().any(|&(b, bw)| b == i && (bw - w).abs() < 1e-12),
+                    g.neighbors(j)
+                        .iter()
+                        .any(|&(b, bw)| b == i && (bw - w).abs() < 1e-12),
                     "edge ({i},{j}) missing its mirror"
                 );
             }

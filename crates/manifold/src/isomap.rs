@@ -112,7 +112,7 @@ impl Isomap {
         let anchors = knn_brute(&self.data, query, self.k.min(n));
         // Approximate squared geodesics from the query to all points.
         let mut sq = vec![f64::INFINITY; n];
-        for j in 0..n {
+        for (j, s) in sq.iter_mut().enumerate() {
             let mut best = f64::INFINITY;
             for &(i, d_qi) in &anchors {
                 let via = d_qi + self.geodesics[(i, j)];
@@ -120,14 +120,14 @@ impl Isomap {
                     best = via;
                 }
             }
-            sq[j] = best * best;
+            *s = best * best;
         }
         let mut out = vec![0.0; self.dim];
         for (col, pair) in self.eigen.iter().enumerate() {
             let scale = 1.0 / (2.0 * pair.value.sqrt());
             let mut acc = 0.0;
-            for j in 0..n {
-                acc += pair.vector[j] * (self.mean_sq_cols[j] - sq[j]);
+            for ((v, m), s) in pair.vector.iter().zip(&self.mean_sq_cols).zip(&sq) {
+                acc += v * (m - s);
             }
             out[col] = scale * acc;
         }

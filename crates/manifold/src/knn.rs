@@ -162,13 +162,7 @@ impl KdTree {
         best
     }
 
-    fn search(
-        &self,
-        node: Option<usize>,
-        query: &[f64],
-        k: usize,
-        best: &mut Vec<(usize, f64)>,
-    ) {
+    fn search(&self, node: Option<usize>, query: &[f64], k: usize, best: &mut Vec<(usize, f64)>) {
         let Some(idx) = node else { return };
         let n = &self.nodes[idx];
         let point = self.points.row(n.point_index);

@@ -31,13 +31,22 @@ impl Lle {
     /// - [`ManifoldError::BadDimension`] when `dim` is zero or
     ///   `dim + 1 > data.rows()`.
     /// - Propagates linear-algebra failures.
-    pub fn fit(data: &Matrix, k: usize, dim: usize, reg: f64, seed: u64) -> Result<Self, ManifoldError> {
+    pub fn fit(
+        data: &Matrix,
+        k: usize,
+        dim: usize,
+        reg: f64,
+        seed: u64,
+    ) -> Result<Self, ManifoldError> {
         let n = data.rows();
         if n <= k || k == 0 {
             return Err(ManifoldError::TooFewPoints { points: n, k });
         }
         if dim == 0 || dim + 1 > n {
-            return Err(ManifoldError::BadDimension { dim, max: n.saturating_sub(1) });
+            return Err(ManifoldError::BadDimension {
+                dim,
+                max: n.saturating_sub(1),
+            });
         }
 
         // Reconstruction weights W: each row i reconstructs x_i from its k
@@ -158,13 +167,7 @@ fn local_weights_for_query(
     // Shifted neighbors z_j = x_j - q.
     let diffs: Vec<Vec<f64>> = neighbors
         .iter()
-        .map(|&j| {
-            data.row(j)
-                .iter()
-                .zip(query)
-                .map(|(x, q)| x - q)
-                .collect()
-        })
+        .map(|&j| data.row(j).iter().zip(query).map(|(x, q)| x - q).collect())
         .collect();
     for a in 0..k {
         for b in a..k {
@@ -174,7 +177,11 @@ fn local_weights_for_query(
         }
     }
     let trace: f64 = (0..k).map(|a| gram[(a, a)]).sum();
-    let ridge = if trace > 0.0 { reg * trace / k as f64 } else { reg.max(1e-12) };
+    let ridge = if trace > 0.0 {
+        reg * trace / k as f64
+    } else {
+        reg.max(1e-12)
+    };
     for a in 0..k {
         gram[(a, a)] += ridge;
     }

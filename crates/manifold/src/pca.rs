@@ -159,7 +159,10 @@ mod tests {
         let pca = Pca::fit(&data, 2, 1).unwrap();
         let z = pca.transform(&data);
         let means = z.column_means();
-        assert!(means.iter().all(|m| m.abs() < 1e-9), "projected means {means:?}");
+        assert!(
+            means.iter().all(|m| m.abs() < 1e-9),
+            "projected means {means:?}"
+        );
     }
 
     #[test]
@@ -193,7 +196,10 @@ mod tests {
             let back = pca.inverse_transform_point(z.row(i));
             // Reconstruction stays within the noise amplitude of the truth.
             for (a, b) in back.iter().zip(data.row(i)) {
-                assert!((a - b).abs() < 0.12, "lossy reconstruction too far: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 0.12,
+                    "lossy reconstruction too far: {a} vs {b}"
+                );
             }
         }
     }

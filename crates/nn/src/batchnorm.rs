@@ -200,7 +200,11 @@ mod tests {
         }
         let probe = Matrix::from_rows(&[vec![5.0]]).unwrap();
         let y = bn.forward(&probe, false).unwrap();
-        assert!(y[(0, 0)].abs() < 0.1, "running mean should be near 5, got output {}", y[(0, 0)]);
+        assert!(
+            y[(0, 0)].abs() < 0.1,
+            "running mean should be near 5, got output {}",
+            y[(0, 0)]
+        );
     }
 
     #[test]

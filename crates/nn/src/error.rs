@@ -34,7 +34,10 @@ impl fmt::Display for NnError {
                 context,
                 expected,
                 found,
-            } => write!(f, "shape mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, found {found}"
+            ),
             NnError::EmptyData => write!(f, "empty training data"),
             NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             NnError::Diverged { epoch } => {
@@ -73,7 +76,9 @@ mod tests {
         };
         assert!(e.to_string().contains("dense forward"));
         assert!(NnError::EmptyData.to_string().contains("empty"));
-        assert!(NnError::Diverged { epoch: 3 }.to_string().contains("epoch 3"));
+        assert!(NnError::Diverged { epoch: 3 }
+            .to_string()
+            .contains("epoch 3"));
     }
 
     #[test]

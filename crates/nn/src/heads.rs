@@ -88,10 +88,15 @@ impl OutputLayout {
     /// has zero width.
     pub fn new(heads: Vec<HeadSpec>) -> Result<Self, NnError> {
         if heads.is_empty() {
-            return Err(NnError::InvalidConfig("output layout needs at least one head".into()));
+            return Err(NnError::InvalidConfig(
+                "output layout needs at least one head".into(),
+            ));
         }
         if let Some(h) = heads.iter().find(|h| h.width == 0) {
-            return Err(NnError::InvalidConfig(format!("head '{}' has zero width", h.name)));
+            return Err(NnError::InvalidConfig(format!(
+                "head '{}' has zero width",
+                h.name
+            )));
         }
         Ok(OutputLayout { heads })
     }
@@ -128,7 +133,11 @@ impl OutputLayout {
     ///
     /// Returns [`NnError::ShapeMismatch`] when `logits` does not match the
     /// layout width.
-    pub fn predict_classes(&self, logits: &Matrix, head_index: usize) -> Result<Vec<usize>, NnError> {
+    pub fn predict_classes(
+        &self,
+        logits: &Matrix,
+        head_index: usize,
+    ) -> Result<Vec<usize>, NnError> {
         if logits.cols() != self.total_width() {
             return Err(NnError::ShapeMismatch {
                 context: "predict_classes",
@@ -395,8 +404,12 @@ mod tests {
         let double = OutputLayout::new(vec![HeadSpec::softmax("a", 2).with_weight(2.0)]).unwrap();
         let outputs = Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap();
         let targets = Matrix::from_rows(&[vec![0.0, 1.0]]).unwrap();
-        let (l1, g1) = MultiHeadLoss::new(base).evaluate(&outputs, &targets).unwrap();
-        let (l2, g2) = MultiHeadLoss::new(double).evaluate(&outputs, &targets).unwrap();
+        let (l1, g1) = MultiHeadLoss::new(base)
+            .evaluate(&outputs, &targets)
+            .unwrap();
+        let (l2, g2) = MultiHeadLoss::new(double)
+            .evaluate(&outputs, &targets)
+            .unwrap();
         assert!((l2 - 2.0 * l1).abs() < 1e-12);
         assert!((g2[(0, 0)] - 2.0 * g1[(0, 0)]).abs() < 1e-12);
     }

@@ -68,10 +68,14 @@ mod tests {
         let m = xavier_normal(200, 200, 3);
         let vals = m.as_slice();
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
-        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        let var: f64 =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
         let expected = 2.0 / 400.0;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

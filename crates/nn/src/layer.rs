@@ -181,9 +181,8 @@ mod tests {
     fn backward_gradients_match_finite_difference() {
         let x = Matrix::from_rows(&[vec![0.5, -1.0], vec![2.0, 0.3]]).unwrap();
         // Scalar objective: sum of outputs. dL/dY = ones.
-        let loss_of = |layer: &mut Dense, x: &Matrix| -> f64 {
-            layer.forward(x, false).unwrap().sum()
-        };
+        let loss_of =
+            |layer: &mut Dense, x: &Matrix| -> f64 { layer.forward(x, false).unwrap().sum() };
         let mut layer = simple_layer();
         layer.forward(&x, true).unwrap();
         let ones = Matrix::filled(2, 2, 1.0);

@@ -177,7 +177,10 @@ mod tests {
         let (l, g) = BceWithLogitsLoss.evaluate(&z, &t).unwrap();
         assert!(l.is_finite());
         assert!(g.as_slice().iter().all(|v| v.is_finite()));
-        assert!(l < 1e-6, "perfectly classified extreme logits should give ~0 loss");
+        assert!(
+            l < 1e-6,
+            "perfectly classified extreme logits should give ~0 loss"
+        );
     }
 
     #[test]

@@ -55,15 +55,19 @@ impl MlpBuilder {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(self.next_layer_index);
         self.next_layer_index += 1;
-        self.layers
-            .push(Layer::Dense(Dense::new(self.current_dim, out_dim, layer_seed)));
+        self.layers.push(Layer::Dense(Dense::new(
+            self.current_dim,
+            out_dim,
+            layer_seed,
+        )));
         self.current_dim = out_dim;
         self
     }
 
     /// Appends a batch-normalization stage over the current width.
     pub fn batch_norm(mut self) -> Self {
-        self.layers.push(Layer::BatchNorm(BatchNorm::new(self.current_dim)));
+        self.layers
+            .push(Layer::BatchNorm(BatchNorm::new(self.current_dim)));
         self
     }
 
@@ -291,7 +295,11 @@ mod tests {
 
     #[test]
     fn forward_shapes() {
-        let mut mlp = Mlp::builder(4, 1).dense(8).activation(Activation::Relu).dense(2).build();
+        let mut mlp = Mlp::builder(4, 1)
+            .dense(8)
+            .activation(Activation::Relu)
+            .dense(2)
+            .build();
         let x = Matrix::zeros(10, 4);
         let y = mlp.forward(&x, false).unwrap();
         assert_eq!(y.shape(), (10, 2));
@@ -328,7 +336,10 @@ mod tests {
 
     #[test]
     fn backward_before_forward_errors() {
-        let mut mlp = Mlp::builder(2, 0).dense(2).activation(Activation::Tanh).build();
+        let mut mlp = Mlp::builder(2, 0)
+            .dense(2)
+            .activation(Activation::Tanh)
+            .build();
         assert!(mlp.backward(&Matrix::zeros(1, 2)).is_err());
     }
 
@@ -362,7 +373,8 @@ mod tests {
             MseLoss.evaluate(&out, &t).unwrap().0
         };
         let base = mlp.clone();
-        let num = (loss_with_perturbation(&base, h) - loss_with_perturbation(&base, -h)) / (2.0 * h);
+        let num =
+            (loss_with_perturbation(&base, h) - loss_with_perturbation(&base, -h)) / (2.0 * h);
         assert!(
             (analytic - num).abs() < 1e-6,
             "analytic {analytic} vs numeric {num}"
@@ -416,9 +428,7 @@ mod tests {
         let mut mlp = Mlp::builder(2, 0).dense(2).build();
         let x = Matrix::filled(1, 2, 1.0);
         let out = mlp.forward(&x, true).unwrap();
-        let (_, g) = MseLoss
-            .evaluate(&out, &Matrix::zeros(1, 2))
-            .unwrap();
+        let (_, g) = MseLoss.evaluate(&out, &Matrix::zeros(1, 2)).unwrap();
         mlp.backward(&g).unwrap();
         assert!(mlp.grad_norm() >= 0.0);
         let mut opt = Optimizer::sgd(0.1);

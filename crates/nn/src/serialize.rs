@@ -43,7 +43,9 @@ pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.take(4)?;
     if magic != MAGIC {
-        return Err(NnError::InvalidConfig("bad magic: not a NObLe parameter blob".into()));
+        return Err(NnError::InvalidConfig(
+            "bad magic: not a NObLe parameter blob".into(),
+        ));
     }
     let version = cursor.u32()?;
     if version != VERSION {

@@ -199,8 +199,8 @@ impl Trainer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Activation, MseLoss, SoftmaxCrossEntropyLoss};
     use crate::metrics::one_hot;
+    use crate::{Activation, MseLoss, SoftmaxCrossEntropyLoss};
 
     fn line_data(n: usize) -> (Matrix, Matrix) {
         let x = Matrix::from_fn(n, 1, |i, _| i as f64 / n as f64);
@@ -218,8 +218,14 @@ mod tests {
             optimizer: Optimizer::adam(0.05),
             ..TrainConfig::default()
         };
-        let report = Trainer::new(cfg).fit(&mut mlp, &x, &y, &MseLoss, None).unwrap();
-        assert!(report.final_train_loss < 1e-4, "loss {}", report.final_train_loss);
+        let report = Trainer::new(cfg)
+            .fit(&mut mlp, &x, &y, &MseLoss, None)
+            .unwrap();
+        assert!(
+            report.final_train_loss < 1e-4,
+            "loss {}",
+            report.final_train_loss
+        );
         assert_eq!(report.epochs_run, 400);
         assert!(!report.stopped_early);
     }
@@ -246,7 +252,9 @@ mod tests {
             optimizer: Optimizer::adam(0.01),
             ..TrainConfig::default()
         };
-        Trainer::new(cfg).fit(&mut mlp, &x, &y, &SoftmaxCrossEntropyLoss, None).unwrap();
+        Trainer::new(cfg)
+            .fit(&mut mlp, &x, &y, &SoftmaxCrossEntropyLoss, None)
+            .unwrap();
         let out = mlp.predict(&x).unwrap();
         let predicted: Vec<usize> = (0..n)
             .map(|i| noble_linalg::argmax(out.row(i)).unwrap())
@@ -258,7 +266,11 @@ mod tests {
     #[test]
     fn early_stopping_halts() {
         let (x, y) = line_data(32);
-        let mut mlp = Mlp::builder(1, 5).dense(4).activation(Activation::Tanh).dense(1).build();
+        let mut mlp = Mlp::builder(1, 5)
+            .dense(4)
+            .activation(Activation::Tanh)
+            .dense(1)
+            .build();
         let cfg = TrainConfig {
             epochs: 500,
             batch_size: 8,
@@ -281,15 +293,19 @@ mod tests {
     fn rejects_bad_configs() {
         let (x, y) = line_data(4);
         let mut mlp = Mlp::builder(1, 0).dense(1).build();
-        let mut cfg = TrainConfig::default();
-        cfg.batch_size = 0;
+        let mut cfg = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
         assert!(matches!(
             Trainer::new(cfg.clone()).fit(&mut mlp, &x, &y, &MseLoss, None),
             Err(NnError::InvalidConfig(_))
         ));
         cfg.batch_size = 4;
         cfg.epochs = 0;
-        assert!(Trainer::new(cfg).fit(&mut mlp, &x, &y, &MseLoss, None).is_err());
+        assert!(Trainer::new(cfg)
+            .fit(&mut mlp, &x, &y, &MseLoss, None)
+            .is_err());
         let empty = Matrix::zeros(0, 1);
         assert!(matches!(
             Trainer::new(TrainConfig::default()).fit(&mut mlp, &empty, &empty, &MseLoss, None),
@@ -326,14 +342,21 @@ mod tests {
     fn deterministic_given_seed() {
         let (x, y) = line_data(32);
         let run = |seed: u64| {
-            let mut mlp = Mlp::builder(1, 7).dense(4).activation(Activation::Tanh).dense(1).build();
+            let mut mlp = Mlp::builder(1, 7)
+                .dense(4)
+                .activation(Activation::Tanh)
+                .dense(1)
+                .build();
             let cfg = TrainConfig {
                 epochs: 20,
                 batch_size: 8,
                 shuffle_seed: seed,
                 ..TrainConfig::default()
             };
-            Trainer::new(cfg).fit(&mut mlp, &x, &y, &MseLoss, None).unwrap().final_train_loss
+            Trainer::new(cfg)
+                .fit(&mut mlp, &x, &y, &MseLoss, None)
+                .unwrap()
+                .final_train_loss
         };
         assert_eq!(run(1).to_bits(), run(1).to_bits());
         assert_ne!(run(1).to_bits(), run(2).to_bits());
@@ -351,7 +374,10 @@ mod tests {
                 optimizer: Optimizer::sgd(0.5),
                 ..TrainConfig::default()
             };
-            Trainer::new(cfg).fit(&mut mlp, &x, &y, &MseLoss, None).unwrap().final_train_loss
+            Trainer::new(cfg)
+                .fit(&mut mlp, &x, &y, &MseLoss, None)
+                .unwrap()
+                .final_train_loss
         };
         // Merely assert both run and produce finite losses, and that decay
         // changed the outcome.

@@ -65,11 +65,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(QuantizeError::NoSamples.to_string().contains("at least one"));
-        assert!(QuantizeError::UnknownClass { class: 7, num_classes: 3 }
+        assert!(QuantizeError::NoSamples
             .to_string()
-            .contains("class 7"));
-        assert!(QuantizeError::OutOfBounds { x: 1.0, y: 2.0 }.to_string().contains("(1, 2)"));
+            .contains("at least one"));
+        assert!(QuantizeError::UnknownClass {
+            class: 7,
+            num_classes: 3
+        }
+        .to_string()
+        .contains("class 7"));
+        assert!(QuantizeError::OutOfBounds { x: 1.0, y: 2.0 }
+            .to_string()
+            .contains("(1, 2)"));
     }
 
     #[test]

@@ -24,6 +24,23 @@ pub enum DecodePolicy {
 /// coordinates per class. Empty cells are discarded exactly as the paper
 /// prescribes, which is what removes courtyards and other inaccessible
 /// space from the output vocabulary.
+///
+/// # Example
+///
+/// ```
+/// use noble_geo::Point;
+/// use noble_quantize::{DecodePolicy, GridQuantizer};
+///
+/// // Two occupied 1 m cells; the gap in between stays out of the vocabulary.
+/// let samples = vec![Point::new(0.2, 0.2), Point::new(0.4, 0.6), Point::new(5.5, 0.5)];
+/// let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::SampleMean).unwrap();
+/// assert_eq!(q.num_classes(), 2);
+///
+/// // Quantize → decode returns the mean of the cell's training samples.
+/// let class = q.quantize(Point::new(0.3, 0.4)).unwrap();
+/// let decoded = q.decode(class).unwrap();
+/// assert!((decoded.x - 0.3).abs() < 1e-9 && (decoded.y - 0.4).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone)]
 pub struct GridQuantizer {
     grid: Grid,
@@ -253,7 +270,9 @@ mod tests {
         let samples = cluster_samples();
         let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::CellCenter).unwrap();
         for p in &samples {
-            let c = q.quantize(*p).expect("training samples are in occupied cells");
+            let c = q
+                .quantize(*p)
+                .expect("training samples are in occupied cells");
             let decoded = q.decode(c).unwrap();
             // Decode is within half a cell diagonal.
             assert!(decoded.distance(*p) <= (2.0f64).sqrt() / 2.0 + 1e-9);

@@ -27,7 +27,7 @@ impl MultiResolutionQuantizer {
         l: f64,
         policy: DecodePolicy,
     ) -> Result<Self, QuantizeError> {
-        if !(l > tau) {
+        if l.partial_cmp(&tau) != Some(std::cmp::Ordering::Greater) {
             return Err(QuantizeError::InvalidResolution(format!(
                 "coarse side {l} must exceed fine side {tau}"
             )));
@@ -50,7 +50,10 @@ impl MultiResolutionQuantizer {
 
     /// `(c, r)` labels of a point: fine and coarse nearest classes.
     pub fn labels(&self, p: Point) -> (ClassId, ClassId) {
-        (self.fine.quantize_nearest(p), self.coarse.quantize_nearest(p))
+        (
+            self.fine.quantize_nearest(p),
+            self.coarse.quantize_nearest(p),
+        )
     }
 
     /// Decodes a fine class prediction to coordinates.
@@ -75,21 +78,29 @@ mod tests {
 
     #[test]
     fn fit_requires_coarser_l() {
-        assert!(MultiResolutionQuantizer::fit(&samples(), 1.0, 1.0, DecodePolicy::CellCenter).is_err());
-        assert!(MultiResolutionQuantizer::fit(&samples(), 1.0, 0.5, DecodePolicy::CellCenter).is_err());
-        assert!(MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).is_ok());
+        assert!(
+            MultiResolutionQuantizer::fit(&samples(), 1.0, 1.0, DecodePolicy::CellCenter).is_err()
+        );
+        assert!(
+            MultiResolutionQuantizer::fit(&samples(), 1.0, 0.5, DecodePolicy::CellCenter).is_err()
+        );
+        assert!(
+            MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).is_ok()
+        );
     }
 
     #[test]
     fn coarse_has_fewer_classes() {
-        let q = MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).unwrap();
+        let q =
+            MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).unwrap();
         assert!(q.coarse().num_classes() < q.fine().num_classes());
         assert!(q.fine().num_classes() <= 64);
     }
 
     #[test]
     fn labels_are_consistent() {
-        let q = MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::SampleMean).unwrap();
+        let q =
+            MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::SampleMean).unwrap();
         let p = Point::new(1.3, 2.1);
         let (c, r) = q.labels(p);
         // Decoding the fine class should be closer (or equal) to p than the
@@ -102,7 +113,8 @@ mod tests {
 
     #[test]
     fn coarse_groups_fine_cells() {
-        let q = MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).unwrap();
+        let q =
+            MultiResolutionQuantizer::fit(&samples(), 0.5, 2.0, DecodePolicy::CellCenter).unwrap();
         // Points in the same coarse cell but different fine cells.
         let (c1, r1) = q.labels(Point::new(0.2, 0.2));
         let (c2, r2) = q.labels(Point::new(1.2, 1.2));

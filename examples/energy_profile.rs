@@ -7,9 +7,7 @@
 use noble_suite::noble::imu::{ImuNoble, ImuNobleConfig};
 use noble_suite::noble::wifi::{WifiNoble, WifiNobleConfig};
 use noble_suite::noble_datasets::{uji_campaign, ImuConfig, ImuDataset, UjiConfig};
-use noble_suite::noble_energy::{
-    mac_count, EnergyModel, SensorConstants, TrackingEnergyReport,
-};
+use noble_suite::noble_energy::{mac_count, EnergyModel, SensorConstants, TrackingEnergyReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tx2 = EnergyModel::jetson_tx2();
@@ -19,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let campaign = uji_campaign(&UjiConfig::small())?;
     let wifi = WifiNoble::train(&campaign, &WifiNobleConfig::small())?;
     let wifi_macs = mac_count(&wifi.dense_shapes());
-    println!("WiFi localizer: {} dense layers, {wifi_macs} MACs/inference", wifi.dense_shapes().len());
+    println!(
+        "WiFi localizer: {} dense layers, {wifi_macs} MACs/inference",
+        wifi.dense_shapes().len()
+    );
     for (name, device) in [("Jetson-TX2-like", &tx2), ("Cortex-M7-like", &mcu)] {
         let p = device.profile(wifi_macs);
         println!(
@@ -30,10 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // IMU tracker and the GPS comparison.
-    let mut imu_cfg = ImuConfig::default();
-    imu_cfg.num_reference_points = 30;
-    imu_cfg.num_paths = 200;
-    imu_cfg.max_path_segments = 5;
+    let imu_cfg = ImuConfig {
+        num_reference_points: 30,
+        num_paths: 200,
+        max_path_segments: 5,
+        ..ImuConfig::default()
+    };
     let dataset = ImuDataset::generate(&imu_cfg)?;
     let imu = ImuNoble::train(&dataset, &ImuNobleConfig::small())?;
     let imu_macs = mac_count(&imu.dense_shapes());

@@ -13,10 +13,12 @@ use noble_suite::noble_datasets::{ImuConfig, ImuDataset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 160 m x 60 m loop, 100 reference points, 2000 constructed paths.
-    let mut cfg = ImuConfig::default();
-    cfg.num_reference_points = 100;
-    cfg.num_paths = 2000;
-    cfg.max_path_segments = 10;
+    let cfg = ImuConfig {
+        num_reference_points: 100,
+        num_paths: 2000,
+        max_path_segments: 10,
+        ..ImuConfig::default()
+    };
     let dataset = ImuDataset::generate(&cfg)?;
     println!(
         "dataset: {} reference points, {} train / {} val / {} test paths",
@@ -26,14 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.test.len()
     );
 
-    let mut table = TextTable::new(vec![
-        "MODEL".into(),
-        "MEAN (M)".into(),
-        "MEDIAN (M)".into(),
-    ]);
+    let mut table = TextTable::new(vec!["MODEL".into(), "MEAN (M)".into(), "MEDIAN (M)".into()]);
 
     let dr = DeadReckoning::evaluate(&dataset.test)?;
-    table.add_row(vec!["Dead Reckoning".into(), meters(dr.mean), meters(dr.median)]);
+    table.add_row(vec![
+        "Dead Reckoning".into(),
+        meters(dr.mean),
+        meters(dr.median),
+    ]);
 
     let assisted = MapAssistedDeadReckoning::evaluate(&dataset, &dataset.test)?;
     table.add_row(vec![

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pairs: a perfect manifold recovery gives correlation 1; noisy RSSI
     // makes input-space neighborhoods unreliable (the paper's motivation).
     for (name, embedding, retained) in [
-        ("Isomap", isomap.embedding(), Some(isomap.retained_indices())),
+        (
+            "Isomap",
+            isomap.embedding(),
+            Some(isomap.retained_indices()),
+        ),
         ("LLE", lle.embedding(), None),
     ] {
         let mut embed_d = Vec::new();

@@ -19,10 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let campaign = if small {
         uji_campaign(&UjiConfig::small())?
     } else {
-        let mut cfg = UjiConfig::default();
-        cfg.references_per_floor = 40;
-        cfg.samples_per_reference = 5;
-        cfg.waps_per_building_floor = 10;
+        let cfg = UjiConfig {
+            references_per_floor: 40,
+            samples_per_reference: 5,
+            waps_per_building_floor: 10,
+            ..UjiConfig::default()
+        };
         uji_campaign(&cfg)?
     };
     println!(
@@ -47,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = StructureReport::compute(preds, &campaign.map)?;
         Ok(format!("{:.1}", r.on_map_fraction * 100.0))
     };
-    let err = |preds: &[Point]| {
-        noble_suite::noble::eval::position_error_summary(preds, &truth)
-    };
+    let err = |preds: &[Point]| noble_suite::noble::eval::position_error_summary(preds, &truth);
 
     // NObLe.
     let noble_cfg = if small {

@@ -10,9 +10,17 @@ use proptest::prelude::*;
 #[test]
 fn wifi_samples_consistent_with_map_and_waps() {
     let campaign = uji_campaign(&UjiConfig::small()).unwrap();
-    for s in campaign.train.iter().chain(&campaign.val).chain(&campaign.test) {
+    for s in campaign
+        .train
+        .iter()
+        .chain(&campaign.val)
+        .chain(&campaign.test)
+    {
         assert_eq!(s.rssi.len(), campaign.num_waps());
-        assert_eq!(campaign.map.building_containing(s.position), Some(s.building));
+        assert_eq!(
+            campaign.map.building_containing(s.position),
+            Some(s.building)
+        );
         for &r in &s.rssi {
             assert!(
                 r == NOT_DETECTED || (-100.0..=0.0).contains(&r),
@@ -29,7 +37,10 @@ fn wifi_val_split_disjoint_from_train() {
     // in both train and val (positions may repeat across references).
     for v in &campaign.val {
         assert!(
-            !campaign.train.iter().any(|t| t.rssi == v.rssi && t.position == v.position),
+            !campaign
+                .train
+                .iter()
+                .any(|t| t.rssi == v.rssi && t.position == v.position),
             "validation sample duplicated in train"
         );
     }

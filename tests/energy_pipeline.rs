@@ -4,9 +4,7 @@
 use noble_suite::noble::imu::{ImuNoble, ImuNobleConfig};
 use noble_suite::noble::wifi::{WifiNoble, WifiNobleConfig};
 use noble_suite::noble_datasets::{uji_campaign, ImuConfig, ImuDataset, UjiConfig};
-use noble_suite::noble_energy::{
-    mac_count, EnergyModel, SensorConstants, TrackingEnergyReport,
-};
+use noble_suite::noble_energy::{mac_count, EnergyModel, SensorConstants, TrackingEnergyReport};
 
 #[test]
 fn wifi_inference_is_millijoule_scale() {
@@ -16,7 +14,11 @@ fn wifi_inference_is_millijoule_scale() {
     let model = WifiNoble::train(&campaign, &cfg).unwrap();
     let profile = EnergyModel::jetson_tx2().profile(mac_count(&model.dense_shapes()));
     // Paper §IV-C: 0.00518 J, 2 ms. Same order of magnitude required.
-    assert!(profile.energy_j > 1e-4 && profile.energy_j < 0.1, "energy {}", profile.energy_j);
+    assert!(
+        profile.energy_j > 1e-4 && profile.energy_j < 0.1,
+        "energy {}",
+        profile.energy_j
+    );
     assert!(
         profile.latency_s > 1e-4 && profile.latency_s < 0.05,
         "latency {}",

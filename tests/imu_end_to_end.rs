@@ -11,11 +11,13 @@ fn dataset() -> ImuDataset {
     // The location network needs a healthy ratio of training paths to
     // neighborhood classes (the paper has ~25 paths per class); 30
     // references at tau=2 give ~60 classes for ~1000 training paths.
-    let mut cfg = ImuConfig::default();
-    cfg.num_reference_points = 30;
-    cfg.num_paths = 1600;
-    cfg.max_path_segments = 6;
-    cfg.seed = 77;
+    let cfg = ImuConfig {
+        num_reference_points: 30,
+        num_paths: 1600,
+        max_path_segments: 6,
+        seed: 77,
+        ..ImuConfig::default()
+    };
     ImuDataset::generate(&cfg).expect("dataset")
 }
 

@@ -107,5 +107,8 @@ fn embedding_distance_correlates_with_position_distance() {
         vy += (y - my) * (y - my);
     }
     let corr = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
-    assert!(corr > 0.3, "correlation {corr} too weak — embedding uninformative");
+    assert!(
+        corr > 0.3,
+        "correlation {corr} too weak — embedding uninformative"
+    );
 }

@@ -33,12 +33,12 @@ proptest! {
         let (_, grad) = MseLoss.evaluate(&out, &t).unwrap();
         mlp.backward(&grad).unwrap();
         let analytic = {
-            let mut params = mlp.params_mut();
+            let params = mlp.params_mut();
             params[0].grad[(0, 0)]
         };
 
         let h = 1e-6;
-        let mut loss_at = |delta: f64| -> f64 {
+        let loss_at = |delta: f64| -> f64 {
             let mut m = mlp.clone();
             {
                 let mut params = m.params_mut();

@@ -115,7 +115,11 @@ fn building_and_floor_heads_are_accurate() {
         "building accuracy {}",
         report.building_accuracy
     );
-    assert!(report.floor_accuracy > 0.7, "floor accuracy {}", report.floor_accuracy);
+    assert!(
+        report.floor_accuracy > 0.7,
+        "floor accuracy {}",
+        report.floor_accuracy
+    );
 }
 
 #[test]

@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of [Criterion.rs](https://docs.rs/criterion)
+//! this workspace's benchmarks use.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal harness with the same API shape: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of Criterion's statistical engine it
+//! reports a single mean wall-clock time per benchmark: enough to compare
+//! hot paths across commits on the same machine, with no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. Construct via [`Criterion::default`] (the
+/// [`criterion_main!`] macro does this for you).
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing group-level settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    /// Group-scoped override; like real Criterion it ends with the group.
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub keys measurement on time,
+    /// not sample count, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets this group's measurement budget (does not outlive the group).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Measures one closure under this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        run_benchmark(id, budget, f);
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per measurement in
+/// [`Bencher::iter_batched`]. The stub runs one setup per routine call
+/// regardless, so the variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small routine input: Criterion would batch many per allocation.
+    SmallInput,
+    /// Large routine input: fewer per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let reps = planned_reps(once, self.budget);
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.total += start.elapsed() + once;
+        self.iterations += reps + 1;
+    }
+
+    /// Measures `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed();
+        let reps = planned_reps(once, self.budget);
+        for _ in 0..reps {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.total += once;
+        self.iterations += reps + 1;
+    }
+}
+
+/// How many further repetitions fit in the time budget after a first
+/// timed call took `once`.
+fn planned_reps(once: Duration, budget: Duration) -> u64 {
+    if once.is_zero() {
+        return 1000;
+    }
+    (budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+}
+
+fn run_benchmark<F>(id: &str, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        budget,
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let mean_ns = if bencher.iterations == 0 {
+        0
+    } else {
+        bencher.total.as_nanos() / bencher.iterations as u128
+    };
+    println!(
+        "  {id}: {} iters, mean {} ns/iter",
+        bencher.iterations, mean_ns
+    );
+}
+
+/// Declares a benchmark-group function from benchmark functions, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the subset of the [`rand` 0.8](https://docs.rs/rand/0.8)
+//! API this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors this minimal, dependency-free reimplementation instead of the real
+//! crate. It covers exactly the idioms the NObLe code was written against:
+//!
+//! - [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! - [`Rng::gen_range`] over half-open and inclusive ranges of the common
+//!   float/integer types,
+//! - [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The generator is SplitMix64 — statistically fine for synthetic-data
+//! generation and shuffling, deterministic for a given seed, and *not*
+//! cryptographically secure (neither is the real `StdRng` contract this
+//! workspace relies on: only reproducibility per seed).
+
+/// A source of random `u64`s. Mirrors `rand_core::RngCore` minus the
+/// byte-fill methods this workspace never calls.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// Panics when the range is empty, matching rand 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a seed. Only the `seed_from_u64`
+/// entry point is used in this workspace.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed bytes in the real crate; a `u64` suffices here).
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, the idiom used throughout the
+    /// workspace for reproducible experiments.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts 64 random bits into a uniform `f32` in `[0, 1)`.
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_sample_range {
+    ($($ty:ty, $unit:ident);+ $(;)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = $unit(rng.next_u64());
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = $unit(rng.next_u64());
+                lo + u * (hi - lo)
+            }
+        }
+    )+};
+}
+
+float_sample_range! { f64, unit_f64; f32, unit_f32 }
+
+macro_rules! int_sample_range {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_sample_range! { u8, u16, u32, u64, usize, i8, i16, i32, i64, isize }
+
+pub mod rngs {
+    //! Concrete generators ([`StdRng`] only).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator matching the workspace's use of
+    /// `rand::rngs::StdRng` (SplitMix64 under the hood, not the real
+    /// crate's ChaCha12 — only per-seed reproducibility is promised).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = u64;
+
+        fn from_seed(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            Self::from_seed(state)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers ([`SliceRandom`] only).
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-3.0f64..5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let n = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&n));
+            let m = rng.gen_range(0..=4u64);
+            assert!(m <= 4);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}
