@@ -29,6 +29,25 @@ fn bench_inference(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    let rows: Vec<Vec<f64>> = (0..256)
+        .map(|i| features.row(i % features.rows()).to_vec())
+        .collect();
+    group.bench_function("localize_batch_256_serial", |b| {
+        noble_linalg::set_num_threads(1);
+        b.iter_batched(
+            || model.clone(),
+            |mut m| m.localize_batch(&rows).expect("localize_batch"),
+            BatchSize::SmallInput,
+        );
+        noble_linalg::set_num_threads(0);
+    });
+    group.bench_function("localize_batch_256_threaded", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| m.localize_batch(&rows).expect("localize_batch"),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

@@ -17,6 +17,7 @@ fn main() {
         ("fig4", noble_bench::runners::fig4::run),
         ("fig5", noble_bench::runners::fig5::run),
         ("energy", noble_bench::runners::energy::run),
+        ("throughput", noble_bench::runners::throughput::run),
         (
             "ablation_tau",
             noble_bench::runners::ablation::run_tau_sweep,

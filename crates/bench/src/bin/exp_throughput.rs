@@ -1,0 +1,12 @@
+//! Measures serving-scale inference throughput (single vs batched vs
+//! batched+threaded fixes/sec) and writes `results/BENCH_throughput.json`;
+//! see `noble_bench::runners::throughput`. Set `NOBLE_QUICK=1` for the CI
+//! smoke sweep and `NOBLE_THREADS=n` to cap the worker count.
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::throughput::run(scale) {
+        eprintln!("exp_throughput failed: {e}");
+        std::process::exit(1);
+    }
+}

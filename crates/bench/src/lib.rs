@@ -14,6 +14,7 @@
 //! | [`runners::fig5`] | Fig. 5 — IMU scatter + structure metrics |
 //! | [`runners::energy`] | §IV-C and §V-D — energy measurements |
 //! | [`runners::ablation`] | DESIGN.md §6 — τ sweep, labels, aux heads |
+//! | [`runners::throughput`] | serving throughput — single vs batched vs threaded fixes/sec |
 //!
 //! Each runner honors [`Scale`]: `Scale::Quick` (set `NOBLE_QUICK=1`)
 //! shrinks datasets and epochs so the whole suite runs in seconds; the

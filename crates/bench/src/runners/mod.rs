@@ -11,6 +11,7 @@ pub mod ipin;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throughput;
 
 /// Shared error type of the runners.
 pub type RunnerResult = Result<String, Box<dyn std::error::Error>>;

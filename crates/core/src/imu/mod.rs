@@ -21,9 +21,7 @@ use crate::NobleError;
 use noble_datasets::{ImuDataset, ImuPathSample, SEGMENT_FEATURE_DIM};
 use noble_geo::Point;
 use noble_linalg::{Matrix, Summary};
-use noble_nn::{
-    one_hot, softmax_row, Activation, Dense, Loss, Mlp, Optimizer, SoftmaxCrossEntropyLoss,
-};
+use noble_nn::{one_hot, Activation, Dense, Loss, Mlp, Optimizer, SoftmaxCrossEntropyLoss};
 use noble_quantize::{DecodePolicy, GridQuantizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -309,19 +307,55 @@ impl ImuNoble {
 
     /// Predicts end positions for a set of paths.
     ///
+    /// Delegates to [`ImuNoble::predict_batch`] — the end class is the
+    /// argmax over logits, which softmax (strictly monotone) cannot
+    /// change, so the probability pass the original implementation ran is
+    /// pure overhead.
+    ///
     /// # Errors
     ///
     /// Propagates network and decode failures.
     pub fn predict(&mut self, paths: &[&ImuPathSample]) -> Result<Vec<Point>, NobleError> {
+        self.predict_batch(paths)
+    }
+
+    /// Predicts the end position of a single path (serving-style per-fix
+    /// path). For throughput, use [`ImuNoble::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode failures.
+    pub fn predict_one(&mut self, path: &ImuPathSample) -> Result<Point, NobleError> {
+        let mut out = self.predict_batch(&[path])?;
+        Ok(out.pop().expect("one path in, one prediction out"))
+    }
+
+    /// Batched prediction: one stacked forward over all paths, then a
+    /// batch decode that takes the argmax over raw logits (softmax is
+    /// strictly monotone, so probabilities are never materialized) and
+    /// memoizes each class's centroid so repeated classes decode once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode failures.
+    pub fn predict_batch(&mut self, paths: &[&ImuPathSample]) -> Result<Vec<Point>, NobleError> {
         if paths.is_empty() {
             return Ok(Vec::new());
         }
         let (_c, _d, logits) = self.forward(paths, false)?;
+        let mut centroids: Vec<Option<Point>> = vec![None; self.quantizer.num_classes()];
         let mut out = Vec::with_capacity(paths.len());
         for i in 0..logits.rows() {
-            let probs = softmax_row(logits.row(i));
-            let class = noble_linalg::argmax(&probs).unwrap_or(0);
-            out.push(self.quantizer.decode(class)?);
+            let class = noble_linalg::argmax(logits.row(i)).unwrap_or(0);
+            let point = match centroids[class] {
+                Some(p) => p,
+                None => {
+                    let p = self.quantizer.decode(class)?;
+                    centroids[class] = Some(p);
+                    p
+                }
+            };
+            out.push(point);
         }
         Ok(out)
     }
@@ -395,6 +429,28 @@ mod tests {
         );
         // Decoded positions are quantizer centroids: on or near the walkway.
         assert!(report.structure.on_map_fraction > 0.8);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_and_softmax_paths() {
+        let dataset = quick_dataset();
+        let mut model = ImuNoble::train(&dataset, &ImuNobleConfig::small()).unwrap();
+        let refs: Vec<&ImuPathSample> = dataset.test.iter().take(16).collect();
+        let softmax_path = model.predict(&refs).unwrap();
+        let batched = model.predict_batch(&refs).unwrap();
+        assert_eq!(batched.len(), refs.len());
+        // Logit argmax == softmax argmax, so the decoded points are equal.
+        for (a, b) in softmax_path.iter().zip(&batched) {
+            assert!(a.distance(*b) < 1e-12, "softmax {a} vs batched {b}");
+        }
+        for (path, b) in refs.iter().zip(&batched) {
+            let single = model.predict_one(path).unwrap();
+            assert!(
+                single.distance(*b) < 1e-12,
+                "single {single} vs batched {b}"
+            );
+        }
+        assert!(model.predict_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

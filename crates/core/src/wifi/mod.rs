@@ -361,6 +361,45 @@ impl WifiNoble {
         Ok(out)
     }
 
+    /// Localizes a single fingerprint (serving-style per-fix path).
+    ///
+    /// For throughput-sensitive callers, collect fingerprints and use
+    /// [`WifiNoble::localize_batch`]: one stacked forward pass reuses the
+    /// weight matrices across the batch and engages the blocked
+    /// (and, above a size threshold, multi-threaded) matmul kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode failures; the fingerprint length must
+    /// equal the trained WAP count.
+    pub fn localize_one(&mut self, fingerprint: &[f64]) -> Result<WifiPrediction, NobleError> {
+        let features = Matrix::from_vec(1, fingerprint.len(), fingerprint.to_vec())
+            .map_err(|e| NobleError::InvalidData(e.to_string()))?;
+        let mut preds = self.predict(&features)?;
+        Ok(preds.pop().expect("one row in, one prediction out"))
+    }
+
+    /// Localizes a batch of fingerprints with a single stacked forward
+    /// pass. Prediction `i` corresponds to `fingerprints[i]` and matches
+    /// [`WifiNoble::localize_one`] on that row (same decode, same argmax;
+    /// logits agree to floating-point reassociation).
+    ///
+    /// # Errors
+    ///
+    /// [`NobleError::InvalidData`] on ragged input; propagates network and
+    /// decode failures.
+    pub fn localize_batch(
+        &mut self,
+        fingerprints: &[Vec<f64>],
+    ) -> Result<Vec<WifiPrediction>, NobleError> {
+        if fingerprints.is_empty() {
+            return Ok(Vec::new());
+        }
+        let features =
+            Matrix::from_rows(fingerprints).map_err(|e| NobleError::InvalidData(e.to_string()))?;
+        self.predict(&features)
+    }
+
     /// Embeds fingerprints with the penultimate layer (the learned
     /// manifold embedding of §III-C).
     ///
@@ -503,6 +542,33 @@ mod tests {
             assert!(p.fine_class < model.fine_quantizer().num_classes());
             assert!(p.building < campaign.map.building_count());
         }
+    }
+
+    #[test]
+    fn localize_batch_matches_per_sample_path() {
+        let campaign = quick_campaign();
+        let mut model = WifiNoble::train(&campaign, &WifiNobleConfig::small()).unwrap();
+        let features = campaign.features(&campaign.test[..12.min(campaign.test.len())]);
+        let rows: Vec<Vec<f64>> = (0..features.rows())
+            .map(|i| features.row(i).to_vec())
+            .collect();
+
+        let batched = model.localize_batch(&rows).unwrap();
+        assert_eq!(batched.len(), rows.len());
+        for (row, b) in rows.iter().zip(&batched) {
+            let single = model.localize_one(row).unwrap();
+            assert_eq!(single.fine_class, b.fine_class);
+            assert_eq!(single.building, b.building);
+            assert_eq!(single.floor, b.floor);
+            assert!(single.position.distance(b.position) < 1e-9);
+        }
+        // And both agree with the matrix-level predict path.
+        let matrix_preds = model.predict(&features).unwrap();
+        for (m, b) in matrix_preds.iter().zip(&batched) {
+            assert_eq!(m, b);
+        }
+        assert!(model.localize_batch(&[]).unwrap().is_empty());
+        assert!(model.localize_batch(&[vec![0.0], vec![0.0, 1.0]]).is_err());
     }
 
     #[test]

@@ -89,8 +89,16 @@ impl TrajectorySmoother {
     /// is on.
     pub fn update(&mut self, fix: Point, map: Option<&CampusMap>) -> Point {
         let cfg = self.config;
-        let next = match self.state {
-            None => (fix, Point::ORIGIN),
+        let snap = |p: Point| match (cfg.snap_to_map, map) {
+            (true, Some(m)) => m.project(p),
+            _ => p,
+        };
+        match self.state {
+            None => {
+                let position = snap(fix);
+                self.state = Some((position, Point::ORIGIN));
+                position
+            }
             Some((pos, vel)) => {
                 // Predict with the motion model, then blend in the fix.
                 let predicted = pos + vel * cfg.velocity_retention;
@@ -102,16 +110,17 @@ impl TrajectorySmoother {
                 } else {
                     blended
                 };
-                let new_vel = clamped - pos;
-                (clamped, new_vel)
+                let position = snap(clamped);
+                // The velocity must describe the motion of the *stored*
+                // (snapped) state. An earlier revision kept
+                // `clamped - pos` here, so with snapping on, a track
+                // pressed against a wall accumulated phantom velocity
+                // pointing off-map every step.
+                let new_vel = position - pos;
+                self.state = Some((position, new_vel));
+                position
             }
-        };
-        let position = match (cfg.snap_to_map, map) {
-            (true, Some(m)) => m.project(next.0),
-            _ => next.0,
-        };
-        self.state = Some((position, next.1));
-        position
+        }
     }
 
     /// Smooths a whole fix sequence at once.
@@ -178,6 +187,44 @@ mod tests {
             let p = s.update(fix, Some(&map));
             assert!(map.is_accessible(p), "smoothed point {p} off map");
         }
+    }
+
+    #[test]
+    fn wall_adjacent_track_accumulates_no_phantom_velocity() {
+        // Regression: velocity used to be computed from the pre-snap
+        // position, so a track pinned against a wall by off-map fixes
+        // accumulated a constant phantom velocity pointing off-map
+        // (fixed point ~1.67 m/step with the default config below).
+        let map = CampusMap::new(vec![Building::new(
+            Polygon::rectangle(0.0, 0.0, 20.0, 4.0).unwrap(),
+            1,
+        )
+        .unwrap()])
+        .unwrap();
+        let mut s = TrajectorySmoother::new(SmootherConfig::default());
+
+        // Press the track against the y = 4 wall with off-map fixes.
+        let wall = s.update(Point::new(2.0, 6.0), Some(&map));
+        assert_eq!(wall, Point::new(2.0, 4.0));
+        for _ in 0..10 {
+            let p = s.update(Point::new(2.0, 6.0), Some(&map));
+            // The smoothed state is stationary at the wall...
+            assert!(p.distance(wall) < 1e-9, "track drifted to {p}");
+        }
+
+        // ...so a fix back inside must be tracked like from standstill:
+        // blended y = (1 - fix_weight) * 4 + fix_weight * 2 = 2.8. With the
+        // phantom velocity bug the prediction overshoots off-map first and
+        // the response lands at y ≈ 3.27.
+        let inside = s.update(Point::new(2.0, 2.0), Some(&map));
+        assert!(
+            inside.y < 3.0,
+            "phantom velocity is dragging the track toward the wall: {inside}"
+        );
+        assert!(
+            (inside.y - 2.8).abs() < 1e-9,
+            "unexpected response {inside}"
+        );
     }
 
     #[test]

@@ -25,10 +25,12 @@
 mod centering;
 mod eigen;
 mod error;
+mod gemm;
 mod matrix;
 mod qr;
 mod solve;
 mod stats;
+pub mod threads;
 mod vector;
 
 pub use centering::{double_center, gram_from_distances};
@@ -37,10 +39,12 @@ pub use eigen::{
     EigenPair, EigenSort,
 };
 pub use error::LinalgError;
+pub use gemm::{matmul_blocked, matmul_naive, matmul_parallel, matmul_transposed};
 pub use matrix::Matrix;
 pub use qr::{least_squares, qr_decompose, QrFactors};
 pub use solve::{cholesky, lu_decompose, lu_solve, solve, solve_cholesky, LuFactors};
 pub use stats::{argmax, argmin, median, percentile, std_dev, Summary};
+pub use threads::{num_threads, parallel_chunks_mut, parallel_map_ranges, set_num_threads};
 pub use vector::{
     add_assign, axpy, dot, euclidean_distance, linspace, mean, norm, normalize_in_place,
     scale_in_place, squared_distance, sub,

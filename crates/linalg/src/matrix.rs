@@ -194,34 +194,20 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses a cache-friendly i-k-j loop ordering.
+    /// Dispatches on size: small products use the reference i-k-j loop
+    /// ([`crate::matmul_naive`]); larger ones use the cache-blocked,
+    /// packed-RHS kernel ([`crate::matmul_blocked`]); and once the
+    /// multiply-accumulate count is large enough the row blocks are spread
+    /// over scoped threads ([`crate::matmul_parallel`], worker count from
+    /// [`crate::num_threads`]). The kernels agree to floating-point
+    /// reassociation (≲ 1e-12 relative) and all follow IEEE semantics —
+    /// non-finite values propagate, nothing is skipped as "sparse".
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
-        if self.cols != rhs.rows {
-            return Err(LinalgError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b_kj;
-                }
-            }
-        }
-        Ok(out)
+        crate::gemm::matmul_dispatch(self, rhs)
     }
 
     /// Matrix-vector product `self * v`.
@@ -533,6 +519,30 @@ mod tests {
         let i = Matrix::identity(3);
         assert_eq!(a.matmul(&i).unwrap(), a);
         assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_zero_lhs_does_not_mask_nonfinite_rhs() {
+        // Regression: matmul used to skip a_ik == 0.0 entries, hiding
+        // NaN/inf in the RHS behind sparse LHS rows (0.0 * NaN is NaN).
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![f64::NAN, f64::INFINITY], vec![1.0, 2.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c[(0, 0)].is_nan());
+        assert!(c[(0, 1)].is_nan(), "0*inf + 2*2 must be NaN, not 4");
+        assert!(c[(1, 0)].is_nan());
+        assert!(c[(1, 1)].is_nan());
+    }
+
+    #[test]
+    fn matmul_large_routes_through_blocked_kernel() {
+        // Big enough to cross the blocked-dispatch threshold; the result
+        // must still match the naive reference.
+        let a = Matrix::from_fn(40, 35, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(35, 45, |i, j| ((i * 5 + j * 2) % 13) as f64 - 6.0);
+        let fast = a.matmul(&b).unwrap();
+        let reference = crate::matmul_naive(&a, &b).unwrap();
+        assert!(fast.max_abs_diff(&reference).unwrap() < 1e-9);
     }
 
     #[test]

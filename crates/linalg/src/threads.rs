@@ -1,0 +1,170 @@
+//! A minimal scoped "thread pool" built on [`std::thread::scope`].
+//!
+//! The suite runs in offline containers without rayon, so the parallel
+//! kernels (blocked matmul, pairwise distances, batch k-d tree queries)
+//! share these two std-only helpers instead. Threads are spawned per call
+//! and joined before returning — no detached workers, no channels, no
+//! unsafe — which keeps the helpers composable with borrowed data.
+//!
+//! The worker count is resolved by [`num_threads`]: an explicit
+//! [`set_num_threads`] override wins, then the `NOBLE_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by the parallel kernels.
+///
+/// Pass `0` to clear the override and fall back to `NOBLE_THREADS` /
+/// detected parallelism. Benchmarks use this to sweep thread counts.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Worker count the parallel kernels will use.
+///
+/// Resolution order: [`set_num_threads`] override, the `NOBLE_THREADS`
+/// environment variable, then detected hardware parallelism (minimum 1).
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("NOBLE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `data` into chunks of `chunk_len` elements and runs
+/// `f(chunk_index, chunk)` over them on up to `threads` scoped workers.
+///
+/// Chunks are dealt round-robin to workers, so `f` must be independent
+/// across chunks (it is called concurrently). With `threads <= 1` — or a
+/// single chunk — everything runs on the calling thread, which keeps the
+/// serial path allocation-free and deterministic for tests.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero while `data` is non-empty.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "parallel_chunks_mut: chunk_len must be > 0");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if threads <= 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let workers = threads.min(n_chunks);
+    let mut assignments: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        assignments[i % workers].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for work in assignments {
+            s.spawn(move || {
+                for (i, chunk) in work {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Splits `0..n` into up to `threads` contiguous ranges, maps each through
+/// `f` on a scoped worker, and returns the results in range order.
+///
+/// With `threads <= 1` (or a single item) `f` runs on the calling thread.
+pub fn parallel_map_ranges<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        return vec![f(0..n)];
+    }
+    let per = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(n);
+                s.spawn(move || f(lo..hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_elements() {
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0u64; 37];
+            parallel_chunks_mut(&mut data, 5, threads, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = i as u64 + 1;
+                }
+            });
+            assert!(data.iter().all(|&v| v > 0), "threads={threads}");
+            // Chunk 0 covers the first 5 elements, etc.
+            assert_eq!(data[0], 1);
+            assert_eq!(data[36], 8);
+        }
+    }
+
+    #[test]
+    fn chunks_empty_and_serial() {
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(&mut empty, 4, 4, |_, _| panic!("no chunks expected"));
+        let mut one = vec![0u8; 3];
+        parallel_chunks_mut(&mut one, 10, 4, |i, chunk| {
+            assert_eq!(i, 0);
+            chunk.fill(7);
+        });
+        assert_eq!(one, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn map_ranges_ordered_and_complete() {
+        for threads in [1, 2, 5, 16] {
+            let parts = parallel_map_ranges(11, threads, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, (0..11).collect::<Vec<_>>(), "threads={threads}");
+        }
+        assert!(parallel_map_ranges(0, 4, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the matmul kernels: the blocked, transposed and
+//! threaded paths must agree with the naive reference across arbitrary
+//! shapes and values, and batched products must agree with row-at-a-time
+//! products (the invariant the batched inference engine rests on).
+
+use noble_linalg::{matmul_blocked, matmul_naive, matmul_parallel, matmul_transposed, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols, 0u64..1 << 20).prop_map(|(r, c, salt)| {
+        Matrix::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xC2B2_AE35))
+                .wrapping_add(salt.wrapping_mul(0x1656_67B1));
+            ((h % 4001) as f64 - 2000.0) / 311.0
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked, transposed and threaded kernels match the naive reference
+    /// within 1e-12 across random shapes (they reassociate the inner sum,
+    /// so bit equality is not expected — but parallel == blocked exactly).
+    #[test]
+    fn kernels_agree_across_shapes(
+        dims in (1usize..48, 1usize..48, 1usize..48, 0u64..1 << 16),
+    ) {
+        let (m, k, n, salt) = dims;
+        let a = matrix_strategy(m..m + 1, k..k + 1)
+            .generate(&mut proptest::test_runner::TestRng::new(salt));
+        let b = matrix_strategy(k..k + 1, n..n + 1)
+            .generate(&mut proptest::test_runner::TestRng::new(salt ^ 0xABCD));
+        let reference = matmul_naive(&a, &b).unwrap();
+        let scale = reference
+            .as_slice()
+            .iter()
+            .fold(1.0f64, |acc, v| acc.max(v.abs()));
+
+        let blocked = matmul_blocked(&a, &b).unwrap();
+        prop_assert!(
+            reference.max_abs_diff(&blocked).unwrap() <= 1e-12 * scale,
+            "blocked kernel diverges for {m}x{k}x{n}"
+        );
+        let transposed = matmul_transposed(&a, &b.transpose()).unwrap();
+        prop_assert!(
+            reference.max_abs_diff(&transposed).unwrap() <= 1e-12 * scale,
+            "transposed kernel diverges for {m}x{k}x{n}"
+        );
+        for threads in [2usize, 4] {
+            let par = matmul_parallel(&a, &b, threads).unwrap();
+            prop_assert_eq!(&par, &blocked);
+        }
+    }
+
+    /// Batch-vs-single parity at the kernel level: multiplying a stacked
+    /// batch equals multiplying each row separately. This is the algebraic
+    /// fact `predict_batch` and `localize_batch` rely on.
+    #[test]
+    fn batched_product_matches_per_row_products(
+        a in matrix_strategy(1usize..24, 1usize..24),
+        seed in 0u64..1 << 16,
+    ) {
+        let k = a.cols();
+        let b = matrix_strategy(k..k + 1, 1usize..24)
+            .generate(&mut proptest::test_runner::TestRng::new(seed));
+        let batched = a.matmul(&b).unwrap();
+        for i in 0..a.rows() {
+            let single = a.select_rows(&[i]).matmul(&b).unwrap();
+            for j in 0..b.cols() {
+                prop_assert!(
+                    (batched[(i, j)] - single[(0, j)]).abs() <= 1e-12 * single[(0, j)].abs().max(1.0),
+                    "row {i} col {j}: batched {} vs single {}",
+                    batched[(i, j)],
+                    single[(0, j)]
+                );
+            }
+        }
+    }
+}

@@ -1,16 +1,42 @@
 //! Nearest-neighbor search: brute force and a k-d tree.
+//!
+//! Distances are ordered with [`f64::total_cmp`] throughout, so `NaN`
+//! distances (real RSSI traces contain missing APs) sort *after* every
+//! finite distance instead of panicking mid-sort.
 
+use noble_linalg::threads::{num_threads, parallel_chunks_mut, parallel_map_ranges};
 use noble_linalg::{euclidean_distance, Matrix};
 
+/// Row count above which [`pairwise_distances`] fans out over scoped
+/// threads (the kernel is `O(n^2 d)`; small inputs stay serial).
+const PARALLEL_PAIRWISE_MIN_ROWS: usize = 64;
+
 /// Full pairwise Euclidean distance matrix between the rows of `data`.
+///
+/// Above a small row threshold the strict upper triangle is computed in
+/// parallel over row chunks (worker count
+/// from [`num_threads`]) and mirrored afterwards; entries are identical
+/// regardless of thread count since each is computed independently.
 pub fn pairwise_distances(data: &Matrix) -> Matrix {
     let n = data.rows();
     let mut d = Matrix::zeros(n, n);
+    let threads = if n >= PARALLEL_PAIRWISE_MIN_ROWS {
+        num_threads()
+    } else {
+        1
+    };
+    // One row per chunk: round-robin dealing interleaves short (late)
+    // and long (early) triangle rows across workers, so the load stays
+    // balanced even though row i holds n-i-1 entries. The mirror pass
+    // below is a cheap copy.
+    parallel_chunks_mut(d.as_mut_slice(), n.max(1), threads, |i, row| {
+        for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+            *slot = euclidean_distance(data.row(i), data.row(j));
+        }
+    });
     for i in 0..n {
         for j in (i + 1)..n {
-            let dist = euclidean_distance(data.row(i), data.row(j));
-            d[(i, j)] = dist;
-            d[(j, i)] = dist;
+            d[(j, i)] = d[(i, j)];
         }
     }
     d
@@ -18,15 +44,15 @@ pub fn pairwise_distances(data: &Matrix) -> Matrix {
 
 /// Brute-force k-nearest-neighbor query against the rows of `data`.
 ///
-/// Returns up to `k` `(row_index, distance)` pairs sorted by distance.
-/// A row exactly equal to `query` is *included* (callers that search a
-/// dataset for one of its own rows should ask for `k + 1` and drop the
-/// self-match).
+/// Returns up to `k` `(row_index, distance)` pairs sorted by distance;
+/// `NaN` distances sort last. A row exactly equal to `query` is
+/// *included* (callers that search a dataset for one of its own rows
+/// should ask for `k + 1` and drop the self-match).
 pub fn knn_brute(data: &Matrix, query: &[f64], k: usize) -> Vec<(usize, f64)> {
     let mut all: Vec<(usize, f64)> = (0..data.rows())
         .map(|i| (i, euclidean_distance(data.row(i), query)))
         .collect();
-    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    all.sort_by(|a, b| a.1.total_cmp(&b.1));
     all.truncate(k);
     all
 }
@@ -93,11 +119,9 @@ impl KdTree {
             return None;
         }
         let dim = self.widest_dimension(indices);
-        indices.sort_by(|&a, &b| {
-            self.points[(a, dim)]
-                .partial_cmp(&self.points[(b, dim)])
-                .expect("finite coordinates")
-        });
+        // total_cmp: NaN coordinates (missing APs) sort to one end instead
+        // of panicking; the tree stays valid for the finite rows.
+        indices.sort_by(|&a, &b| self.points[(a, dim)].total_cmp(&self.points[(b, dim)]));
         let mid = indices.len() / 2;
         let point_index = indices[mid];
         let node_index = self.nodes.len();
@@ -167,9 +191,10 @@ impl KdTree {
         let n = &self.nodes[idx];
         let point = self.points.row(n.point_index);
         let dist = euclidean_distance(point, query);
-        // Insert into the sorted best list.
+        // Insert into the sorted best list; total_cmp keeps NaN distances
+        // at the tail instead of panicking.
         let pos = best
-            .binary_search_by(|probe| probe.1.partial_cmp(&dist).expect("finite distances"))
+            .binary_search_by(|probe| probe.1.total_cmp(&dist))
             .unwrap_or_else(|p| p);
         best.insert(pos, (n.point_index, dist));
         best.truncate(k);
@@ -182,11 +207,32 @@ impl KdTree {
         };
         self.search(near, query, k, best);
         // Prune the far side unless the splitting plane is within the
-        // current worst distance (or we still lack k results).
+        // current worst distance (or we still lack k results, or either
+        // bound is NaN — a NaN split coordinate or NaN worst "distance"
+        // gives no pruning information and must never drop finite hits).
         let worst = best.last().map(|b| b.1).unwrap_or(f64::INFINITY);
-        if best.len() < k || diff.abs() < worst {
+        if best.len() < k || diff.abs() < worst || worst.is_nan() || diff.is_nan() {
             self.search(far, query, k, best);
         }
+    }
+
+    /// Batched k-nearest-neighbor queries: one result list per row of
+    /// `queries`, computed in parallel over row chunks with scoped threads
+    /// (worker count from [`num_threads`]). Each entry equals
+    /// `self.knn(queries.row(i), k)` exactly — queries are independent, so
+    /// results do not depend on the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.cols()` differs from the indexed dimensionality
+    /// (for a non-empty tree).
+    pub fn knn_batch(&self, queries: &Matrix, k: usize) -> Vec<Vec<(usize, f64)>> {
+        let chunks = parallel_map_ranges(queries.rows(), num_threads(), |range| {
+            range
+                .map(|i| self.knn(queries.row(i), k))
+                .collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -243,6 +289,105 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn nan_features_sort_last_instead_of_panicking() {
+        // Regression: the sort comparator used partial_cmp().expect(),
+        // which panicked on the first NaN distance. Real RSSI traces have
+        // missing APs, so NaN rows must degrade gracefully instead.
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![f64::NAN, 1.0],
+            vec![3.0, 0.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        let hits = knn_brute(&data, &[0.1, 0.0], 4);
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 3);
+        assert_eq!(hits[2].0, 2);
+        assert_eq!(hits[3].0, 1, "NaN row must sort last");
+        assert!(hits[3].1.is_nan());
+        // Asking for fewer neighbors never surfaces the NaN row.
+        assert!(knn_brute(&data, &[0.1, 0.0], 3)
+            .iter()
+            .all(|h| h.1.is_finite()));
+
+        // The k-d tree accepts the same data without panicking and keeps
+        // finite rows ahead of the NaN row.
+        let tree = KdTree::build(&data);
+        let tree_hits = tree.knn(&[0.1, 0.0], 4);
+        assert_eq!(tree_hits.len(), 4);
+        assert_eq!(tree_hits[0].0, 0);
+        assert!(tree_hits[..3].iter().all(|h| h.1.is_finite()));
+        assert!(tree_hits[3].1.is_nan());
+
+        // A NaN query degrades to "everything is NaN" without crashing.
+        let nan_query = knn_brute(&data, &[f64::NAN, 0.0], 2);
+        assert_eq!(nan_query.len(), 2);
+        assert!(tree.knn(&[f64::NAN, 0.0], 2).len() == 2);
+    }
+
+    #[test]
+    fn kdtree_nan_split_node_does_not_prune_finite_neighbors() {
+        // Regression: when NaN rows outnumber finite rows in a subtree,
+        // the median (internal) node itself has a NaN coordinate, making
+        // the plane distance NaN; the pruning test must then visit both
+        // children or finite true neighbors are silently dropped.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![100.0],
+            vec![101.0],
+            vec![102.0],
+            vec![103.0],
+            vec![f64::NAN],
+            vec![f64::NAN],
+            vec![f64::NAN],
+        ])
+        .unwrap();
+        let tree = KdTree::build(&data);
+        let hits = tree.knn(&[103.5], 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 5, "true nearest neighbor 103.0 was pruned");
+        assert!((hits[0].1 - 0.5).abs() < 1e-12);
+        // And the tree still agrees with brute force on the finite rows.
+        let brute = knn_brute(&data, &[103.5], 3);
+        let fast = tree.knn(&[103.5], 3);
+        for (b, f) in brute.iter().zip(&fast) {
+            assert_eq!(b.0, f.0);
+        }
+    }
+
+    #[test]
+    fn knn_batch_matches_sequential_queries() {
+        let data = random_data(120, 3, 11);
+        let tree = KdTree::build(&data);
+        let queries = random_data(37, 3, 12);
+        for threads in [1, 2, 4] {
+            noble_linalg::set_num_threads(threads);
+            let batched = tree.knn_batch(&queries, 4);
+            assert_eq!(batched.len(), queries.rows());
+            for (i, hits) in batched.iter().enumerate() {
+                assert_eq!(hits, &tree.knn(queries.row(i), 4), "query {i}");
+            }
+        }
+        noble_linalg::set_num_threads(0);
+        assert!(tree.knn_batch(&Matrix::zeros(0, 3), 4).is_empty());
+    }
+
+    #[test]
+    fn pairwise_distances_thread_invariant() {
+        let data = random_data(80, 4, 21);
+        noble_linalg::set_num_threads(1);
+        let serial = pairwise_distances(&data);
+        noble_linalg::set_num_threads(4);
+        let parallel = pairwise_distances(&data);
+        noble_linalg::set_num_threads(0);
+        assert_eq!(serial, parallel);
+        assert!(serial.is_symmetric(0.0));
     }
 
     #[test]

@@ -176,6 +176,58 @@ impl Mlp {
         self.forward(x, false)
     }
 
+    /// Single-sample inference: one feature row in, one output row out.
+    ///
+    /// This is the serving-style per-fix path; for throughput, stack
+    /// samples and use [`Mlp::predict_batch`] instead — one forward over
+    /// the whole batch reuses each weight matrix while it is
+    /// cache-resident and amortizes per-call allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `row.len() != in_dim`.
+    pub fn predict_one(&mut self, row: &[f64]) -> Result<Vec<f64>, NnError> {
+        if row.len() != self.in_dim {
+            return Err(NnError::ShapeMismatch {
+                context: "predict_one",
+                expected: self.in_dim,
+                found: row.len(),
+            });
+        }
+        let x = Matrix::from_vec(1, self.in_dim, row.to_vec()).expect("length checked");
+        Ok(self.forward(&x, false)?.into_vec())
+    }
+
+    /// Batched inference over stacked samples: one forward pass over a
+    /// `(rows.len(), in_dim)` matrix instead of `rows.len()` single-row
+    /// forwards. Output row `i` corresponds to input row `i` and matches
+    /// [`Mlp::predict_one`] on that row to floating-point reassociation
+    /// (batch-norm inference uses running statistics, so rows are
+    /// independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when any row's length differs
+    /// from `in_dim`.
+    pub fn predict_batch(&mut self, rows: &[Vec<f64>]) -> Result<Matrix, NnError> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, self.out_dim));
+        }
+        let mut data = Vec::with_capacity(rows.len() * self.in_dim);
+        for row in rows {
+            if row.len() != self.in_dim {
+                return Err(NnError::ShapeMismatch {
+                    context: "predict_batch",
+                    expected: self.in_dim,
+                    found: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        let x = Matrix::from_vec(rows.len(), self.in_dim, data).expect("lengths checked");
+        self.forward(&x, false)
+    }
+
     /// Output of the *penultimate* stage in inference mode — the learned
     /// embedding the paper analyzes in its manifold argument (§III-C).
     ///
@@ -410,6 +462,50 @@ mod tests {
         }
         assert!(last_loss < first_loss.unwrap() * 0.05, "loss {last_loss}");
         assert!(last_loss < 0.02);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_path() {
+        let mut mlp = Mlp::builder(6, 21)
+            .dense(16)
+            .batch_norm()
+            .activation(Activation::Tanh)
+            .dense(3)
+            .build();
+        // Drive batch-norm running stats away from their init so inference
+        // actually exercises them.
+        let warm = Matrix::from_fn(32, 6, |i, j| ((i * 5 + j * 3) % 9) as f64 / 4.0 - 1.0);
+        mlp.forward(&warm, true).unwrap();
+
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 7 + j) % 13) as f64 / 6.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let batched = mlp.predict_batch(&rows).unwrap();
+        assert_eq!(batched.shape(), (17, 3));
+        for (i, row) in rows.iter().enumerate() {
+            let single = mlp.predict_one(row).unwrap();
+            for j in 0..3 {
+                assert!(
+                    (batched[(i, j)] - single[j]).abs() < 1e-9,
+                    "row {i} col {j}: batched {} vs single {}",
+                    batched[(i, j)],
+                    single[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_rejects_ragged_and_handles_empty() {
+        let mut mlp = Mlp::builder(3, 0).dense(2).build();
+        assert_eq!(mlp.predict_batch(&[]).unwrap().shape(), (0, 2));
+        let err = mlp.predict_batch(&[vec![1.0, 2.0, 3.0], vec![1.0]]);
+        assert!(err.is_err());
+        assert!(mlp.predict_one(&[1.0]).is_err());
     }
 
     #[test]
