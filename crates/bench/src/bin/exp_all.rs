@@ -18,6 +18,7 @@ fn main() {
         ("fig5", noble_bench::runners::fig5::run),
         ("energy", noble_bench::runners::energy::run),
         ("throughput", noble_bench::runners::throughput::run),
+        ("serving", noble_bench::runners::serving::run),
         (
             "ablation_tau",
             noble_bench::runners::ablation::run_tau_sweep,

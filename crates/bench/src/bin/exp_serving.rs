@@ -1,0 +1,9 @@
+//! Sharded serving throughput sweep (`results/BENCH_serving.json`).
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::serving::run(scale) {
+        eprintln!("exp_serving failed: {e}");
+        std::process::exit(1);
+    }
+}

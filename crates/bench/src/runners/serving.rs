@@ -1,0 +1,361 @@
+//! Sharded serving throughput: the micro-batching pipeline under client
+//! load.
+//!
+//! `exp_throughput` measured the raw inference engine; this runner
+//! measures the *serving* seam above it — N client threads firing WiFi
+//! fixes at a [`noble_serve::BatchServer`] over 1/2/4 shards, with the
+//! coalescing knobs swept:
+//!
+//! - **single** — synchronous request/response serving: each client keeps
+//!   one fix in flight, `max_batch = 1`, one inference call per fix (the
+//!   naive serving loop),
+//! - **pipelined** — clients stream their fixes (submit-all-then-wait)
+//!   but the worker still serves one fix per call, isolating the win of
+//!   asynchrony alone,
+//! - **batched** — streaming clients *and* coalescing: `max_batch >= 64`
+//!   at several latency budgets, so the backlog rides stacked
+//!   `localize_batch` calls.
+//!
+//! Serving results are bit-identical across all modes (the kernel
+//! dispatch is per-row; `noble-serve`'s parity suite pins it), so the
+//! sweep is purely a throughput story. Results go to stdout and
+//! `results/BENCH_serving.json`. [`Scale::Quick`] shrinks the sweep for
+//! CI smoke runs.
+
+use crate::config::uji_config;
+use crate::runners::RunnerResult;
+use crate::{write_artifact, Scale};
+use noble::report::TextTable;
+use noble::wifi::WifiNobleConfig;
+use noble_datasets::{uji_campaign, WifiSample};
+use noble_serve::{
+    BatchConfig, BatchServer, RegistryConfig, ShardKey, ShardPolicy, ShardStats, ShardedRegistry,
+};
+use std::time::{Duration, Instant};
+
+/// One serving measurement.
+struct Measurement {
+    mode: &'static str,
+    shards: usize,
+    max_batch: usize,
+    budget_us: u64,
+    fixes_per_sec: f64,
+    shard_stats: Vec<(ShardKey, ShardStats)>,
+}
+
+impl Measurement {
+    fn json(&self) -> String {
+        let shards: Vec<String> = self
+            .shard_stats
+            .iter()
+            .map(|(key, s)| {
+                format!(
+                    "{{\"shard\": \"{key}\", \"requests\": {}, \"batches\": {}, \
+                     \"mean_batch\": {:.2}, \"max_batch\": {}, \"mean_latency_us\": {:.1}, \
+                     \"max_latency_us\": {}, \"busy_us\": {}}}",
+                    s.requests,
+                    s.batches,
+                    s.mean_batch(),
+                    s.max_batch,
+                    s.mean_latency_us(),
+                    s.max_latency_us,
+                    s.busy_us
+                )
+            })
+            .collect();
+        format!
+            (
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"max_batch\": {}, \"budget_us\": {}, \"fixes_per_sec\": {:.1}, \"shard_stats\": [{}]}}",
+            self.mode, self.shards, self.max_batch, self.budget_us, self.fixes_per_sec, shards.join(", ")
+        )
+    }
+}
+
+/// Restores the process-wide intra-op thread override on scope exit, so
+/// an error mid-sweep cannot leave the rest of `exp_all` silently pinned
+/// to one matmul worker.
+struct ThreadPin {
+    restore_to: usize,
+}
+
+impl ThreadPin {
+    fn pin_to_one() -> Self {
+        let configured = noble_linalg::num_threads();
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+        noble_linalg::set_num_threads(1);
+        ThreadPin {
+            // A configured count equal to detected parallelism is
+            // indistinguishable from "no override"; restore to unset.
+            restore_to: if configured == available {
+                0
+            } else {
+                configured
+            },
+        }
+    }
+}
+
+impl Drop for ThreadPin {
+    fn drop(&mut self) {
+        noble_linalg::set_num_threads(self.restore_to);
+    }
+}
+
+/// Drives `fixes` through the server from `clients` threads and returns
+/// the wall-clock fixes/second.
+///
+/// With `pipeline` the clients stream: every fix is submitted before any
+/// reply is awaited (devices posting asynchronously — the backlog is what
+/// the worker coalesces). Without it each client is a synchronous
+/// request/response loop, one fix in flight at a time — the classic
+/// single-request serving discipline.
+fn drive(
+    server: &BatchServer,
+    fixes: &[(ShardKey, Vec<f64>)],
+    clients: usize,
+    pipeline: bool,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    // Pre-clone each client's slice so the timed region measures serving,
+    // not allocation of the request stream.
+    let slices: Vec<Vec<(ShardKey, Vec<f64>)>> = (0..clients)
+        .map(|c| fixes.iter().skip(c).step_by(clients).cloned().collect())
+        .collect();
+    let started = Instant::now();
+    std::thread::scope(|s| -> Result<(), noble_serve::ServeError> {
+        let mut handles = Vec::new();
+        for mine in slices {
+            let client = server.client();
+            handles.push(s.spawn(move || -> Result<(), noble_serve::ServeError> {
+                if pipeline {
+                    let pending: Result<Vec<_>, _> = mine
+                        .into_iter()
+                        .map(|(key, row)| client.submit(key, row))
+                        .collect();
+                    for p in pending? {
+                        p.wait()?;
+                    }
+                } else {
+                    for (key, row) in mine {
+                        client.localize(key, row)?;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread")?;
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    Ok(fixes.len() as f64 / elapsed)
+}
+
+/// Runs the sweep and writes `results/BENCH_serving.json`.
+///
+/// # Errors
+///
+/// Propagates dataset, training, serving and artifact-I/O failures.
+pub fn run(scale: Scale) -> RunnerResult {
+    // Serving cost is dominated by the fixed-width forward pass; train
+    // briefly on the quick campaign but keep the paper's hidden width.
+    let campaign = uji_campaign(&uji_config(Scale::Quick))?;
+    let model_cfg = WifiNobleConfig {
+        hidden_dim: 128,
+        epochs: if scale == Scale::Quick { 2 } else { 4 },
+        patience: None,
+        ..WifiNobleConfig::small()
+    };
+
+    let floors = campaign
+        .map
+        .buildings()
+        .iter()
+        .map(|b| b.floors())
+        .max()
+        .unwrap_or(1);
+    let (shard_counts, budgets_us, total_fixes, clients, reps): (
+        Vec<usize>,
+        Vec<u64>,
+        usize,
+        usize,
+        usize,
+    ) = match scale {
+        Scale::Quick => (vec![1, 2], vec![200], 1024, 8, 2),
+        Scale::Full => (vec![1, 2, 4], vec![0, 200, 1000], 4096, 8, 3),
+    };
+    let reference_shards = *shard_counts.last().unwrap_or(&1);
+    let max_batches: Vec<usize> = match scale {
+        Scale::Quick => vec![256],
+        Scale::Full => vec![64, 256],
+    };
+
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut speedup_at_reference = 0.0f64;
+    let mut single_at_reference = 0.0f64;
+    for &shards in &shard_counts {
+        // Round-robin building-floor zones onto `shards` groups; requests
+        // route with the same keyer.
+        let keyer = move |s: &WifiSample| {
+            if shards == 1 {
+                ShardPolicy::SingleSite.key_of(s)
+            } else {
+                ShardKey::building((s.building * floors + s.floor) % shards)
+            }
+        };
+        let mut registry = ShardedRegistry::train_wifi_with(
+            &campaign,
+            keyer,
+            &model_cfg,
+            &RegistryConfig::default(),
+        )?;
+
+        // Replicate test fingerprints up to the request volume.
+        let features = campaign.features(&campaign.test);
+        let fixes: Vec<(ShardKey, Vec<f64>)> = (0..total_fixes)
+            .map(|i| {
+                let j = i % features.rows();
+                (keyer(&campaign.test[j]), features.row(j).to_vec())
+            })
+            .collect();
+
+        let run_mode = |measurements: &mut Vec<Measurement>,
+                        mode: &'static str,
+                        max_batch: usize,
+                        budget_us: u64,
+                        pipeline: bool,
+                        registry: ShardedRegistry|
+         -> Result<(ShardedRegistry, f64), Box<dyn std::error::Error>> {
+            let mut best = 0.0f64;
+            let mut stats = Vec::new();
+            let mut registry = registry;
+            for _ in 0..reps {
+                let server = BatchServer::start(
+                    registry,
+                    BatchConfig {
+                        max_batch,
+                        latency_budget: Duration::from_micros(budget_us),
+                    },
+                )?;
+                let rate = drive(&server, &fixes, clients, pipeline)?;
+                let (s, recovered) = server.shutdown_with_registry();
+                registry = recovered;
+                // Keep the stats of the *best* repetition so the JSON's
+                // rate and batch/latency columns describe the same run.
+                if rate > best {
+                    best = rate;
+                    stats = s;
+                }
+            }
+            measurements.push(Measurement {
+                mode,
+                shards,
+                max_batch,
+                budget_us,
+                fixes_per_sec: best,
+                shard_stats: stats,
+            });
+            Ok((registry, best))
+        };
+
+        // Shard workers and client threads already use every core; letting
+        // each coalesced matmul *also* fan out over scoped threads
+        // oversubscribes the box and erases the batching win (NOBLE_THREADS
+        // still governs training above and the exp_throughput sweep).
+        // Serve with intra-op parallelism pinned to one worker; the guard
+        // restores the override even if a mode errors out mid-sweep.
+        let pin = ThreadPin::pin_to_one();
+        // Single-request serving: synchronous request/response, one fix in
+        // flight per client, one inference call per fix.
+        let (reg, single_rate) = run_mode(&mut measurements, "single", 1, 0, false, registry)?;
+        // Streaming without coalescing isolates how much of the win comes
+        // from pipelining alone vs. from the stacked inference call.
+        let (reg, _) = run_mode(&mut measurements, "pipelined", 1, 0, true, reg)?;
+        registry = reg;
+        let mut best_batched = 0.0f64;
+        for &max_batch in &max_batches {
+            for &budget in &budgets_us {
+                let (reg, rate) = run_mode(
+                    &mut measurements,
+                    "batched",
+                    max_batch,
+                    budget,
+                    true,
+                    registry,
+                )?;
+                registry = reg;
+                best_batched = best_batched.max(rate);
+            }
+        }
+        drop(pin);
+        if shards == reference_shards {
+            single_at_reference = single_rate;
+            speedup_at_reference = best_batched / single_rate.max(f64::MIN_POSITIVE);
+        }
+        drop(registry);
+    }
+
+    let mut out = String::new();
+    out.push_str("SERVING: sharded micro-batching pipeline, fixes/sec end-to-end\n");
+    out.push_str(&format!(
+        "(hidden_dim={}, waps={}, clients={clients}, total_fixes={total_fixes}, \
+         available_parallelism={available})\n\n",
+        model_cfg.hidden_dim,
+        campaign.num_waps()
+    ));
+    let mut table = TextTable::new(vec![
+        "MODE".into(),
+        "SHARDS".into(),
+        "MAX_BATCH".into(),
+        "BUDGET_US".into(),
+        "FIXES/SEC".into(),
+        "MEAN_BATCH".into(),
+    ]);
+    for m in &measurements {
+        let mean_batch = if m.shard_stats.is_empty() {
+            0.0
+        } else {
+            m.shard_stats
+                .iter()
+                .map(|(_, s)| s.mean_batch())
+                .sum::<f64>()
+                / m.shard_stats.len() as f64
+        };
+        table.add_row(vec![
+            m.mode.to_uppercase(),
+            m.shards.to_string(),
+            m.max_batch.to_string(),
+            m.budget_us.to_string(),
+            format!("{:.0}", m.fixes_per_sec),
+            format!("{mean_batch:.1}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nat {reference_shards} shard(s): batched (max_batch >= 64) = {speedup_at_reference:.2}x \
+         single-request serving ({:.0} vs {:.0} fixes/sec)\n",
+        speedup_at_reference * single_at_reference,
+        single_at_reference,
+    ));
+
+    let json = format!(
+        "{{\n  \"available_parallelism\": {available},\n  \"hidden_dim\": {},\n  \
+         \"num_waps\": {},\n  \"clients\": {clients},\n  \"total_fixes\": {total_fixes},\n  \
+         \"reference_shards\": {reference_shards},\n  \
+         \"speedup_batched_vs_single\": {speedup_at_reference:.3},\n  \
+         \"measurements\": [\n{}\n  ]\n}}\n",
+        model_cfg.hidden_dim,
+        campaign.num_waps(),
+        measurements
+            .iter()
+            .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = write_artifact("BENCH_serving.json", &json)?;
+    out.push_str(&format!("wrote {}\n", path.display()));
+
+    println!("{out}");
+    Ok(out)
+}

@@ -210,22 +210,92 @@ impl ImuNoble {
         paths: &[&ImuPathSample],
         training: bool,
     ) -> Result<(Matrix, Matrix, Matrix), NobleError> {
+        let stacked = self.stack_segments(paths);
+        let onehots = self.start_onehots(paths);
+        self.forward_parts(&stacked, &onehots, paths.len(), training)
+    }
+
+    /// Shared tail of the forward pass, fed either from path samples
+    /// ([`ImuNoble::forward`]) or from the flat feature encoding of
+    /// [`ImuNoble::path_features`] — both construct the identical
+    /// `(batch*L, dim)` segment stack and start one-hots, so the two
+    /// entry points are bit-identical.
+    fn forward_parts(
+        &mut self,
+        stacked: &Matrix,
+        start_onehots: &Matrix,
+        batch: usize,
+        training: bool,
+    ) -> Result<(Matrix, Matrix, Matrix), NobleError> {
         let l = self.max_segments;
         let p_dim = self.projection.out_dim();
-        let stacked = self.stack_segments(paths);
-        let projected_flat = self.projection.forward(&stacked, training)?;
+        let projected_flat = self.projection.forward(stacked, training)?;
         // Reshape (batch*L, p) -> (batch, L*p).
-        let mut concat = Matrix::zeros(paths.len(), l * p_dim);
-        for pi in 0..paths.len() {
+        let mut concat = Matrix::zeros(batch, l * p_dim);
+        for pi in 0..batch {
             for si in 0..l {
                 let src = projected_flat.row(pi * l + si);
                 concat.row_mut(pi)[si * p_dim..(si + 1) * p_dim].copy_from_slice(src);
             }
         }
         let displacement = self.displacement.forward(&concat, training)?;
-        let loc_in = displacement.hstack(&self.start_onehots(paths))?;
+        let loc_in = displacement.hstack(start_onehots)?;
         let logits = self.location.forward(&loc_in, training)?;
         Ok((concat, displacement, logits))
+    }
+
+    /// Width of the flat serving-feature rows: `max_segments` padded
+    /// segment slots plus the start position `(x, y)`.
+    pub fn path_feature_dim(&self) -> usize {
+        self.max_segments * SEGMENT_INPUT_DIM + 2
+    }
+
+    /// Number of neighborhood classes the end-position decode ranges over.
+    pub fn class_count(&self) -> usize {
+        self.quantizer.num_classes()
+    }
+
+    /// Encodes paths into the flat `(n, path_feature_dim)` serving layout
+    /// consumed by the [`crate::Localizer`] impl: the zero-padded,
+    /// validity-flagged segment block followed by the start position. The
+    /// encoding is lossless for inference — decoding it reproduces the
+    /// exact segment stack and start one-hots the path-based forward
+    /// builds.
+    pub fn path_features(&self, paths: &[&ImuPathSample]) -> Matrix {
+        let l = self.max_segments;
+        let mut m = Matrix::zeros(paths.len(), self.path_feature_dim());
+        for (pi, path) in paths.iter().enumerate() {
+            let row = m.row_mut(pi);
+            for (si, seg) in path.segments.iter().take(l).enumerate() {
+                let base = si * SEGMENT_INPUT_DIM;
+                row[base..base + SEGMENT_FEATURE_DIM].copy_from_slice(seg.features());
+                row[base + SEGMENT_FEATURE_DIM] = 1.0; // valid
+            }
+            row[l * SEGMENT_INPUT_DIM] = path.start_position.x;
+            row[l * SEGMENT_INPUT_DIM + 1] = path.start_position.y;
+        }
+        m
+    }
+
+    /// Decodes end positions from location-module logits: argmax over raw
+    /// logits (softmax is strictly monotone) with per-class centroid
+    /// memoization.
+    fn decode_logits(&self, logits: &Matrix) -> Result<Vec<Point>, NobleError> {
+        let mut centroids: Vec<Option<Point>> = vec![None; self.quantizer.num_classes()];
+        let mut out = Vec::with_capacity(logits.rows());
+        for i in 0..logits.rows() {
+            let class = noble_linalg::argmax(logits.row(i)).unwrap_or(0);
+            let point = match centroids[class] {
+                Some(p) => p,
+                None => {
+                    let p = self.quantizer.decode(class)?;
+                    centroids[class] = Some(p);
+                    p
+                }
+            };
+            out.push(point);
+        }
+        Ok(out)
     }
 
     fn fit(&mut self, dataset: &ImuDataset, cfg: &ImuNobleConfig) -> Result<(), NobleError> {
@@ -343,21 +413,7 @@ impl ImuNoble {
             return Ok(Vec::new());
         }
         let (_c, _d, logits) = self.forward(paths, false)?;
-        let mut centroids: Vec<Option<Point>> = vec![None; self.quantizer.num_classes()];
-        let mut out = Vec::with_capacity(paths.len());
-        for i in 0..logits.rows() {
-            let class = noble_linalg::argmax(logits.row(i)).unwrap_or(0);
-            let point = match centroids[class] {
-                Some(p) => p,
-                None => {
-                    let p = self.quantizer.decode(class)?;
-                    centroids[class] = Some(p);
-                    p
-                }
-            };
-            out.push(point);
-        }
-        Ok(out)
+        self.decode_logits(&logits)
     }
 
     /// Evaluates on a path set, producing the Table III metrics.
@@ -395,6 +451,46 @@ impl ImuNoble {
             class_accuracy: hits as f64 / paths.len() as f64,
             structure: StructureReport::compute(&preds, &dataset.walkway)?,
         })
+    }
+}
+
+impl crate::Localizer for ImuNoble {
+    fn info(&self) -> crate::LocalizerInfo {
+        crate::LocalizerInfo {
+            model: "imu-noble",
+            site: "default".into(),
+            feature_dim: self.path_feature_dim(),
+            class_count: self.class_count(),
+        }
+    }
+
+    /// Localizes rows in the [`ImuNoble::path_features`] layout. The
+    /// segment stack and start one-hots rebuilt from a row are bitwise
+    /// equal to what [`ImuNoble::predict_batch`] builds from the original
+    /// path, so the two paths agree exactly.
+    fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
+        crate::localizer::check_feature_dim("imu-noble", self.path_feature_dim(), features)?;
+        if features.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let l = self.max_segments;
+        let n = features.rows();
+        // Unflatten the segment block and re-derive the start one-hots.
+        let mut stacked = Matrix::zeros(n * l, SEGMENT_INPUT_DIM);
+        let mut start_labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = features.row(i);
+            for si in 0..l {
+                stacked
+                    .row_mut(i * l + si)
+                    .copy_from_slice(&row[si * SEGMENT_INPUT_DIM..(si + 1) * SEGMENT_INPUT_DIM]);
+            }
+            let start = Point::new(row[l * SEGMENT_INPUT_DIM], row[l * SEGMENT_INPUT_DIM + 1]);
+            start_labels.push(self.quantizer.quantize_nearest(start));
+        }
+        let onehots = one_hot(&start_labels, self.quantizer.num_classes());
+        let (_c, _d, logits) = self.forward_parts(&stacked, &onehots, n, false)?;
+        self.decode_logits(&logits)
     }
 }
 
@@ -451,6 +547,26 @@ mod tests {
             );
         }
         assert!(model.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn localizer_trait_matches_predict_batch_exactly() {
+        let dataset = quick_dataset();
+        let mut model = ImuNoble::train(&dataset, &ImuNobleConfig::small()).unwrap();
+        let refs: Vec<&ImuPathSample> = dataset.test.iter().take(10).collect();
+        let direct = model.predict_batch(&refs).unwrap();
+
+        let features = model.path_features(&refs);
+        let info = crate::Localizer::info(&model);
+        assert_eq!(info.model, "imu-noble");
+        assert_eq!(info.feature_dim, features.cols());
+        assert_eq!(info.class_count, model.class_count());
+
+        let via_trait = crate::Localizer::localize_batch(&mut model, &features).unwrap();
+        assert_eq!(direct, via_trait, "matrix encoding must be lossless");
+
+        let bad = Matrix::zeros(1, model.path_feature_dim() + 1);
+        assert!(crate::Localizer::localize_batch(&mut model, &bad).is_err());
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! [`eval`] carries the shared metrics: position-error summaries and the
 //! structure-awareness measures that quantify Figs. 4 and 5.
 //!
+//! [`localizer`] defines the model-agnostic serving interface: every
+//! trained model (NObLe WiFi/IMU and the baselines) implements
+//! [`Localizer`], which is what the `noble-serve` sharded registry and
+//! micro-batching server route requests into.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -37,9 +42,11 @@
 
 pub mod eval;
 pub mod imu;
+pub mod localizer;
 pub mod report;
 pub mod wifi;
 
 mod error;
 
 pub use error::NobleError;
+pub use localizer::{Localizer, LocalizerInfo};

@@ -149,6 +149,11 @@ impl DeepRegression {
         Ok(DeepRegression { mlp, scaler })
     }
 
+    /// Width of the fingerprint rows the network consumes.
+    pub fn feature_dim(&self) -> usize {
+        self.mlp.in_dim()
+    }
+
     /// Raw coordinate predictions.
     ///
     /// # Errors
@@ -281,6 +286,7 @@ pub struct ManifoldRegression {
     embedding: FittedEmbedding,
     mlp: Mlp,
     scaler: CoordScaler,
+    input_dim: usize,
 }
 
 impl ManifoldRegression {
@@ -363,7 +369,13 @@ impl ManifoldRegression {
             embedding,
             mlp,
             scaler,
+            input_dim: x.cols(),
         })
+    }
+
+    /// Width of the raw fingerprint rows the embedding consumes.
+    pub fn feature_dim(&self) -> usize {
+        self.input_dim
     }
 
     /// Predicts coordinates for normalized fingerprints.
@@ -409,6 +421,7 @@ pub struct KnnFingerprint {
     buildings: Vec<usize>,
     floors: Vec<usize>,
     k: usize,
+    feature_dim: usize,
 }
 
 impl KnnFingerprint {
@@ -433,7 +446,13 @@ impl KnnFingerprint {
             buildings: campaign.train.iter().map(|s| s.building).collect(),
             floors: campaign.train.iter().map(|s| s.floor).collect(),
             k,
+            feature_dim: campaign.num_waps(),
         })
+    }
+
+    /// Width of the fingerprint rows the radio map was built over.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
     }
 
     /// Predicts `(position, building, floor)` for one normalized
@@ -562,6 +581,31 @@ mod tests {
             assert!(s.mean.is_finite(), "{kind:?} produced non-finite error");
             assert!(s.mean < 150.0, "{kind:?} mean {}", s.mean);
         }
+    }
+
+    #[test]
+    fn baselines_serve_through_localizer_trait() {
+        use crate::Localizer;
+        let campaign = quick_campaign();
+        let features = campaign.features(&campaign.test[..6.min(campaign.test.len())]);
+
+        let mut deep = DeepRegression::train(&campaign, &RegressionConfig::small()).unwrap();
+        let direct = deep.predict(&features).unwrap();
+        let served = Localizer::localize_batch(&mut deep, &features).unwrap();
+        assert_eq!(direct, served);
+        assert_eq!(Localizer::info(&deep).model, "deep-regression");
+        assert_eq!(Localizer::info(&deep).class_count, 0);
+
+        let mut knn = KnnFingerprint::fit(&campaign, 3).unwrap();
+        let served = Localizer::localize_batch(&mut knn, &features).unwrap();
+        for (i, p) in served.iter().enumerate() {
+            assert_eq!(*p, knn.predict_one(features.row(i)).0);
+        }
+        assert_eq!(Localizer::info(&knn).feature_dim, campaign.num_waps());
+
+        let bad = Matrix::zeros(2, campaign.num_waps() + 3);
+        assert!(Localizer::localize_batch(&mut deep, &bad).is_err());
+        assert!(Localizer::localize_batch(&mut knn, &bad).is_err());
     }
 
     #[test]

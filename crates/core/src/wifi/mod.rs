@@ -7,504 +7,32 @@
 //! binary cross-entropy (Fig. 3). Inference decodes the predicted class to
 //! its neighborhood's central coordinates.
 //!
+//! The module is split along the model's life cycle:
+//!
+//! - [`model`](self) — configuration, architecture and training
+//!   ([`WifiNoble::train`]),
+//! - decode — the inference paths ([`WifiNoble::predict`],
+//!   [`WifiNoble::localize_batch`], probability-weighted decode,
+//!   evaluation),
+//! - localize — [`crate::Localizer`] impls for NObLe and the baselines,
+//!   the serving layer's entry point.
+//!
 //! The comparison models of Table II live in [`baselines`].
 
 pub mod baselines;
 pub mod tracking;
 
-use crate::eval::{position_error_summary, StructureReport};
-use crate::NobleError;
-use noble_datasets::{WifiCampaign, WifiSample};
-use noble_geo::Point;
-use noble_linalg::{Matrix, Summary};
-use noble_nn::{
-    accuracy, Activation, EarlyStopping, HeadSpec, Mlp, MultiHeadLoss, Optimizer, OutputLayout,
-    TrainConfig, Trainer,
-};
-use noble_quantize::{DecodePolicy, GridQuantizer, LabelEncoder};
+mod decode;
+mod localize;
+mod model;
 
-/// Configuration of the NObLe WiFi localizer.
-#[derive(Debug, Clone)]
-pub struct WifiNobleConfig {
-    /// Fine quantization cell side `τ` in meters (paper: < 0.2 m on dense
-    /// reference grids; 1 m suits the synthetic campaign's density).
-    pub tau: f64,
-    /// Optional coarse cell side `l > τ` for the multi-resolution head.
-    pub coarse_l: Option<f64>,
-    /// Optional adjacency-expansion weight for the fine head's multi-hot
-    /// labels (the paper's data-sparsity remedy; `1.0` = hard labels).
-    pub adjacency_weight: Option<f64>,
-    /// Class decode policy.
-    pub decode_policy: DecodePolicy,
-    /// Loss weight of the auxiliary building/floor heads. The paper argues
-    /// the joint heads teach geodesic structure; `0.0` ablates them (they
-    /// still predict, but receive no gradient).
-    pub aux_head_weight: f64,
-    /// Loss weight of the fine neighborhood-class head. Values above 1
-    /// compensate for the per-class gradient dilution of wide heads.
-    pub fine_head_weight: f64,
-    /// Hidden width of the two hidden layers (paper: 128).
-    pub hidden_dim: usize,
-    /// Training epochs.
-    pub epochs: usize,
-    /// Mini-batch size.
-    pub batch_size: usize,
-    /// Adam learning rate.
-    pub learning_rate: f64,
-    /// Early-stopping patience on the validation loss (None disables).
-    pub patience: Option<usize>,
-    /// Seed for initialization and shuffling.
-    pub seed: u64,
-}
-
-impl Default for WifiNobleConfig {
-    fn default() -> Self {
-        WifiNobleConfig {
-            tau: 1.0,
-            coarse_l: Some(8.0),
-            adjacency_weight: None,
-            decode_policy: DecodePolicy::SampleMean,
-            aux_head_weight: 1.0,
-            fine_head_weight: 4.0,
-            hidden_dim: 128,
-            epochs: 60,
-            batch_size: 64,
-            learning_rate: 1e-3,
-            patience: Some(8),
-            seed: 0xB0B,
-        }
-    }
-}
-
-impl WifiNobleConfig {
-    /// A reduced configuration for unit tests.
-    pub fn small() -> Self {
-        WifiNobleConfig {
-            tau: 4.0,
-            coarse_l: Some(16.0),
-            hidden_dim: 32,
-            epochs: 25,
-            batch_size: 32,
-            learning_rate: 3e-3,
-            patience: None,
-            ..WifiNobleConfig::default()
-        }
-    }
-}
-
-/// One localization prediction.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WifiPrediction {
-    /// Decoded position (neighborhood centroid).
-    pub position: Point,
-    /// Predicted building index.
-    pub building: usize,
-    /// Predicted floor index.
-    pub floor: usize,
-    /// Predicted fine neighborhood class.
-    pub fine_class: usize,
-}
-
-/// Evaluation results in the shape of the paper's Table I.
-#[derive(Debug, Clone)]
-pub struct WifiEvalReport {
-    /// Building hit rate.
-    pub building_accuracy: f64,
-    /// Floor hit rate.
-    pub floor_accuracy: f64,
-    /// Fine neighborhood-class hit rate.
-    pub class_accuracy: f64,
-    /// Position error distances in meters.
-    pub position_error: Summary,
-    /// Structure awareness of the predictions (Fig. 4 quantified).
-    pub structure: StructureReport,
-}
-
-/// The trained NObLe WiFi localizer.
-///
-/// # Example
-///
-/// Train on a small synthetic campaign and localize its test fingerprints:
-///
-/// ```
-/// use noble::wifi::{WifiNoble, WifiNobleConfig};
-/// use noble_datasets::{uji_campaign, UjiConfig};
-///
-/// let campaign = uji_campaign(&UjiConfig::small()).unwrap();
-/// let mut cfg = WifiNobleConfig::small();
-/// cfg.epochs = 2; // keep the doctest fast; accuracy needs more
-/// let mut model = WifiNoble::train(&campaign, &cfg).unwrap();
-///
-/// let features = campaign.features(&campaign.test);
-/// let predictions = model.predict(&features).unwrap();
-/// assert_eq!(predictions.len(), campaign.test.len());
-/// assert!(predictions.iter().all(|p| p.position.x.is_finite()));
-/// ```
-#[derive(Debug, Clone)]
-pub struct WifiNoble {
-    mlp: Mlp,
-    layout: OutputLayout,
-    fine: GridQuantizer,
-    coarse: Option<GridQuantizer>,
-    head_building: usize,
-    head_floor: usize,
-    head_fine: usize,
-}
-
-impl WifiNoble {
-    /// Trains NObLe on a campaign's offline fingerprints.
-    ///
-    /// # Errors
-    ///
-    /// Propagates quantizer, encoding and training failures;
-    /// [`NobleError::InvalidData`] when the campaign has no training
-    /// samples.
-    pub fn train(campaign: &WifiCampaign, cfg: &WifiNobleConfig) -> Result<Self, NobleError> {
-        if campaign.train.is_empty() {
-            return Err(NobleError::InvalidData(
-                "campaign has no training samples".into(),
-            ));
-        }
-        let positions: Vec<Point> = campaign.train.iter().map(|s| s.position).collect();
-        let fine = GridQuantizer::fit(&positions, cfg.tau, cfg.decode_policy)?;
-        let coarse = match cfg.coarse_l {
-            Some(l) => {
-                if l <= cfg.tau {
-                    return Err(NobleError::InvalidConfig(format!(
-                        "coarse side {l} must exceed tau {}",
-                        cfg.tau
-                    )));
-                }
-                Some(GridQuantizer::fit(&positions, l, cfg.decode_policy)?)
-            }
-            None => None,
-        };
-
-        let num_buildings = campaign.map.building_count();
-        let num_floors = campaign
-            .map
-            .buildings()
-            .iter()
-            .map(|b| b.floors())
-            .max()
-            .unwrap_or(1);
-
-        // The fine head is multi-label sigmoid BCE (the paper's objective)
-        // when adjacency expansion produces multi-hot targets; with plain
-        // one-hot targets, softmax cross-entropy is the exact single-label
-        // specialization and converges much faster over many classes.
-        let fine_head = if cfg.adjacency_weight.is_some() {
-            HeadSpec::multi_label("fine", fine.num_classes())
-        } else {
-            HeadSpec::softmax("fine", fine.num_classes())
-        };
-        let mut heads = vec![
-            HeadSpec::softmax("building", num_buildings).with_weight(cfg.aux_head_weight),
-            HeadSpec::softmax("floor", num_floors).with_weight(cfg.aux_head_weight),
-            fine_head.with_weight(cfg.fine_head_weight),
-        ];
-        if let Some(c) = &coarse {
-            heads.push(HeadSpec::softmax("coarse", c.num_classes()));
-        }
-        let layout = OutputLayout::new(heads)?;
-        let head_building = layout.head_index("building").expect("declared above");
-        let head_floor = layout.head_index("floor").expect("declared above");
-        let head_fine = layout.head_index("fine").expect("declared above");
-
-        let x = campaign.features(&campaign.train);
-        let y = Self::targets(
-            campaign,
-            &campaign.train,
-            &layout,
-            &fine,
-            coarse.as_ref(),
-            cfg,
-        )?;
-        let (x_val, y_val);
-        let validation = if campaign.val.is_empty() {
-            None
-        } else {
-            x_val = campaign.features(&campaign.val);
-            y_val = Self::targets(
-                campaign,
-                &campaign.val,
-                &layout,
-                &fine,
-                coarse.as_ref(),
-                cfg,
-            )?;
-            Some((&x_val, &y_val))
-        };
-
-        let mut mlp = Mlp::builder(campaign.num_waps(), cfg.seed)
-            .dense(cfg.hidden_dim)
-            .batch_norm()
-            .activation(Activation::Tanh)
-            .dense(cfg.hidden_dim)
-            .batch_norm()
-            .activation(Activation::Tanh)
-            .dense(layout.total_width())
-            .build();
-        let loss = MultiHeadLoss::new(layout.clone());
-        let train_cfg = TrainConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            optimizer: Optimizer::adam(cfg.learning_rate),
-            lr_decay: 0.985,
-            shuffle_seed: cfg.seed ^ 0xA5,
-            early_stopping: cfg.patience.map(|p| EarlyStopping {
-                patience: p,
-                min_delta: 1e-4,
-            }),
-            detect_divergence: true,
-        };
-        Trainer::new(train_cfg).fit(&mut mlp, &x, &y, &loss, validation)?;
-
-        Ok(WifiNoble {
-            mlp,
-            layout,
-            fine,
-            coarse,
-            head_building,
-            head_floor,
-            head_fine,
-        })
-    }
-
-    fn targets(
-        campaign: &WifiCampaign,
-        samples: &[WifiSample],
-        layout: &OutputLayout,
-        fine: &GridQuantizer,
-        coarse: Option<&GridQuantizer>,
-        cfg: &WifiNobleConfig,
-    ) -> Result<Matrix, NobleError> {
-        let n = samples.len();
-        let num_floors = layout.heads()[1].width;
-        let mut y = Matrix::zeros(n, layout.total_width());
-        // Building / floor one-hots.
-        let b_range = layout.range(0);
-        let f_range = layout.range(1);
-        for (i, s) in samples.iter().enumerate() {
-            y[(i, b_range.start + s.building)] = 1.0;
-            y[(i, f_range.start + s.floor.min(num_floors - 1))] = 1.0;
-        }
-        // Fine multi-hot (optionally adjacency-expanded).
-        let fine_labels: Vec<usize> = samples
-            .iter()
-            .map(|s| fine.quantize_nearest(s.position))
-            .collect();
-        let mut encoder = LabelEncoder::new(fine.num_classes());
-        if let Some(w) = cfg.adjacency_weight {
-            encoder = encoder.with_adjacency(w);
-        }
-        let fine_targets = encoder.encode(&fine_labels, Some(fine))?;
-        let fine_range = layout.range(2);
-        for i in 0..n {
-            for (j, col) in fine_range.clone().enumerate() {
-                y[(i, col)] = fine_targets[(i, j)];
-            }
-        }
-        // Coarse one-hot.
-        if let Some(c) = coarse {
-            let range = layout.range(3);
-            for (i, s) in samples.iter().enumerate() {
-                let label = c.quantize_nearest(s.position);
-                y[(i, range.start + label)] = 1.0;
-            }
-        }
-        let _ = campaign;
-        Ok(y)
-    }
-
-    /// The fine quantizer (exposed for analysis and ablations).
-    pub fn fine_quantizer(&self) -> &GridQuantizer {
-        &self.fine
-    }
-
-    /// The coarse quantizer, when multi-resolution was enabled.
-    pub fn coarse_quantizer(&self) -> Option<&GridQuantizer> {
-        self.coarse.as_ref()
-    }
-
-    /// Number of trainable parameters (used by the energy model).
-    pub fn parameter_count(&mut self) -> usize {
-        self.mlp.parameter_count()
-    }
-
-    /// Shapes of the dense layers (used by the energy model's MAC counter).
-    pub fn dense_shapes(&self) -> Vec<(usize, usize)> {
-        self.mlp.dense_shapes()
-    }
-
-    /// Predicts positions and labels for a feature matrix (rows =
-    /// normalized fingerprints).
-    ///
-    /// # Errors
-    ///
-    /// Propagates network and decode failures.
-    pub fn predict(&mut self, features: &Matrix) -> Result<Vec<WifiPrediction>, NobleError> {
-        let logits = self.mlp.predict(features)?;
-        let buildings = self.layout.predict_classes(&logits, self.head_building)?;
-        let floors = self.layout.predict_classes(&logits, self.head_floor)?;
-        let fine_classes = self.layout.predict_classes(&logits, self.head_fine)?;
-        let mut out = Vec::with_capacity(features.rows());
-        for i in 0..features.rows() {
-            let position = self.fine.decode(fine_classes[i])?;
-            out.push(WifiPrediction {
-                position,
-                building: buildings[i],
-                floor: floors[i],
-                fine_class: fine_classes[i],
-            });
-        }
-        Ok(out)
-    }
-
-    /// Localizes a single fingerprint (serving-style per-fix path).
-    ///
-    /// For throughput-sensitive callers, collect fingerprints and use
-    /// [`WifiNoble::localize_batch`]: one stacked forward pass reuses the
-    /// weight matrices across the batch and engages the blocked
-    /// (and, above a size threshold, multi-threaded) matmul kernels.
-    ///
-    /// # Errors
-    ///
-    /// Propagates network and decode failures; the fingerprint length must
-    /// equal the trained WAP count.
-    pub fn localize_one(&mut self, fingerprint: &[f64]) -> Result<WifiPrediction, NobleError> {
-        let features = Matrix::from_vec(1, fingerprint.len(), fingerprint.to_vec())
-            .map_err(|e| NobleError::InvalidData(e.to_string()))?;
-        let mut preds = self.predict(&features)?;
-        Ok(preds.pop().expect("one row in, one prediction out"))
-    }
-
-    /// Localizes a batch of fingerprints with a single stacked forward
-    /// pass. Prediction `i` corresponds to `fingerprints[i]` and matches
-    /// [`WifiNoble::localize_one`] on that row (same decode, same argmax;
-    /// logits agree to floating-point reassociation).
-    ///
-    /// # Errors
-    ///
-    /// [`NobleError::InvalidData`] on ragged input; propagates network and
-    /// decode failures.
-    pub fn localize_batch(
-        &mut self,
-        fingerprints: &[Vec<f64>],
-    ) -> Result<Vec<WifiPrediction>, NobleError> {
-        if fingerprints.is_empty() {
-            return Ok(Vec::new());
-        }
-        let features =
-            Matrix::from_rows(fingerprints).map_err(|e| NobleError::InvalidData(e.to_string()))?;
-        self.predict(&features)
-    }
-
-    /// Embeds fingerprints with the penultimate layer (the learned
-    /// manifold embedding of §III-C).
-    ///
-    /// # Errors
-    ///
-    /// Propagates network failures.
-    pub fn embed(&mut self, features: &Matrix) -> Result<Matrix, NobleError> {
-        Ok(self.mlp.embed(features)?)
-    }
-
-    /// Probability-weighted decode over the `k` most likely neighborhood
-    /// classes: `sum p_c * centroid_c / sum p_c`.
-    ///
-    /// An extension beyond the paper's arg-max decode: when the classifier
-    /// hesitates between adjacent cells, the expectation interpolates
-    /// between their centroids instead of committing to one. Returns
-    /// `(position, confidence)` pairs where confidence is the probability
-    /// mass of the top class.
-    ///
-    /// # Errors
-    ///
-    /// Propagates network and decode failures;
-    /// [`NobleError::InvalidConfig`] when `k` is zero.
-    pub fn predict_expected(
-        &mut self,
-        features: &Matrix,
-        k: usize,
-    ) -> Result<Vec<(Point, f64)>, NobleError> {
-        if k == 0 {
-            return Err(NobleError::InvalidConfig(
-                "top-k decode needs k >= 1".into(),
-            ));
-        }
-        let logits = self.mlp.predict(features)?;
-        let probs = self.layout.predict_probabilities(&logits, self.head_fine)?;
-        let mut out = Vec::with_capacity(features.rows());
-        for i in 0..features.rows() {
-            let row = probs.row(i);
-            // Indices of the k largest probabilities.
-            let mut order: Vec<usize> = (0..row.len()).collect();
-            order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probabilities"));
-            order.truncate(k);
-            let mut mass = 0.0;
-            let mut x = 0.0;
-            let mut y = 0.0;
-            for &c in &order {
-                let p = row[c];
-                let centroid = self.fine.decode(c)?;
-                mass += p;
-                x += p * centroid.x;
-                y += p * centroid.y;
-            }
-            let position = if mass > 1e-300 {
-                Point::new(x / mass, y / mass)
-            } else {
-                self.fine.decode(order[0])?
-            };
-            out.push((position, row[order[0]]));
-        }
-        Ok(out)
-    }
-
-    /// Evaluates on a labeled sample set, producing the Table I metrics.
-    ///
-    /// # Errors
-    ///
-    /// [`NobleError::InvalidData`] for an empty sample set; propagates
-    /// prediction failures.
-    pub fn evaluate(
-        &mut self,
-        campaign: &WifiCampaign,
-        samples: &[WifiSample],
-    ) -> Result<WifiEvalReport, NobleError> {
-        if samples.is_empty() {
-            return Err(NobleError::InvalidData("no samples to evaluate".into()));
-        }
-        let features = campaign.features(samples);
-        let preds = self.predict(&features)?;
-        let predicted_positions: Vec<Point> = preds.iter().map(|p| p.position).collect();
-        let true_positions: Vec<Point> = samples.iter().map(|s| s.position).collect();
-
-        let pred_b: Vec<usize> = preds.iter().map(|p| p.building).collect();
-        let true_b: Vec<usize> = samples.iter().map(|s| s.building).collect();
-        let pred_f: Vec<usize> = preds.iter().map(|p| p.floor).collect();
-        let true_f: Vec<usize> = samples.iter().map(|s| s.floor).collect();
-        let pred_c: Vec<usize> = preds.iter().map(|p| p.fine_class).collect();
-        let true_c: Vec<usize> = samples
-            .iter()
-            .map(|s| self.fine.quantize_nearest(s.position))
-            .collect();
-
-        Ok(WifiEvalReport {
-            building_accuracy: accuracy(&pred_b, &true_b),
-            floor_accuracy: accuracy(&pred_f, &true_f),
-            class_accuracy: accuracy(&pred_c, &true_c),
-            position_error: position_error_summary(&predicted_positions, &true_positions)?,
-            structure: StructureReport::compute(&predicted_positions, &campaign.map)?,
-        })
-    }
-}
+pub use model::{WifiEvalReport, WifiNoble, WifiNobleConfig, WifiPrediction};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noble_datasets::{uji_campaign, UjiConfig};
+    use crate::localizer::Localizer;
+    use noble_datasets::{uji_campaign, UjiConfig, WifiCampaign};
 
     fn quick_campaign() -> WifiCampaign {
         let mut cfg = UjiConfig::small();
@@ -560,7 +88,9 @@ mod tests {
             assert_eq!(single.fine_class, b.fine_class);
             assert_eq!(single.building, b.building);
             assert_eq!(single.floor, b.floor);
-            assert!(single.position.distance(b.position) < 1e-9);
+            // Kernel dispatch is per-row, so the batch ride-along changes
+            // nothing — not even the last bit.
+            assert_eq!(single.position, b.position);
         }
         // And both agree with the matrix-level predict path.
         let matrix_preds = model.predict(&features).unwrap();
@@ -569,6 +99,28 @@ mod tests {
         }
         assert!(model.localize_batch(&[]).unwrap().is_empty());
         assert!(model.localize_batch(&[vec![0.0], vec![0.0, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn localizer_trait_matches_inherent_path() {
+        let campaign = quick_campaign();
+        let mut model = WifiNoble::train(&campaign, &WifiNobleConfig::small()).unwrap();
+        let features = campaign.features(&campaign.test[..8.min(campaign.test.len())]);
+
+        let info = Localizer::info(&model);
+        assert_eq!(info.model, "wifi-noble");
+        assert_eq!(info.feature_dim, campaign.num_waps());
+        assert_eq!(info.class_count, model.fine_quantizer().num_classes());
+
+        let via_trait = Localizer::localize_batch(&mut model, &features).unwrap();
+        let via_predict = model.predict(&features).unwrap();
+        assert_eq!(via_trait.len(), via_predict.len());
+        for (t, p) in via_trait.iter().zip(&via_predict) {
+            assert_eq!(*t, p.position);
+        }
+        // Width mismatch is a typed error, not a panic.
+        let bad = noble_linalg::Matrix::zeros(1, campaign.num_waps() + 1);
+        assert!(Localizer::localize_batch(&mut model, &bad).is_err());
     }
 
     #[test]
@@ -626,7 +178,7 @@ mod tests {
         // it must stay inside their bounding box, and its distance from the
         // arg-max centroid is bounded by the probability mass the model puts
         // on the *other* top-k cells times the largest centroid spread.
-        let centroids: Vec<Point> = (0..model.fine_quantizer().num_classes())
+        let centroids: Vec<noble_geo::Point> = (0..model.fine_quantizer().num_classes())
             .map(|c| model.fine_quantizer().decode(c).unwrap())
             .collect();
         let min_x = centroids.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);

@@ -23,12 +23,23 @@ const BLOCK_K: usize = 128;
 /// and the four streamed RHS row segments stay cache-resident even for
 /// very wide products.
 const BLOCK_COLS: usize = 256;
-/// Minimum multiply-accumulate count (`m * k * n`) before
+/// Minimum *per-row* multiply-accumulate count (`k * n`) before
 /// [`Matrix::matmul`] switches from the reference loop to the blocked
 /// kernel.
-pub(crate) const BLOCKED_MIN_FLOPS: usize = 32 * 32 * 32;
-/// Minimum multiply-accumulate count before threads are spawned.
-pub(crate) const PARALLEL_MIN_FLOPS: usize = 128 * 128 * 64;
+///
+/// The kernel class is chosen per output row — never from the batch size —
+/// so row `i` of a product is bit-identical no matter how many other rows
+/// share the batch. Serving layers rely on this: micro-batching coalesces
+/// requests into arbitrary batch shapes and must return the same bits a
+/// single-fix call would.
+pub(crate) const BLOCKED_MIN_ROW_FLOPS: usize = 64 * 64;
+/// Minimum multiply-accumulate count *per worker* before threads are
+/// spawned. Scoped-thread spawn/join costs tens of microseconds, so each
+/// worker must carry enough work to amortize it; sizing the threshold per
+/// worker (instead of per product) lets training-shaped mini-batch
+/// products engage the parallel path without letting tiny products spawn
+/// threads.
+pub(crate) const PARALLEL_MIN_CHUNK_FLOPS: usize = 128 * 128 * 16;
 
 fn check_shapes(op: &'static str, a: &Matrix, b_shape: (usize, usize)) -> Result<(), LinalgError> {
     if a.cols() != b_shape.0 {
@@ -209,20 +220,28 @@ pub fn matmul_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix,
     Ok(out)
 }
 
-/// Dispatches `a * b` to the cheapest kernel for its size: naive below
-/// [`BLOCKED_MIN_FLOPS`], blocked above it, threaded above
-/// [`PARALLEL_MIN_FLOPS`] when more than one worker is configured.
+/// Dispatches `a * b` to the cheapest kernel for its shape.
+///
+/// The serial kernel class depends only on the *per-row* work `k * n`
+/// (naive below [`BLOCKED_MIN_ROW_FLOPS`], blocked above), and the
+/// threaded variant is bit-identical to blocked, so **every output row is
+/// bit-identical regardless of batch size and thread count**. Threads are
+/// spawned once each worker's share of the total work clears
+/// [`PARALLEL_MIN_CHUNK_FLOPS`].
 pub(crate) fn matmul_dispatch(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
-    let flops = a.rows() * a.cols() * b.cols();
-    if flops < BLOCKED_MIN_FLOPS {
+    let row_flops = a.cols() * b.cols();
+    if row_flops < BLOCKED_MIN_ROW_FLOPS {
         return matmul_naive(a, b);
     }
     let threads = num_threads();
-    if threads > 1 && flops >= PARALLEL_MIN_FLOPS && a.rows() > 1 {
-        matmul_parallel(a, b, threads.min(a.rows()))
-    } else {
-        matmul_blocked(a, b)
+    if threads > 1 && a.rows() > 1 {
+        let flops = a.rows() * row_flops;
+        let workers = threads.min(flops / PARALLEL_MIN_CHUNK_FLOPS).min(a.rows());
+        if workers > 1 {
+            return matmul_parallel(a, b, workers);
+        }
     }
+    matmul_blocked(a, b)
 }
 
 #[cfg(test)]
@@ -265,6 +284,43 @@ mod tests {
             let par = matmul_parallel(&a, &b, threads).unwrap();
             assert_eq!(par, blocked, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn dispatch_rows_are_batch_shape_invariant() {
+        // The serving engine coalesces requests into arbitrary batch
+        // shapes; a row's product must not depend on its batchmates. One
+        // case above the blocked per-row threshold, one below (naive).
+        for &(k, n) in &[(80, 80), (16, 16)] {
+            let b = deterministic(k, n, 11);
+            for &m in &[2usize, 7, 64] {
+                let a = deterministic(m, k, 12);
+                let full = crate::gemm::matmul_dispatch(&a, &b).unwrap();
+                for i in 0..m {
+                    let row = Matrix::from_vec(1, k, a.row(i).to_vec()).unwrap();
+                    let alone = crate::gemm::matmul_dispatch(&row, &b).unwrap();
+                    assert_eq!(
+                        full.row(i),
+                        alone.row(0),
+                        "row {i} of {m}x{k}x{n} differs from its solo product"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_invariant_across_thread_counts() {
+        let _guard = crate::threads::TEST_THREAD_LOCK.lock().unwrap();
+        let a = deterministic(96, 128, 21);
+        let b = deterministic(128, 128, 22);
+        let reference = matmul_blocked(&a, &b).unwrap();
+        for threads in [1, 2, 4] {
+            crate::threads::set_num_threads(threads);
+            let got = crate::gemm::matmul_dispatch(&a, &b).unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        crate::threads::set_num_threads(0);
     }
 
     #[test]

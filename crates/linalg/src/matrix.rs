@@ -194,14 +194,19 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Dispatches on size: small products use the reference i-k-j loop
-    /// ([`crate::matmul_naive`]); larger ones use the cache-blocked,
-    /// packed-RHS kernel ([`crate::matmul_blocked`]); and once the
-    /// multiply-accumulate count is large enough the row blocks are spread
-    /// over scoped threads ([`crate::matmul_parallel`], worker count from
-    /// [`crate::num_threads`]). The kernels agree to floating-point
-    /// reassociation (≲ 1e-12 relative) and all follow IEEE semantics —
-    /// non-finite values propagate, nothing is skipped as "sparse".
+    /// Dispatches on shape: rows with little work use the reference i-k-j
+    /// loop ([`crate::matmul_naive`]); heavier rows use the cache-blocked
+    /// kernel ([`crate::matmul_blocked`]); and once every worker's share of
+    /// the total multiply-accumulate count is large enough the row blocks
+    /// are spread over scoped threads ([`crate::matmul_parallel`], worker
+    /// count from [`crate::num_threads`]). The kernel class is chosen from
+    /// the *per-row* work and each kernel computes rows independently, so
+    /// **output row `i` is bit-identical no matter what batch it is
+    /// computed in and no matter the thread count** — the invariant the
+    /// serving engine's micro-batching relies on. The kernels agree with
+    /// each other to floating-point reassociation (≲ 1e-12 relative) and
+    /// all follow IEEE semantics — non-finite values propagate, nothing is
+    /// skipped as "sparse".
     ///
     /// # Errors
     ///

@@ -12,8 +12,29 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Serializes tests that mutate the process-wide thread override so they
+/// don't race each other under the parallel test harness.
+#[cfg(test)]
+pub(crate) static TEST_THREAD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Process-wide worker-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Whether the current thread *is* one of this module's scoped
+    /// workers. Nested parallel regions would oversubscribe the machine
+    /// multiplicatively (N shard trainers x M matmul workers), so inside
+    /// a worker [`num_threads`] reports 1 and nested kernels run serial.
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with the current thread marked as a parallel worker.
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+    let result = f();
+    IN_PARALLEL_WORKER.with(|flag| flag.set(false));
+    result
+}
 
 /// Overrides the worker count used by the parallel kernels.
 ///
@@ -27,7 +48,13 @@ pub fn set_num_threads(n: usize) {
 ///
 /// Resolution order: [`set_num_threads`] override, the `NOBLE_THREADS`
 /// environment variable, then detected hardware parallelism (minimum 1).
+/// On a thread that is itself one of this module's scoped workers the
+/// answer is always 1, so nested parallel regions (a matmul inside a
+/// parallel shard-training sweep, say) never multiply thread counts.
 pub fn num_threads() -> usize {
+    if IN_PARALLEL_WORKER.with(|flag| flag.get()) {
+        return 1;
+    }
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if forced > 0 {
         return forced;
@@ -80,9 +107,11 @@ where
     std::thread::scope(|s| {
         for work in assignments {
             s.spawn(move || {
-                for (i, chunk) in work {
-                    f(i, chunk);
-                }
+                as_worker(|| {
+                    for (i, chunk) in work {
+                        f(i, chunk);
+                    }
+                });
             });
         }
     });
@@ -111,7 +140,7 @@ where
             .map(|w| {
                 let lo = w * per;
                 let hi = ((w + 1) * per).min(n);
-                s.spawn(move || f(lo..hi))
+                s.spawn(move || as_worker(|| f(lo..hi)))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -161,7 +190,23 @@ mod tests {
     }
 
     #[test]
+    fn nested_regions_report_one_thread() {
+        let _guard = TEST_THREAD_LOCK.lock().unwrap();
+        set_num_threads(4);
+        // Inside a spawned worker, num_threads() collapses to 1 so nested
+        // kernels never multiply the thread count; the calling thread is
+        // unaffected, and serial (inline) execution does not set the flag.
+        let seen = parallel_map_ranges(4, 4, |_| num_threads());
+        assert!(seen.iter().all(|&n| n == 1), "workers saw {seen:?}");
+        assert_eq!(num_threads(), 4, "caller unaffected");
+        let inline = parallel_map_ranges(1, 1, |_| num_threads());
+        assert_eq!(inline, vec![4], "inline execution is not a worker");
+        set_num_threads(0);
+    }
+
+    #[test]
     fn override_wins_and_clears() {
+        let _guard = TEST_THREAD_LOCK.lock().unwrap();
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
         set_num_threads(0);

@@ -209,7 +209,18 @@ pub fn dijkstra(graph: &NeighborGraph, source: usize) -> Vec<f64> {
     dist
 }
 
+/// Number of sources below which the all-pairs sweep stays serial (the
+/// per-call scoped-thread spawn would outweigh the Dijkstra work).
+const PARALLEL_GEODESIC_MIN_SOURCES: usize = 64;
+
 /// All-pairs geodesic distance matrix (Dijkstra from every vertex).
+///
+/// Sources are independent, so on graphs with at least
+/// `PARALLEL_GEODESIC_MIN_SOURCES` vertices the sweep fans the sources out
+/// over [`noble_linalg::parallel_map_ranges`] (worker count from
+/// [`noble_linalg::num_threads`]). Each source's row is written by exactly
+/// one worker running the identical serial algorithm, so the result is
+/// bit-identical to the serial sweep at any thread count.
 ///
 /// # Errors
 ///
@@ -224,9 +235,21 @@ pub fn geodesic_distances(graph: &NeighborGraph) -> Result<Matrix, ManifoldError
     }
     let n = graph.len();
     let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        let row = dijkstra(graph, i);
-        d.row_mut(i).copy_from_slice(&row);
+    let threads = noble_linalg::num_threads();
+    if threads > 1 && n >= PARALLEL_GEODESIC_MIN_SOURCES {
+        let row_blocks = noble_linalg::parallel_map_ranges(n, threads, |range| {
+            range
+                .map(|source| dijkstra(graph, source))
+                .collect::<Vec<_>>()
+        });
+        for (i, row) in row_blocks.into_iter().flatten().enumerate() {
+            d.row_mut(i).copy_from_slice(&row);
+        }
+    } else {
+        for i in 0..n {
+            let row = dijkstra(graph, i);
+            d.row_mut(i).copy_from_slice(&row);
+        }
     }
     Ok(d)
 }
@@ -291,6 +314,30 @@ mod tests {
         // Geodesic 0 -> 9 should be exactly 9 (sum of unit steps).
         let m = geodesic_distances(&g).unwrap();
         assert!((m[(0, 9)] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_geodesic_matches_serial() {
+        // Big enough to cross PARALLEL_GEODESIC_MIN_SOURCES: a 2-D point
+        // cloud whose kNN graph is connected.
+        let n = 80;
+        let data = Matrix::from_fn(n, 2, |i, j| {
+            let a = i as f64 * 0.37 + j as f64;
+            a.sin() * 3.0 + i as f64 * 0.05
+        });
+        let g = NeighborGraph::knn_graph(&data, 6).unwrap();
+        let g = g.induced_subgraph(&g.largest_component());
+        // Serial reference computed directly, one Dijkstra per source.
+        let mut serial = Matrix::zeros(g.len(), g.len());
+        for i in 0..g.len() {
+            serial.row_mut(i).copy_from_slice(&dijkstra(&g, i));
+        }
+        for threads in [1, 2, 5] {
+            noble_linalg::set_num_threads(threads);
+            let parallel = geodesic_distances(&g).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+        noble_linalg::set_num_threads(0);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod metrics;
 mod network;
 mod optimizer;
 mod param;
+mod seed;
 mod serialize;
 mod trainer;
 
@@ -66,5 +67,6 @@ pub use metrics::{accuracy, confusion_counts, one_hot, softmax_row};
 pub use network::{Mlp, MlpBuilder};
 pub use optimizer::Optimizer;
 pub use param::Param;
+pub use seed::derive_seed;
 pub use serialize::{load_parameters, save_parameters};
 pub use trainer::{EarlyStopping, TrainConfig, TrainReport, Trainer};

@@ -363,6 +363,102 @@ mod tests {
     }
 
     #[test]
+    fn loss_curves_invariant_to_thread_count() {
+        // Mini-batch products (batch 64, width 128 — 1M MACs) now cross
+        // the per-worker parallel threshold, so with threads configured
+        // the trainer's forward/backward run on `matmul_parallel`. That
+        // kernel is bit-identical to the serial blocked kernel, so the
+        // loss trajectory must not move by even one bit.
+        let x = Matrix::from_fn(256, 128, |i, j| ((i * 31 + j * 7) % 23) as f64 / 23.0 - 0.5);
+        let y = Matrix::from_fn(256, 1, |i, _| (i % 17) as f64 / 17.0);
+        let run = |threads: usize| {
+            noble_linalg::set_num_threads(threads);
+            let mut mlp = Mlp::builder(128, 33)
+                .dense(128)
+                .activation(Activation::Tanh)
+                .dense(1)
+                .build();
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: 64,
+                ..TrainConfig::default()
+            };
+            let report = Trainer::new(cfg)
+                .fit(&mut mlp, &x, &y, &MseLoss, None)
+                .unwrap();
+            noble_linalg::set_num_threads(0);
+            report
+                .train_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn concurrent_training_with_same_seed_is_bit_identical() {
+        // Two serving shards training at once with the same seed must end
+        // up with identical models: nothing in Mlp/Trainer may read shared
+        // RNG state, and the matmul dispatch must stay bit-stable even
+        // while another thread flips the global worker-count override.
+        let (x, y) = line_data(48);
+        let train_one = || {
+            let mut mlp = Mlp::builder(1, 99)
+                .dense(32)
+                .batch_norm()
+                .activation(Activation::Tanh)
+                .dense(1)
+                .build();
+            let cfg = TrainConfig {
+                epochs: 12,
+                batch_size: 8,
+                shuffle_seed: crate::derive_seed(99, 1),
+                ..TrainConfig::default()
+            };
+            Trainer::new(cfg)
+                .fit(&mut mlp, &x, &y, &MseLoss, None)
+                .unwrap();
+            let bits: Vec<u64> = mlp
+                .params_mut()
+                .iter()
+                .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+                .collect();
+            bits
+        };
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(train_one);
+            let hb = s.spawn(train_one);
+            // Adversary: churn the process-wide thread override while both
+            // trainings run; results must not depend on it. The deadline
+            // bounds the spin so a panicking training thread fails the
+            // test instead of deadlocking scope exit.
+            let toggler = s.spawn(|| {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+                let mut t = 1;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed)
+                    && std::time::Instant::now() < deadline
+                {
+                    noble_linalg::set_num_threads(t);
+                    t = t % 4 + 1;
+                    std::thread::yield_now();
+                }
+                noble_linalg::set_num_threads(0);
+            });
+            let a = ha.join().unwrap();
+            let b = hb.join().unwrap();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            toggler.join().unwrap();
+            (a, b)
+        });
+        assert_eq!(a, b, "concurrent same-seed trainings diverged");
+    }
+
+    #[test]
     fn lr_decay_changes_trajectory() {
         let (x, y) = line_data(32);
         let run = |decay: f64| {

@@ -1,0 +1,83 @@
+//! Typed serving errors.
+
+use crate::ShardKey;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sharded registry and the batch server.
+///
+/// Variants are `Clone` (model failures are carried as rendered strings)
+/// so one batch-level failure can be fanned out to every request that rode
+/// in the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A request named a shard the registry does not hold.
+    UnknownShard(ShardKey),
+    /// The registry ended up with no shards at all.
+    NoShards,
+    /// A fingerprint's width does not match the shard model's feature
+    /// dimension.
+    FeatureDim {
+        /// Shard that rejected the fingerprint.
+        key: ShardKey,
+        /// Width the shard's model expects.
+        expected: usize,
+        /// Width the request carried.
+        found: usize,
+    },
+    /// The server is shutting down (or a shard worker has exited); the
+    /// request was not served.
+    ShuttingDown,
+    /// The underlying model failed; the message is the rendered
+    /// [`noble::NobleError`].
+    Model(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownShard(key) => write!(f, "unknown shard {key}"),
+            ServeError::NoShards => write!(f, "registry holds no shards"),
+            ServeError::FeatureDim {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {key} expects feature width {expected}, request has {found}"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Model(msg) => write!(f, "model failure: {msg}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<noble::NobleError> for ServeError {
+    fn from(e: noble::NobleError) -> Self {
+        ServeError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_shard() {
+        let e = ServeError::UnknownShard(ShardKey::building(7));
+        assert!(e.to_string().contains("b7"));
+        let e = ServeError::FeatureDim {
+            key: ShardKey::building_floor(1, 2),
+            expected: 12,
+            found: 3,
+        };
+        assert!(e.to_string().contains("12") && e.to_string().contains('3'));
+        let e: ServeError = noble::NobleError::InvalidData("nope".into()).into();
+        assert!(matches!(e, ServeError::Model(ref m) if m.contains("nope")));
+    }
+}

@@ -1,0 +1,56 @@
+//! # noble-serve — sharded multi-site serving engine
+//!
+//! NObLe's pitch is localization *as a service*: WiFi fixes and IMU
+//! tracks arriving continuously from many devices across many buildings.
+//! This crate is the serving seam between the trained models (anything
+//! implementing [`noble::Localizer`]) and that traffic:
+//!
+//! - [`ShardedRegistry`] partitions a campaign by building/floor
+//!   [`ShardKey`], trains (or accepts) one model per shard with
+//!   order-free derived seeds and bounded per-shard memory, and routes
+//!   feature batches to the owning shard — an unknown key is the typed
+//!   [`ServeError::UnknownShard`], never a panic.
+//! - [`BatchServer`] owns one std worker thread per shard and
+//!   micro-batches concurrently arriving fixes under a configurable
+//!   latency budget / max batch size ([`BatchConfig`]) before one stacked
+//!   `localize_batch` call; per-request reply channels carry results
+//!   back, [`BatchServer::shutdown`] drains gracefully, and
+//!   [`BatchServer::stats`] reports per-shard throughput/latency.
+//!
+//! Batching never changes answers: the linalg substrate picks its matmul
+//! kernel per output row, so served results are **bit-identical** to
+//! direct `localize_batch` calls under any coalescing and any thread
+//! count (pinned by this crate's `serving_parity` integration test).
+//!
+//! ```no_run
+//! use noble_serve::{BatchConfig, BatchServer, RegistryConfig, ShardedRegistry, ShardKey};
+//! use noble::wifi::WifiNobleConfig;
+//! use noble_datasets::{uji_campaign, UjiConfig};
+//!
+//! let campaign = uji_campaign(&UjiConfig::small()).unwrap();
+//! let registry = ShardedRegistry::train_wifi(
+//!     &campaign,
+//!     &WifiNobleConfig::small(),
+//!     &RegistryConfig::default(),
+//! )
+//! .unwrap();
+//! let server = BatchServer::start(registry, BatchConfig::default()).unwrap();
+//! let client = server.client();
+//! let fix = client
+//!     .localize(ShardKey::building(0), vec![0.0; campaign.num_waps()])
+//!     .unwrap();
+//! println!("device at {fix}");
+//! for (key, stats) in server.shutdown() {
+//!     println!("{key}: {} fixes in {} batches", stats.requests, stats.batches);
+//! }
+//! ```
+
+mod error;
+mod registry;
+mod server;
+
+pub use error::ServeError;
+pub use registry::{
+    partition_campaign, shard_seed, RegistryConfig, ShardKey, ShardPolicy, ShardedRegistry,
+};
+pub use server::{BatchConfig, BatchServer, PendingFix, ServeClient, ShardStats};

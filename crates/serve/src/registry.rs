@@ -1,0 +1,328 @@
+//! Shard-routed model registry: partitions a campaign by building/floor
+//! key, trains (or accepts) one [`Localizer`] per shard, and routes
+//! feature batches to the owning shard.
+
+use crate::ServeError;
+use noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble::{Localizer, LocalizerInfo, NobleError};
+use noble_datasets::{WifiCampaign, WifiSample};
+use noble_geo::Point;
+use noble_linalg::Matrix;
+use noble_nn::derive_seed;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one serving shard: a building, optionally narrowed to a
+/// single floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardKey {
+    /// Building index.
+    pub building: usize,
+    /// Floor index, when sharding per building-floor.
+    pub floor: Option<usize>,
+}
+
+impl ShardKey {
+    /// A per-building shard key.
+    pub fn building(building: usize) -> Self {
+        ShardKey {
+            building,
+            floor: None,
+        }
+    }
+
+    /// A per-building-floor shard key.
+    pub fn building_floor(building: usize, floor: usize) -> Self {
+        ShardKey {
+            building,
+            floor: Some(floor),
+        }
+    }
+
+    /// A stable stream index for [`derive_seed`]: distinct keys map to
+    /// distinct streams regardless of how many shards exist or in which
+    /// order they train.
+    fn seed_stream(self) -> u64 {
+        let floor = self.floor.map_or(0, |f| f as u64 + 1);
+        ((self.building as u64) << 32) | floor
+    }
+}
+
+impl fmt::Display for ShardKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.floor {
+            Some(floor) => write!(f, "b{}/f{floor}", self.building),
+            None => write!(f, "b{}", self.building),
+        }
+    }
+}
+
+/// How a campaign is partitioned into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// One shard for the whole campaign (the unsharded reference point).
+    SingleSite,
+    /// One shard per building.
+    PerBuilding,
+    /// One shard per building-floor pair (DevLoc-style zone scoping).
+    PerBuildingFloor,
+}
+
+impl ShardPolicy {
+    /// The shard key a sample routes to under this policy.
+    pub fn key_of(self, sample: &WifiSample) -> ShardKey {
+        match self {
+            ShardPolicy::SingleSite => ShardKey::building(0),
+            ShardPolicy::PerBuilding => ShardKey::building(sample.building),
+            ShardPolicy::PerBuildingFloor => {
+                ShardKey::building_floor(sample.building, sample.floor)
+            }
+        }
+    }
+}
+
+/// Registry-level configuration.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Partitioning policy.
+    pub policy: ShardPolicy,
+    /// Per-shard training-set cap. Shards never hold more than this many
+    /// offline fingerprints, bounding per-shard model and radio-map memory
+    /// as sites multiply (`None` = unbounded).
+    pub max_train_samples_per_shard: Option<usize>,
+    /// Train shards concurrently on scoped threads (worker count from
+    /// [`noble_linalg::num_threads`]). Per-shard seeds are derived from
+    /// the shard key, so the result is bit-identical either way.
+    pub parallel_training: bool,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            policy: ShardPolicy::PerBuilding,
+            max_train_samples_per_shard: None,
+            parallel_training: true,
+        }
+    }
+}
+
+/// The seed the registry trains shard `key` with, derived order-free from
+/// the base configuration seed (exposed so parity tests can train the
+/// identical model outside the registry).
+pub fn shard_seed(base: u64, key: ShardKey) -> u64 {
+    derive_seed(base, key.seed_stream())
+}
+
+/// Splits a campaign into per-shard sub-campaigns under `keyer`, keeping
+/// the shared map/WAP/channel context and capping each shard's training
+/// set at `max_train` samples.
+///
+/// Shards are keyed by the *training* samples; validation and test
+/// samples routed to a shard with no training data are dropped with it.
+pub fn partition_campaign(
+    campaign: &WifiCampaign,
+    keyer: impl Fn(&WifiSample) -> ShardKey,
+    max_train: Option<usize>,
+) -> BTreeMap<ShardKey, WifiCampaign> {
+    let mut shards: BTreeMap<ShardKey, WifiCampaign> = BTreeMap::new();
+    let empty_shell = || {
+        let mut shell = campaign.clone();
+        shell.train.clear();
+        shell.val.clear();
+        shell.test.clear();
+        shell
+    };
+    for sample in &campaign.train {
+        let shard = shards.entry(keyer(sample)).or_insert_with(empty_shell);
+        if max_train.is_none_or(|cap| shard.train.len() < cap) {
+            shard.train.push(sample.clone());
+        }
+    }
+    for sample in &campaign.val {
+        if let Some(shard) = shards.get_mut(&keyer(sample)) {
+            shard.val.push(sample.clone());
+        }
+    }
+    for sample in &campaign.test {
+        if let Some(shard) = shards.get_mut(&keyer(sample)) {
+            shard.test.push(sample.clone());
+        }
+    }
+    shards
+}
+
+/// Relabels a localizer's site metadata with its shard key.
+struct Sited<L> {
+    site: String,
+    inner: L,
+}
+
+impl<L: Localizer> Localizer for Sited<L> {
+    fn info(&self) -> LocalizerInfo {
+        self.inner.info().with_site(self.site.clone())
+    }
+
+    fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
+        self.inner.localize_batch(features)
+    }
+}
+
+/// A keyed collection of per-shard localizers.
+///
+/// Routing is by exact [`ShardKey`]; an unknown key is the typed
+/// [`ServeError::UnknownShard`], never a panic. The registry is the
+/// hand-off point to [`crate::BatchServer`], which moves each shard's
+/// model onto its own worker thread.
+#[derive(Default)]
+pub struct ShardedRegistry {
+    shards: BTreeMap<ShardKey, Box<dyn Localizer>>,
+}
+
+impl fmt::Debug for ShardedRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedRegistry")
+            .field("shards", &self.keys())
+            .finish()
+    }
+}
+
+impl ShardedRegistry {
+    /// An empty registry; populate with [`ShardedRegistry::insert`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trains one [`WifiNoble`] per shard of `campaign` under the
+    /// registry configuration. Each shard trains with the order-free seed
+    /// [`shard_seed`]`(cfg.seed, key)`, so shard models are reproducible
+    /// whether training runs serially or concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoShards`] when the campaign has no training
+    /// samples; otherwise the first shard training failure.
+    pub fn train_wifi(
+        campaign: &WifiCampaign,
+        cfg: &WifiNobleConfig,
+        reg: &RegistryConfig,
+    ) -> Result<Self, ServeError> {
+        Self::train_wifi_with(campaign, |s| reg.policy.key_of(s), cfg, reg)
+    }
+
+    /// Like [`ShardedRegistry::train_wifi`] with a custom partitioning
+    /// function (e.g. grouping buildings onto a fixed shard count).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRegistry::train_wifi`].
+    pub fn train_wifi_with(
+        campaign: &WifiCampaign,
+        keyer: impl Fn(&WifiSample) -> ShardKey,
+        cfg: &WifiNobleConfig,
+        reg: &RegistryConfig,
+    ) -> Result<Self, ServeError> {
+        let parts: Vec<(ShardKey, WifiCampaign)> =
+            partition_campaign(campaign, keyer, reg.max_train_samples_per_shard)
+                .into_iter()
+                .collect();
+        if parts.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        let train_one = |(key, shard): &(ShardKey, WifiCampaign)| {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.seed = shard_seed(cfg.seed, *key);
+            WifiNoble::train(shard, &shard_cfg)
+                .map(|model| (*key, model))
+                .map_err(ServeError::from)
+        };
+        let threads = if reg.parallel_training {
+            noble_linalg::num_threads()
+        } else {
+            1
+        };
+        let trained: Vec<Result<(ShardKey, WifiNoble), ServeError>> =
+            noble_linalg::parallel_map_ranges(parts.len(), threads, |range| {
+                range.map(|i| train_one(&parts[i])).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut registry = ShardedRegistry::new();
+        for result in trained {
+            let (key, model) = result?;
+            registry.insert(key, Box::new(model));
+        }
+        Ok(registry)
+    }
+
+    /// Registers (or replaces) the localizer serving `key`, relabeling its
+    /// site metadata with the shard key.
+    pub fn insert(&mut self, key: ShardKey, localizer: Box<dyn Localizer>) {
+        self.shards.insert(
+            key,
+            Box::new(Sited {
+                site: key.to_string(),
+                inner: localizer,
+            }),
+        );
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the registry holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Shard keys in sorted order.
+    pub fn keys(&self) -> Vec<ShardKey> {
+        self.shards.keys().copied().collect()
+    }
+
+    /// Metadata of every shard, in key order.
+    pub fn info(&self) -> Vec<LocalizerInfo> {
+        self.shards.values().map(|l| l.info()).collect()
+    }
+
+    /// Mutable access to the localizer serving `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] when no shard owns `key`.
+    pub fn get_mut(&mut self, key: ShardKey) -> Result<&mut (dyn Localizer + '_), ServeError> {
+        match self.shards.get_mut(&key) {
+            Some(l) => Ok(l.as_mut()),
+            None => Err(ServeError::UnknownShard(key)),
+        }
+    }
+
+    /// Routes a feature batch to its shard and localizes it (the direct,
+    /// unbatched serving path; [`crate::BatchServer`] is the coalescing
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] on an unroutable key; propagates model
+    /// failures as [`ServeError::Model`].
+    pub fn localize(&mut self, key: ShardKey, features: &Matrix) -> Result<Vec<Point>, ServeError> {
+        let shard = self.get_mut(key)?;
+        shard.localize_batch(features).map_err(ServeError::from)
+    }
+
+    /// Consumes the registry into `(key, localizer)` pairs for the batch
+    /// server's per-shard workers.
+    pub fn into_shards(self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
+        self.shards.into_iter().collect()
+    }
+
+    /// Rebuilds a registry from already-sited shards handed back by a
+    /// stopping [`crate::BatchServer`] (no re-wrapping, no relabeling).
+    pub(crate) fn restore(shards: Vec<(ShardKey, Box<dyn Localizer>)>) -> Self {
+        ShardedRegistry {
+            shards: shards.into_iter().collect(),
+        }
+    }
+}

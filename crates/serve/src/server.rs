@@ -1,0 +1,421 @@
+//! The micro-batching request pipeline.
+//!
+//! [`BatchServer`] owns one std worker thread per shard. Clients submit
+//! fingerprints tagged with a [`ShardKey`]; the shard's worker coalesces
+//! whatever arrives within a **latency budget** (or up to a **max batch
+//! size**) into one stacked [`Localizer::localize_batch`] call and fans
+//! the results back through per-request reply channels.
+//!
+//! Because the linalg substrate picks its matmul kernel per output row,
+//! results are **bit-identical to unbatched serving no matter how
+//! requests coalesce** — batching buys throughput, never changes answers
+//! (pinned by the `serving_parity` integration test).
+//!
+//! The container targets offline std-only builds, so there is no async
+//! runtime: blocking `mpsc` channels plus `recv_timeout` implement the
+//! budgeted coalescing loop, and [`noble_linalg::num_threads`] /
+//! `NOBLE_THREADS` still govern intra-batch matmul parallelism on top of
+//! the inter-shard parallelism this module adds.
+
+use crate::{ServeError, ShardKey, ShardedRegistry};
+use noble::Localizer;
+use noble_geo::Point;
+use noble_linalg::Matrix;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Largest batch one shard inference call may carry.
+    pub max_batch: usize,
+    /// How long a shard worker holds an open batch waiting for riders
+    /// after the first request arrives. `ZERO` disables coalescing
+    /// waits (each batch is whatever is already queued).
+    pub latency_budget: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 128,
+            latency_budget: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Per-shard serving counters, readable live via [`BatchServer::stats`]
+/// and returned at [`BatchServer::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Fixes served (successfully or with a per-request error reply).
+    pub requests: u64,
+    /// Inference calls issued.
+    pub batches: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Largest coalesced batch.
+    pub max_batch: usize,
+    /// Total request latency (enqueue to reply) in microseconds.
+    pub total_latency_us: u128,
+    /// Worst single-request latency in microseconds.
+    pub max_latency_us: u128,
+    /// Time spent inside the model's `localize_batch` in microseconds.
+    pub busy_us: u128,
+}
+
+impl ShardStats {
+    /// Mean coalesced batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean request latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.requests as f64
+        }
+    }
+}
+
+/// One queued request.
+enum Job {
+    Fix {
+        fingerprint: Vec<f64>,
+        enqueued: Instant,
+        reply: Sender<Result<Point, ServeError>>,
+    },
+    Shutdown,
+}
+
+/// An in-flight fix: redeem with [`PendingFix::wait`].
+#[derive(Debug)]
+pub struct PendingFix {
+    rx: Receiver<Result<Point, ServeError>>,
+}
+
+impl PendingFix {
+    /// Blocks until the shard worker replies.
+    ///
+    /// # Errors
+    ///
+    /// The serving error the worker sent, or [`ServeError::ShuttingDown`]
+    /// when the worker exited without replying.
+    pub fn wait(self) -> Result<Point, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// A cloneable submission handle onto a running [`BatchServer`].
+#[derive(Clone)]
+pub struct ServeClient {
+    senders: BTreeMap<ShardKey, Sender<Job>>,
+}
+
+impl ServeClient {
+    /// Enqueues one fingerprint for `key`'s shard and returns the pending
+    /// reply without blocking (clients pipeline by submitting many fixes
+    /// before waiting — that depth is what the worker coalesces).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] for an unroutable key,
+    /// [`ServeError::ShuttingDown`] when the shard worker is gone.
+    pub fn submit(&self, key: ShardKey, fingerprint: Vec<f64>) -> Result<PendingFix, ServeError> {
+        let sender = self
+            .senders
+            .get(&key)
+            .ok_or(ServeError::UnknownShard(key))?;
+        let (tx, rx) = mpsc::channel();
+        sender
+            .send(Job::Fix {
+                fingerprint,
+                enqueued: Instant::now(),
+                reply: tx,
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(PendingFix { rx })
+    }
+
+    /// Submits and blocks for the result (the per-fix convenience path).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::submit`] plus whatever the worker replies.
+    pub fn localize(&self, key: ShardKey, fingerprint: Vec<f64>) -> Result<Point, ServeError> {
+        self.submit(key, fingerprint)?.wait()
+    }
+
+    /// Keys this client can route to.
+    pub fn keys(&self) -> Vec<ShardKey> {
+        self.senders.keys().copied().collect()
+    }
+}
+
+/// The running micro-batching server (see the module docs).
+pub struct BatchServer {
+    senders: BTreeMap<ShardKey, Sender<Job>>,
+    stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
+    workers: Vec<(ShardKey, JoinHandle<Box<dyn Localizer>>)>,
+}
+
+impl BatchServer {
+    /// Moves every shard of `registry` onto its own worker thread and
+    /// starts accepting requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoShards`] for an empty registry,
+    /// [`ServeError::InvalidConfig`] for a zero `max_batch`.
+    pub fn start(registry: ShardedRegistry, cfg: BatchConfig) -> Result<Self, ServeError> {
+        if registry.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        if cfg.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        let mut senders = BTreeMap::new();
+        let mut stats = BTreeMap::new();
+        let mut workers = Vec::new();
+        for (key, localizer) in registry.into_shards() {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let shard_stats = Arc::new(Mutex::new(ShardStats::default()));
+            let worker_stats = Arc::clone(&shard_stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("noble-serve-{key}"))
+                .spawn(move || shard_worker(localizer, key, rx, cfg, &worker_stats))
+                .expect("spawn shard worker");
+            senders.insert(key, tx);
+            stats.insert(key, shard_stats);
+            workers.push((key, handle));
+        }
+        Ok(BatchServer {
+            senders,
+            stats,
+            workers,
+        })
+    }
+
+    /// A new submission handle (cheap to clone per client thread).
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            senders: self.senders.clone(),
+        }
+    }
+
+    /// Shard keys being served.
+    pub fn keys(&self) -> Vec<ShardKey> {
+        self.senders.keys().copied().collect()
+    }
+
+    /// Live per-shard statistics snapshot, in key order.
+    pub fn stats(&self) -> Vec<(ShardKey, ShardStats)> {
+        self.stats
+            .iter()
+            .map(|(k, s)| (*k, s.lock().expect("stats lock").clone()))
+            .collect()
+    }
+
+    /// Graceful shutdown: each worker finishes every request already
+    /// queued ahead of the shutdown marker, then exits. Returns the final
+    /// per-shard statistics.
+    ///
+    /// Clients still holding a [`ServeClient`] get
+    /// [`ServeError::ShuttingDown`] on later submits.
+    pub fn shutdown(mut self) -> Vec<(ShardKey, ShardStats)> {
+        self.stop();
+        self.final_stats()
+    }
+
+    /// Like [`BatchServer::shutdown`], but also hands the shard models
+    /// back as a registry so a caller can restart serving under different
+    /// batching knobs without retraining (the benchmark sweep's pattern).
+    pub fn shutdown_with_registry(mut self) -> (Vec<(ShardKey, ShardStats)>, ShardedRegistry) {
+        let shards = self.stop();
+        let stats = self.final_stats();
+        (stats, ShardedRegistry::restore(shards))
+    }
+
+    /// Sends the shutdown marker to every shard and joins the workers,
+    /// collecting their localizers.
+    fn stop(&mut self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
+        for sender in self.senders.values() {
+            // A worker that already exited has dropped its receiver; that
+            // is fine — there is nothing left to drain.
+            let _ = sender.send(Job::Shutdown);
+        }
+        self.workers
+            .drain(..)
+            .filter_map(|(key, handle)| match handle.join() {
+                Ok(localizer) => Some((key, localizer)),
+                Err(panic) => {
+                    // A panicked worker's model is gone; surface the cause
+                    // instead of silently dropping the shard (requests to
+                    // it will report UnknownShard after a restart).
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    eprintln!("noble-serve: shard {key} worker panicked: {msg}");
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn final_stats(&self) -> Vec<(ShardKey, ShardStats)> {
+        self.stats
+            .iter()
+            .map(|(k, s)| (*k, s.lock().expect("stats lock").clone()))
+            .collect()
+    }
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        for sender in self.senders.values() {
+            let _ = sender.send(Job::Shutdown);
+        }
+        for (_, handle) in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One shard's serve loop: block for the first request, hold the batch
+/// open under the latency budget, run one stacked inference, reply.
+fn shard_worker(
+    mut localizer: Box<dyn Localizer>,
+    key: ShardKey,
+    rx: Receiver<Job>,
+    cfg: BatchConfig,
+    stats: &Mutex<ShardStats>,
+) -> Box<dyn Localizer> {
+    let feature_dim = localizer.info().feature_dim;
+    loop {
+        let first = match rx.recv() {
+            Ok(Job::Fix {
+                fingerprint,
+                enqueued,
+                reply,
+            }) => (fingerprint, enqueued, reply),
+            Ok(Job::Shutdown) | Err(_) => return localizer,
+        };
+        let mut batch = vec![first];
+        let mut saw_shutdown = false;
+        if cfg.max_batch > 1 {
+            let deadline = Instant::now() + cfg.latency_budget;
+            while batch.len() < cfg.max_batch {
+                let now = Instant::now();
+                let wait = deadline.saturating_duration_since(now);
+                // recv_timeout(ZERO) still drains already-queued jobs, so
+                // a zero budget coalesces exactly the backlog.
+                match rx.recv_timeout(wait) {
+                    Ok(Job::Fix {
+                        fingerprint,
+                        enqueued,
+                        reply,
+                    }) => batch.push((fingerprint, enqueued, reply)),
+                    Ok(Job::Shutdown) => {
+                        saw_shutdown = true;
+                        break;
+                    }
+                    // Queue empty and the budget is spent (a zero `wait`
+                    // still drains queued jobs, so past the deadline the
+                    // loop keeps absorbing backlog without waiting until
+                    // the queue runs dry or the batch fills).
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        saw_shutdown = true;
+                        break;
+                    }
+                }
+            }
+        }
+        serve_batch(localizer.as_mut(), key, feature_dim, batch, stats);
+        if saw_shutdown {
+            return localizer;
+        }
+    }
+}
+
+type QueuedFix = (Vec<f64>, Instant, Sender<Result<Point, ServeError>>);
+
+/// Runs one coalesced batch through the shard's model and replies to every
+/// rider. Width-mismatched fingerprints are rejected individually; the
+/// rest still ride the stacked call (row independence makes the mixture
+/// safe).
+fn serve_batch(
+    localizer: &mut dyn Localizer,
+    key: ShardKey,
+    feature_dim: usize,
+    batch: Vec<QueuedFix>,
+    stats: &Mutex<ShardStats>,
+) {
+    let mut valid: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut replies: Vec<Option<Result<Point, ServeError>>> = Vec::with_capacity(batch.len());
+    for (i, (fingerprint, _, _)) in batch.iter().enumerate() {
+        if fingerprint.len() == feature_dim {
+            valid.push(i);
+            replies.push(None);
+        } else {
+            replies.push(Some(Err(ServeError::FeatureDim {
+                key,
+                expected: feature_dim,
+                found: fingerprint.len(),
+            })));
+        }
+    }
+
+    let mut busy = Duration::ZERO;
+    if !valid.is_empty() {
+        let mut data = Vec::with_capacity(valid.len() * feature_dim);
+        for &i in &valid {
+            data.extend_from_slice(&batch[i].0);
+        }
+        let features = Matrix::from_vec(valid.len(), feature_dim, data).expect("widths checked");
+        let started = Instant::now();
+        let result = localizer.localize_batch(&features);
+        busy = started.elapsed();
+        match result {
+            Ok(points) => {
+                for (&i, point) in valid.iter().zip(points) {
+                    replies[i] = Some(Ok(point));
+                }
+            }
+            Err(e) => {
+                let shared = ServeError::from(e);
+                for &i in &valid {
+                    replies[i] = Some(Err(shared.clone()));
+                }
+            }
+        }
+    }
+
+    let mut tally = stats.lock().expect("stats lock");
+    tally.batches += 1;
+    tally.max_batch = tally.max_batch.max(batch.len());
+    tally.busy_us += busy.as_micros();
+    for ((_, enqueued, reply), outcome) in batch.into_iter().zip(replies) {
+        let outcome = outcome.expect("every rider answered");
+        tally.requests += 1;
+        if outcome.is_err() {
+            tally.errors += 1;
+        }
+        // A dropped PendingFix just means nobody is waiting; not an error.
+        let _ = reply.send(outcome);
+        let waited = enqueued.elapsed().as_micros();
+        tally.total_latency_us += waited;
+        tally.max_latency_us = tally.max_latency_us.max(waited);
+    }
+}

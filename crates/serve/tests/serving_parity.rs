@@ -1,0 +1,278 @@
+//! Serving parity and routing guarantees.
+//!
+//! The load-bearing test is `served_results_bit_identical_to_direct`: any
+//! batch coalescing, any thread count, the `BatchServer` must return the
+//! exact bits a direct `Localizer::localize_batch` call produces. CI
+//! greps for this suite by name — do not rename it casually.
+
+use noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble::Localizer;
+use noble_datasets::{uji_campaign, UjiConfig, WifiCampaign};
+use noble_geo::Point;
+use noble_serve::{
+    partition_campaign, shard_seed, BatchConfig, BatchServer, RegistryConfig, ServeError, ShardKey,
+    ShardPolicy, ShardedRegistry,
+};
+use std::time::Duration;
+
+fn quick_campaign() -> WifiCampaign {
+    let mut cfg = UjiConfig::small();
+    cfg.seed = 42;
+    uji_campaign(&cfg).unwrap()
+}
+
+fn fast_model_cfg() -> WifiNobleConfig {
+    WifiNobleConfig {
+        epochs: 4,
+        ..WifiNobleConfig::small()
+    }
+}
+
+fn registry_cfg() -> RegistryConfig {
+    RegistryConfig {
+        policy: ShardPolicy::PerBuilding,
+        max_train_samples_per_shard: None,
+        parallel_training: true,
+    }
+}
+
+/// Per-shard reference answers computed by the direct (serverless) path.
+fn direct_reference(campaign: &WifiCampaign) -> Vec<(ShardKey, Vec<Vec<f64>>, Vec<Point>)> {
+    let model_cfg = fast_model_cfg();
+    partition_campaign(campaign, |s| ShardPolicy::PerBuilding.key_of(s), None)
+        .into_iter()
+        .map(|(key, shard)| {
+            let mut cfg = model_cfg.clone();
+            cfg.seed = shard_seed(model_cfg.seed, key);
+            let mut model = WifiNoble::train(&shard, &cfg).unwrap();
+            let features = shard.features(&shard.test);
+            let rows: Vec<Vec<f64>> = (0..features.rows())
+                .map(|i| features.row(i).to_vec())
+                .collect();
+            let expected = Localizer::localize_batch(&mut model, &features).unwrap();
+            (key, rows, expected)
+        })
+        .collect()
+}
+
+#[test]
+fn served_results_bit_identical_to_direct() {
+    let campaign = quick_campaign();
+    let reference = direct_reference(&campaign);
+    assert!(reference.len() >= 2, "expected a multi-building campaign");
+
+    // Sweep coalescing regimes: no batching, small batches under a zero
+    // budget (drain-the-backlog mode), and wide batches under a real
+    // budget — all with several client threads submitting concurrently.
+    // The same trained shards serve every regime (handed back through
+    // `shutdown_with_registry`), so any cross-regime difference is the
+    // server's fault, not training noise.
+    let mut registry =
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()).unwrap();
+    for (max_batch, budget_us) in [(1usize, 0u64), (4, 0), (64, 300), (256, 1000)] {
+        let server = BatchServer::start(
+            registry,
+            BatchConfig {
+                max_batch,
+                latency_budget: Duration::from_micros(budget_us),
+            },
+        )
+        .unwrap();
+
+        std::thread::scope(|s| {
+            for (key, rows, expected) in &reference {
+                let client = server.client();
+                s.spawn(move || {
+                    // Pipeline every fix before waiting so the worker has
+                    // a real backlog to coalesce.
+                    let pending: Vec<_> = rows
+                        .iter()
+                        .map(|row| client.submit(*key, row.clone()).unwrap())
+                        .collect();
+                    for (i, p) in pending.into_iter().enumerate() {
+                        let got = p.wait().unwrap();
+                        assert_eq!(
+                            got, expected[i],
+                            "{key} fix {i} differs (max_batch={max_batch}, budget={budget_us}us)"
+                        );
+                    }
+                });
+            }
+        });
+
+        let (stats, recovered) = server.shutdown_with_registry();
+        registry = recovered;
+        let total: u64 = stats.iter().map(|(_, s)| s.requests).sum();
+        let expected_total: u64 = reference.iter().map(|(_, r, _)| r.len() as u64).sum();
+        assert_eq!(total, expected_total);
+        for (_, s) in &stats {
+            assert!(s.batches >= 1);
+            assert!(s.max_batch <= max_batch);
+            assert_eq!(s.errors, 0);
+        }
+    }
+    assert_eq!(registry.len(), reference.len(), "shards survive restarts");
+}
+
+#[test]
+fn unknown_shard_is_typed_error_not_panic() {
+    let campaign = quick_campaign();
+    let mut registry =
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()).unwrap();
+    let bogus = ShardKey::building_floor(99, 7);
+    let features = campaign.features(&campaign.test[..1]);
+
+    assert!(matches!(
+        registry.localize(bogus, &features),
+        Err(ServeError::UnknownShard(k)) if k == bogus
+    ));
+    assert!(matches!(
+        registry.get_mut(bogus),
+        Err(ServeError::UnknownShard(_))
+    ));
+
+    let server = BatchServer::start(registry, BatchConfig::default()).unwrap();
+    let client = server.client();
+    assert!(matches!(
+        client.submit(bogus, features.row(0).to_vec()),
+        Err(ServeError::UnknownShard(_))
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn width_mismatch_is_a_per_request_error() {
+    let campaign = quick_campaign();
+    let registry =
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()).unwrap();
+    let key = registry.keys()[0];
+    let server = BatchServer::start(registry, BatchConfig::default()).unwrap();
+    let client = server.client();
+
+    let good = client.submit(key, vec![0.0; campaign.num_waps()]).unwrap();
+    let bad = client.submit(key, vec![0.0; 3]).unwrap();
+    assert!(good.wait().is_ok());
+    assert!(matches!(
+        bad.wait(),
+        Err(ServeError::FeatureDim {
+            expected,
+            found: 3,
+            ..
+        }) if expected == campaign.num_waps()
+    ));
+    let stats = server.shutdown();
+    let shard = stats.iter().find(|(k, _)| *k == key).unwrap();
+    assert_eq!(shard.1.errors, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_fixes_then_rejects() {
+    let campaign = quick_campaign();
+    let registry =
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()).unwrap();
+    let key = registry.keys()[0];
+    let server = BatchServer::start(
+        registry,
+        BatchConfig {
+            max_batch: 8,
+            latency_budget: Duration::from_micros(200),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    let pending: Vec<_> = (0..40)
+        .map(|_| client.submit(key, vec![0.0; campaign.num_waps()]).unwrap())
+        .collect();
+    // Shutdown queues behind the 40 fixes; every one must still be served.
+    let stats = server.shutdown();
+    for p in pending {
+        assert!(p.wait().is_ok(), "queued fix dropped during shutdown");
+    }
+    let shard = stats.iter().find(|(k, _)| *k == key).unwrap();
+    assert_eq!(shard.1.requests, 40);
+    assert!(shard.1.mean_batch() > 1.0, "no coalescing happened at all");
+
+    assert!(matches!(
+        client.submit(key, vec![0.0; campaign.num_waps()]),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+#[test]
+fn concurrent_and_serial_shard_training_are_bit_identical() {
+    // Two shards training at once (scoped threads inside the registry)
+    // must produce the same models as training one-by-one: per-shard
+    // seeds derive from the shard key, and nothing shares RNG state.
+    let campaign = quick_campaign();
+    let mut parallel = ShardedRegistry::train_wifi(
+        &campaign,
+        &fast_model_cfg(),
+        &RegistryConfig {
+            parallel_training: true,
+            ..registry_cfg()
+        },
+    )
+    .unwrap();
+    let mut serial = ShardedRegistry::train_wifi(
+        &campaign,
+        &fast_model_cfg(),
+        &RegistryConfig {
+            parallel_training: false,
+            ..registry_cfg()
+        },
+    )
+    .unwrap();
+    assert_eq!(parallel.keys(), serial.keys());
+    let features = campaign.features(&campaign.test);
+    for key in parallel.keys() {
+        let a = parallel.localize(key, &features).unwrap();
+        let b = serial.localize(key, &features).unwrap();
+        assert_eq!(a, b, "shard {key} diverged between parallel and serial");
+    }
+}
+
+#[test]
+fn registry_bounds_per_shard_memory_and_labels_sites() {
+    let campaign = quick_campaign();
+    let cap = 20;
+    let parts = partition_campaign(
+        &campaign,
+        |s| ShardPolicy::PerBuildingFloor.key_of(s),
+        Some(cap),
+    );
+    assert!(parts.len() > 3, "building-floor sharding should fan out");
+    for shard in parts.values() {
+        assert!(shard.train.len() <= cap);
+    }
+
+    let registry = ShardedRegistry::train_wifi(
+        &campaign,
+        &fast_model_cfg(),
+        &RegistryConfig {
+            max_train_samples_per_shard: Some(64),
+            ..registry_cfg()
+        },
+    )
+    .unwrap();
+    for (info, key) in registry.info().iter().zip(registry.keys()) {
+        assert_eq!(info.site, key.to_string());
+        assert_eq!(info.model, "wifi-noble");
+        assert_eq!(info.feature_dim, campaign.num_waps());
+        assert!(info.class_count > 0);
+    }
+}
+
+#[test]
+fn empty_campaign_yields_no_shards() {
+    let mut campaign = quick_campaign();
+    campaign.train.clear();
+    assert!(matches!(
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()),
+        Err(ServeError::NoShards)
+    ));
+    assert!(matches!(
+        BatchServer::start(ShardedRegistry::new(), BatchConfig::default()),
+        Err(ServeError::NoShards)
+    ));
+}
