@@ -19,6 +19,7 @@ fn main() {
         ("energy", noble_bench::runners::energy::run),
         ("throughput", noble_bench::runners::throughput::run),
         ("serving", noble_bench::runners::serving::run),
+        ("model_store", noble_bench::runners::model_store::run),
         (
             "ablation_tau",
             noble_bench::runners::ablation::run_tau_sweep,

@@ -1,0 +1,10 @@
+//! Model-lifecycle sweep: cold-train vs hydrate vs resident-hit plus
+//! eviction-thrash throughput (`results/BENCH_model_store.json`).
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::model_store::run(scale) {
+        eprintln!("exp_model_store failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Model-lifecycle economics: cold-train vs hydrate-from-disk vs
+//! resident-hit, and the cost of eviction thrash.
+//!
+//! The sharded serving engine can now retire cold shard models to a
+//! [`noble_serve::ModelStore`] and bring them back on demand. This
+//! runner prices the three ways a request can find its model:
+//!
+//! - **cold-train** — no snapshot anywhere: train from the `TrainSpec`
+//!   (the price every shard paid before the model lifecycle existed),
+//! - **hydrate** — read + checksum + decode a snapshot from an
+//!   [`noble_serve::FsStore`] ([`noble::hydrate`] is bit-identical to
+//!   the trained model, so this is pure speedup),
+//! - **resident hit** — the model is already in memory.
+//!
+//! Plus the failure mode budgets must be sized against: **eviction
+//! thrash**, a [`noble_serve::ModelCatalog`] with budget 1 serving
+//! round-robin traffic over N shards (every request faults), compared
+//! with a budget of N (every request hits). Results go to stdout and
+//! `results/BENCH_model_store.json`. [`Scale::Quick`] shrinks the sweep
+//! for CI smoke runs.
+
+use crate::config::uji_config;
+use crate::runners::RunnerResult;
+use crate::{write_artifact, Scale};
+use noble::report::TextTable;
+use noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble::{hydrate, Localizer, SnapshotLocalizer};
+use noble_datasets::uji_campaign;
+use noble_serve::{
+    partition_campaign, shard_seed, CatalogBudget, FsStore, ModelCatalog, ModelStore,
+    RegistryConfig, ShardKey, ShardPolicy, TrainSpec,
+};
+use std::time::Instant;
+
+/// Per-shard lifecycle timings (milliseconds).
+struct ShardMeasurement {
+    key: ShardKey,
+    train_ms: f64,
+    save_ms: f64,
+    snapshot_bytes: usize,
+    hydrate_ms: f64,
+    resident_localize_us: f64,
+}
+
+/// Catalog throughput under a budget (single-fix requests/second).
+struct ThrashMeasurement {
+    budget: usize,
+    shards: usize,
+    fixes_per_sec: f64,
+    hydrations: u64,
+    retrains: u64,
+    evictions: u64,
+}
+
+/// Runs the sweep and writes `results/BENCH_model_store.json`.
+///
+/// # Errors
+///
+/// Propagates dataset, training, store and artifact-I/O failures.
+pub fn run(scale: Scale) -> RunnerResult {
+    let campaign = uji_campaign(&uji_config(Scale::Quick))?;
+    let model_cfg = WifiNobleConfig {
+        epochs: if scale == Scale::Quick { 2 } else { 6 },
+        patience: None,
+        ..WifiNobleConfig::small()
+    };
+    let reg_cfg = RegistryConfig::default();
+    let thrash_rounds = if scale == Scale::Quick { 3 } else { 10 };
+
+    // Scratch store under target/ (never committed, safe to clobber).
+    let store_dir = std::path::Path::new("target").join("tmp-model-store-bench");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = FsStore::open(&store_dir)?;
+
+    let parts = partition_campaign(
+        &campaign,
+        |s| ShardPolicy::PerBuilding.key_of(s),
+        reg_cfg.max_train_samples_per_shard,
+    );
+    let features = campaign.features(&campaign.test);
+    let probe = features.clone();
+
+    // --- Per-shard lifecycle: train, save, hydrate, serve. ---
+    let mut shard_rows: Vec<ShardMeasurement> = Vec::new();
+    for (key, shard) in &parts {
+        let mut cfg = model_cfg.clone();
+        cfg.seed = shard_seed(model_cfg.seed, *key);
+
+        let t0 = Instant::now();
+        let mut model = WifiNoble::train(shard, &cfg)?;
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let snapshot = SnapshotLocalizer::snapshot(&model);
+        store.put(*key, &snapshot)?;
+        let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let restored = store.get(*key)?.expect("just stored");
+        let mut twin = hydrate(&restored)?;
+        let hydrate_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Parity is pinned by the test suites; assert cheaply here so a
+        // benchmark run can never silently measure a divergent model.
+        let a = Localizer::localize_batch(&mut model, &probe)?;
+        let b = twin.localize_batch(&probe)?;
+        assert_eq!(a, b, "hydrated shard {key} diverged from trained model");
+
+        let t0 = Instant::now();
+        let reps = 20;
+        for _ in 0..reps {
+            twin.localize_batch(&probe)?;
+        }
+        let resident_localize_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+
+        shard_rows.push(ShardMeasurement {
+            key: *key,
+            train_ms,
+            save_ms,
+            snapshot_bytes: snapshot.encoded_len(),
+            hydrate_ms,
+            resident_localize_us,
+        });
+    }
+
+    // --- Eviction thrash: budget 1 (every request faults and evicts)
+    //     vs budget N (every request hits). The store already holds all
+    //     shards, so budget-1 faults hydrate rather than retrain. ---
+    let shard_count = parts.len();
+    let single_fixes: Vec<(ShardKey, Vec<f64>)> = (0..(shard_count * thrash_rounds))
+        .map(|i| {
+            let key = *parts.keys().nth(i % shard_count).expect("key in range");
+            let row = features.row(i % features.rows()).to_vec();
+            (key, row)
+        })
+        .collect();
+    let mut thrash_rows: Vec<ThrashMeasurement> = Vec::new();
+    for budget in [1usize, shard_count] {
+        let mut catalog = ModelCatalog::with_store(
+            CatalogBudget::Count(budget),
+            Box::new(FsStore::open(&store_dir)?),
+        )?;
+        // Register specs too so the runner exercises the full fallback
+        // chain (store first, spec only if the store were emptied).
+        for (key, shard) in &parts {
+            catalog.register_spec(
+                *key,
+                TrainSpec::Wifi {
+                    campaign: shard.clone(),
+                    cfg: model_cfg.clone(),
+                },
+            );
+        }
+        let t0 = Instant::now();
+        for (key, row) in &single_fixes {
+            let m = noble_linalg::Matrix::from_rows(std::slice::from_ref(row))
+                .expect("one well-formed row");
+            catalog.localize(*key, &m)?;
+        }
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        let stats = catalog.stats();
+        thrash_rows.push(ThrashMeasurement {
+            budget,
+            shards: shard_count,
+            fixes_per_sec: single_fixes.len() as f64 / elapsed,
+            hydrations: stats.hydrations,
+            retrains: stats.retrains,
+            evictions: stats.evictions,
+        });
+    }
+
+    // --- Report. ---
+    let mut out = String::new();
+    out.push_str("MODEL STORE: cold-train vs hydrate-from-disk vs resident-hit\n");
+    out.push_str(&format!(
+        "(shards={shard_count}, test_fixes={}, store={})\n\n",
+        features.rows(),
+        store_dir.display()
+    ));
+    let mut table = TextTable::new(vec![
+        "SHARD".into(),
+        "TRAIN_MS".into(),
+        "SAVE_MS".into(),
+        "SNAP_KB".into(),
+        "HYDRATE_MS".into(),
+        "SPEEDUP".into(),
+        "LOCALIZE_US".into(),
+    ]);
+    for m in &shard_rows {
+        table.add_row(vec![
+            m.key.to_string(),
+            format!("{:.1}", m.train_ms),
+            format!("{:.2}", m.save_ms),
+            format!("{:.1}", m.snapshot_bytes as f64 / 1024.0),
+            format!("{:.2}", m.hydrate_ms),
+            format!("{:.0}x", m.train_ms / m.hydrate_ms.max(1e-9)),
+            format!("{:.0}", m.resident_localize_us),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    let mut table = TextTable::new(vec![
+        "BUDGET".into(),
+        "SHARDS".into(),
+        "FIXES/SEC".into(),
+        "HYDRATIONS".into(),
+        "RETRAINS".into(),
+        "EVICTIONS".into(),
+    ]);
+    for t in &thrash_rows {
+        table.add_row(vec![
+            t.budget.to_string(),
+            t.shards.to_string(),
+            format!("{:.0}", t.fixes_per_sec),
+            t.hydrations.to_string(),
+            t.retrains.to_string(),
+            t.evictions.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    println!("{out}");
+
+    let shard_json: Vec<String> = shard_rows
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"shard\": \"{}\", \"train_ms\": {:.3}, \"save_ms\": {:.3}, \
+                 \"snapshot_bytes\": {}, \"hydrate_ms\": {:.3}, \
+                 \"hydrate_speedup\": {:.1}, \"resident_localize_us\": {:.1}}}",
+                m.key,
+                m.train_ms,
+                m.save_ms,
+                m.snapshot_bytes,
+                m.hydrate_ms,
+                m.train_ms / m.hydrate_ms.max(1e-9),
+                m.resident_localize_us
+            )
+        })
+        .collect();
+    let thrash_json: Vec<String> = thrash_rows
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"budget\": {}, \"shards\": {}, \"fixes_per_sec\": {:.1}, \
+                 \"hydrations\": {}, \"retrains\": {}, \"evictions\": {}}}",
+                t.budget, t.shards, t.fixes_per_sec, t.hydrations, t.retrains, t.evictions
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"model_store\",\n  \"shards\": [\n{}\n  ],\n  \
+         \"thrash\": [\n{}\n  ]\n}}\n",
+        shard_json.join(",\n"),
+        thrash_json.join(",\n")
+    );
+    write_artifact("BENCH_model_store.json", &json)?;
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    Ok(out)
+}

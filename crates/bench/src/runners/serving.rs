@@ -22,12 +22,13 @@
 //! `results/BENCH_serving.json`. [`Scale::Quick`] shrinks the sweep for
 //! CI smoke runs.
 
-use crate::config::uji_config;
+use crate::config::{imu_config, uji_config};
 use crate::runners::RunnerResult;
 use crate::{write_artifact, Scale};
+use noble::imu::{ImuNoble, ImuNobleConfig};
 use noble::report::TextTable;
 use noble::wifi::WifiNobleConfig;
-use noble_datasets::{uji_campaign, WifiSample};
+use noble_datasets::{uji_campaign, ImuDataset, ImuPathSample, WifiSample};
 use noble_serve::{
     BatchConfig, BatchServer, RegistryConfig, ShardKey, ShardPolicy, ShardStats, ShardedRegistry,
 };
@@ -294,6 +295,76 @@ pub fn run(scale: Scale) -> RunnerResult {
             speedup_at_reference = best_batched / single_rate.max(f64::MIN_POSITIVE);
         }
         drop(registry);
+    }
+
+    // --- Mixed WiFi+IMU traffic (ROADMAP "IMU serving path"): one IMU
+    // tracker shard rides the same BatchServer as the per-building WiFi
+    // shards; a quarter of the fix stream is IMU path features. ---
+    {
+        let imu_dataset = ImuDataset::generate(&imu_config(Scale::Quick))?;
+        let imu_cfg = ImuNobleConfig {
+            epochs: if scale == Scale::Quick { 6 } else { 20 },
+            ..ImuNobleConfig::small()
+        };
+        let imu_model = ImuNoble::train(&imu_dataset, &imu_cfg)?;
+        let imu_refs: Vec<&ImuPathSample> = imu_dataset.test.iter().collect();
+        let imu_features = imu_model.path_features(&imu_refs);
+        let imu_key = ShardKey::building(1000); // disjoint from campus buildings
+
+        let mut registry = ShardedRegistry::train_wifi(
+            &campaign,
+            &model_cfg,
+            &RegistryConfig::default(), // per-building WiFi shards
+        )?;
+        let wifi_shards = registry.len();
+        registry.insert(imu_key, Box::new(imu_model));
+
+        let wifi_features = campaign.features(&campaign.test);
+        let fixes: Vec<(ShardKey, Vec<f64>)> = (0..total_fixes)
+            .map(|i| {
+                if i % 4 == 3 {
+                    let j = i % imu_features.rows();
+                    (imu_key, imu_features.row(j).to_vec())
+                } else {
+                    let j = i % wifi_features.rows();
+                    (
+                        ShardPolicy::PerBuilding.key_of(&campaign.test[j]),
+                        wifi_features.row(j).to_vec(),
+                    )
+                }
+            })
+            .collect();
+
+        let pin = ThreadPin::pin_to_one();
+        let max_batch = *max_batches.last().unwrap_or(&256);
+        let budget_us = *budgets_us.last().unwrap_or(&200);
+        let mut best = 0.0f64;
+        let mut stats = Vec::new();
+        for _ in 0..reps {
+            let server = BatchServer::start(
+                registry,
+                BatchConfig {
+                    max_batch,
+                    latency_budget: Duration::from_micros(budget_us),
+                },
+            )?;
+            let rate = drive(&server, &fixes, clients, true)?;
+            let (s, recovered) = server.shutdown_with_registry();
+            registry = recovered;
+            if rate > best {
+                best = rate;
+                stats = s;
+            }
+        }
+        drop(pin);
+        measurements.push(Measurement {
+            mode: "mixed-wifi-imu",
+            shards: wifi_shards + 1,
+            max_batch,
+            budget_us,
+            fixes_per_sec: best,
+            shard_stats: stats,
+        });
     }
 
     let mut out = String::new();

@@ -13,6 +13,9 @@ pub enum NobleError {
     InvalidData(String),
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// A model snapshot was corrupt, truncated, version-skewed or
+    /// internally inconsistent.
+    BadSnapshot(String),
     /// Neural-network failure.
     Nn(NnError),
     /// Quantization failure.
@@ -30,6 +33,7 @@ impl fmt::Display for NobleError {
         match self {
             NobleError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
             NobleError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NobleError::BadSnapshot(msg) => write!(f, "bad snapshot: {msg}"),
             NobleError::Nn(e) => write!(f, "network failure: {e}"),
             NobleError::Quantize(e) => write!(f, "quantization failure: {e}"),
             NobleError::Manifold(e) => write!(f, "manifold failure: {e}"),

@@ -16,6 +16,8 @@
 
 pub mod baselines;
 
+mod snapshot;
+
 use crate::eval::{position_error_summary, StructureReport};
 use crate::NobleError;
 use noble_datasets::{ImuDataset, ImuPathSample, SEGMENT_FEATURE_DIM};
@@ -30,6 +32,10 @@ use rand::SeedableRng;
 /// Per-segment input width: the dataset features plus a validity flag for
 /// padded slots.
 pub const SEGMENT_INPUT_DIM: usize = SEGMENT_FEATURE_DIM + 1;
+
+/// Snapshot kind tag of [`ImuNoble`] (also its
+/// [`crate::LocalizerInfo::model`] label).
+pub const IMU_NOBLE_KIND: &str = "imu-noble";
 
 /// Configuration of the NObLe IMU tracker.
 #[derive(Debug, Clone)]
@@ -457,11 +463,15 @@ impl ImuNoble {
 impl crate::Localizer for ImuNoble {
     fn info(&self) -> crate::LocalizerInfo {
         crate::LocalizerInfo {
-            model: "imu-noble",
+            model: IMU_NOBLE_KIND,
             site: "default".into(),
             feature_dim: self.path_feature_dim(),
             class_count: self.class_count(),
         }
+    }
+
+    fn try_snapshot(&self) -> Option<crate::ModelSnapshot> {
+        Some(crate::SnapshotLocalizer::snapshot(self))
     }
 
     /// Localizes rows in the [`ImuNoble::path_features`] layout. The

@@ -26,7 +26,11 @@
 //! [`localizer`] defines the model-agnostic serving interface: every
 //! trained model (NObLe WiFi/IMU and the baselines) implements
 //! [`Localizer`], which is what the `noble-serve` sharded registry and
-//! micro-batching server route requests into.
+//! micro-batching server route requests into. [`snapshot`] adds the
+//! model-lifecycle half of that seam: [`SnapshotLocalizer`] serializes
+//! a trained model into a versioned [`ModelSnapshot`] and [`hydrate`]
+//! rebuilds a bit-identical localizer from one, which is what the
+//! serving layer's model store and evicting catalog are built on.
 //!
 //! # Quickstart
 //!
@@ -44,9 +48,11 @@ pub mod eval;
 pub mod imu;
 pub mod localizer;
 pub mod report;
+pub mod snapshot;
 pub mod wifi;
 
 mod error;
 
 pub use error::NobleError;
 pub use localizer::{Localizer, LocalizerInfo};
+pub use snapshot::{hydrate, ModelSnapshot, SnapshotLocalizer};

@@ -79,6 +79,16 @@ pub trait Localizer: Send {
             Matrix::from_rows(rows).map_err(|e| NobleError::InvalidData(e.to_string()))?;
         self.localize_batch(&features)
     }
+
+    /// Dynamic probe of the snapshot capability: `Some` when the model
+    /// implements [`crate::SnapshotLocalizer`] (serialization +
+    /// bit-identical [`crate::hydrate`]), `None` for research-only models
+    /// that only live in memory. The model-lifecycle layer (stores,
+    /// catalogs) uses this to decide whether a resident model can be
+    /// safely evicted and later reloaded.
+    fn try_snapshot(&self) -> Option<crate::ModelSnapshot> {
+        None
+    }
 }
 
 impl<L: Localizer + ?Sized> Localizer for Box<L> {
@@ -92,6 +102,10 @@ impl<L: Localizer + ?Sized> Localizer for Box<L> {
 
     fn localize_rows(&mut self, rows: &[Vec<f64>]) -> Result<Vec<Point>, NobleError> {
         (**self).localize_rows(rows)
+    }
+
+    fn try_snapshot(&self) -> Option<crate::ModelSnapshot> {
+        (**self).try_snapshot()
     }
 }
 

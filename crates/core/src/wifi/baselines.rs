@@ -416,12 +416,12 @@ impl ManifoldRegression {
 /// online-phase matcher). Non-neural reference point.
 #[derive(Debug)]
 pub struct KnnFingerprint {
-    tree: KdTree,
-    positions: Vec<Point>,
-    buildings: Vec<usize>,
-    floors: Vec<usize>,
-    k: usize,
-    feature_dim: usize,
+    pub(super) tree: KdTree,
+    pub(super) positions: Vec<Point>,
+    pub(super) buildings: Vec<usize>,
+    pub(super) floors: Vec<usize>,
+    pub(super) k: usize,
+    pub(super) feature_dim: usize,
 }
 
 impl KnnFingerprint {

@@ -4,15 +4,16 @@
 
 use super::baselines::{DeepRegression, KnnFingerprint, ManifoldRegression};
 use super::model::WifiNoble;
+use super::{KNN_FINGERPRINT_KIND, WIFI_NOBLE_KIND};
 use crate::localizer::{check_feature_dim, Localizer, LocalizerInfo};
-use crate::NobleError;
+use crate::{ModelSnapshot, NobleError, SnapshotLocalizer};
 use noble_geo::Point;
 use noble_linalg::Matrix;
 
 impl Localizer for WifiNoble {
     fn info(&self) -> LocalizerInfo {
         LocalizerInfo {
-            model: "wifi-noble",
+            model: WIFI_NOBLE_KIND,
             site: "default".into(),
             feature_dim: self.feature_dim(),
             class_count: self.class_count(),
@@ -20,12 +21,16 @@ impl Localizer for WifiNoble {
     }
 
     fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
-        check_feature_dim("wifi-noble", self.feature_dim(), features)?;
+        check_feature_dim(WIFI_NOBLE_KIND, self.feature_dim(), features)?;
         Ok(self
             .predict(features)?
             .into_iter()
             .map(|p| p.position)
             .collect())
+    }
+
+    fn try_snapshot(&self) -> Option<ModelSnapshot> {
+        Some(SnapshotLocalizer::snapshot(self))
     }
 }
 
@@ -64,7 +69,7 @@ impl Localizer for ManifoldRegression {
 impl Localizer for KnnFingerprint {
     fn info(&self) -> LocalizerInfo {
         LocalizerInfo {
-            model: "knn-fingerprint",
+            model: KNN_FINGERPRINT_KIND,
             site: "default".into(),
             feature_dim: self.feature_dim(),
             class_count: 0,
@@ -72,9 +77,13 @@ impl Localizer for KnnFingerprint {
     }
 
     fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
-        check_feature_dim("knn-fingerprint", self.feature_dim(), features)?;
+        check_feature_dim(KNN_FINGERPRINT_KIND, self.feature_dim(), features)?;
         Ok((0..features.rows())
             .map(|i| self.predict_one(features.row(i)).0)
             .collect())
+    }
+
+    fn try_snapshot(&self) -> Option<ModelSnapshot> {
+        Some(SnapshotLocalizer::snapshot(self))
     }
 }

@@ -25,8 +25,17 @@ pub mod tracking;
 mod decode;
 mod localize;
 mod model;
+mod snapshot;
 
+pub use baselines::KnnFingerprint;
 pub use model::{WifiEvalReport, WifiNoble, WifiNobleConfig, WifiPrediction};
+
+/// Snapshot kind tag of [`WifiNoble`] (also its
+/// [`crate::LocalizerInfo::model`] label).
+pub const WIFI_NOBLE_KIND: &str = "wifi-noble";
+
+/// Snapshot kind tag of [`baselines::KnnFingerprint`].
+pub const KNN_FINGERPRINT_KIND: &str = "knn-fingerprint";
 
 #[cfg(test)]
 mod tests {

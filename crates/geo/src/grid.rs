@@ -53,6 +53,49 @@ impl Grid {
         })
     }
 
+    /// Reassembles a grid from its raw fields (`origin`, `cell_size`,
+    /// `cols`, `rows`) as read back from [`Grid::origin`] and friends —
+    /// the deserialization path. Unlike [`Grid::cover`] no rounding is
+    /// applied, so a round-trip reproduces the original grid exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidGrid`] for a non-positive or non-finite
+    /// `cell_size`, a non-finite origin, or zero `cols`/`rows`.
+    pub fn from_parts(
+        origin: Point,
+        cell_size: f64,
+        cols: usize,
+        rows: usize,
+    ) -> Result<Self, GeoError> {
+        if cell_size <= 0.0 || !cell_size.is_finite() {
+            return Err(GeoError::InvalidGrid(format!(
+                "cell size {cell_size} must be positive"
+            )));
+        }
+        if !(origin.x.is_finite() && origin.y.is_finite()) {
+            return Err(GeoError::InvalidGrid("non-finite origin".into()));
+        }
+        if cols == 0 || rows == 0 {
+            return Err(GeoError::InvalidGrid(format!(
+                "degenerate grid {cols}x{rows}"
+            )));
+        }
+        // Deserialized dimensions are untrusted; a product that overflows
+        // usize would make cell_count()/flat_index() panic downstream.
+        if cols.checked_mul(rows).is_none() {
+            return Err(GeoError::InvalidGrid(format!(
+                "grid {cols}x{rows} overflows the cell index space"
+            )));
+        }
+        Ok(Grid {
+            origin,
+            cell_size,
+            cols,
+            rows,
+        })
+    }
+
     /// Cell side length.
     pub fn cell_size(&self) -> f64 {
         self.cell_size

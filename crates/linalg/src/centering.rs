@@ -5,9 +5,22 @@
 //! `B = -1/2 * J D2 J` with `J = I - (1/n) 1 1^T`, whose top eigenvectors give
 //! the embedding.
 
+use crate::threads::{num_threads, parallel_chunks_mut, parallel_map_ranges};
 use crate::{LinalgError, Matrix};
 
+/// Row/column count above which the `O(n^2)` centering passes fan out
+/// over scoped threads (small matrices stay serial; this was the last
+/// serial hotspot in the manifold baselines' Gram assembly).
+const PARALLEL_CENTER_MIN_ROWS: usize = 64;
+
 /// Applies double centering to a square matrix: `B = -1/2 * J A J`.
+///
+/// Above a small size threshold the three `O(n^2)` passes (row means,
+/// column means, output assembly) run on scoped worker threads. Every
+/// entry of the result is bit-identical to the serial path regardless of
+/// thread count: row means are summed within one worker per row, column
+/// means within one worker per column (serial row order), and each
+/// output entry is a pure function of those means.
 ///
 /// # Errors
 ///
@@ -21,26 +34,71 @@ pub fn double_center(a: &Matrix) -> Result<Matrix, LinalgError> {
     if n == 0 {
         return Err(LinalgError::Empty);
     }
-    let row_means: Vec<f64> = (0..n)
-        .map(|i| a.row(i).iter().sum::<f64>() / n as f64)
-        .collect();
-    let col_means: Vec<f64> = (0..n)
-        .map(|j| (0..n).map(|i| a[(i, j)]).sum::<f64>() / n as f64)
-        .collect();
+    let threads = if n >= PARALLEL_CENTER_MIN_ROWS {
+        num_threads()
+    } else {
+        1
+    };
+    // Each row's mean is computed wholly inside one worker, left to
+    // right — the same association as the serial loop.
+    let row_means: Vec<f64> = parallel_map_ranges(n, threads, |range| {
+        range
+            .map(|i| a.row(i).iter().sum::<f64>() / n as f64)
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    // Column ranges per worker; within a column the rows are scanned in
+    // serial order, so the sum association never changes. The strided
+    // reads cost cache locality but keep the pass bit-stable.
+    let col_means: Vec<f64> = parallel_map_ranges(n, threads, |range| {
+        range
+            .map(|j| (0..n).map(|i| a[(i, j)]).sum::<f64>() / n as f64)
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let grand = row_means.iter().sum::<f64>() / n as f64;
-    Ok(Matrix::from_fn(n, n, |i, j| {
-        -0.5 * (a[(i, j)] - row_means[i] - col_means[j] + grand)
-    }))
+    let mut out = Matrix::zeros(n, n);
+    parallel_chunks_mut(out.as_mut_slice(), n, threads, |i, row| {
+        let a_row = a.row(i);
+        let rm = row_means[i];
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = -0.5 * (a_row[j] - rm - col_means[j] + grand);
+        }
+    });
+    Ok(out)
 }
 
 /// Converts a matrix of *plain* (not squared) pairwise distances into the
-/// double-centered Gram matrix used by classical MDS.
+/// double-centered Gram matrix used by classical MDS. The squaring pass
+/// parallelizes with the centering passes (entries are independent, so
+/// the result is bit-identical at any thread count).
 ///
 /// # Errors
 ///
 /// Propagates [`double_center`] failures.
 pub fn gram_from_distances(d: &Matrix) -> Result<Matrix, LinalgError> {
-    let squared = d.map(|v| v * v);
+    let n = d.rows();
+    let threads = if n >= PARALLEL_CENTER_MIN_ROWS {
+        num_threads()
+    } else {
+        1
+    };
+    let mut squared = Matrix::zeros(n, d.cols());
+    parallel_chunks_mut(
+        squared.as_mut_slice(),
+        d.cols().max(1),
+        threads,
+        |i, row| {
+            let src = d.row(i);
+            for (slot, &v) in row.iter_mut().zip(src) {
+                *slot = v * v;
+            }
+        },
+    );
     double_center(&squared)
 }
 
@@ -86,6 +144,44 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         assert!(double_center(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn parallel_centering_bit_identical_to_serial() {
+        let _guard = crate::threads::TEST_THREAD_LOCK.lock().unwrap();
+        // Big enough to cross PARALLEL_CENTER_MIN_ROWS, asymmetric values
+        // so row means != col means.
+        let n = 96;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17) % 101) as f64 / 9.0 - (i as f64) / 50.0
+        });
+        // Literal serial reference (the pre-parallel formula).
+        let row_means: Vec<f64> = (0..n)
+            .map(|i| a.row(i).iter().sum::<f64>() / n as f64)
+            .collect();
+        let col_means: Vec<f64> = (0..n)
+            .map(|j| (0..n).map(|i| a[(i, j)]).sum::<f64>() / n as f64)
+            .collect();
+        let grand = row_means.iter().sum::<f64>() / n as f64;
+        let reference = Matrix::from_fn(n, n, |i, j| {
+            -0.5 * (a[(i, j)] - row_means[i] - col_means[j] + grand)
+        });
+        for threads in [1, 2, 4] {
+            crate::threads::set_num_threads(threads);
+            let got = double_center(&a).unwrap();
+            assert_eq!(
+                got, reference,
+                "double_center diverged at threads={threads}"
+            );
+            let gram = gram_from_distances(&a).unwrap();
+            crate::threads::set_num_threads(1);
+            let gram_serial = gram_from_distances(&a).unwrap();
+            assert_eq!(
+                gram, gram_serial,
+                "gram_from_distances diverged at threads={threads}"
+            );
+        }
+        crate::threads::set_num_threads(0);
     }
 
     #[test]

@@ -104,6 +104,14 @@ impl KdTree {
         tree
     }
 
+    /// The indexed points, row `i` being the point queries report as
+    /// index `i`. [`KdTree::build`] is deterministic, so serializing this
+    /// matrix and rebuilding reproduces the tree (and its query results)
+    /// exactly.
+    pub fn points(&self) -> &Matrix {
+        &self.points
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.points.rows()

@@ -169,6 +169,42 @@ impl BatchNorm {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
     }
+
+    /// Immutable view of the parameter tensors (gamma, beta), for
+    /// serialization.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    /// The running inference statistics `(mean, variance)`.
+    ///
+    /// These are *state*, not trainable parameters, but inference-mode
+    /// forward passes depend on them — a serialized model must carry them
+    /// to reproduce its outputs bit-exactly.
+    pub fn running_stats(&self) -> (&[f64], &[f64]) {
+        (&self.running_mean, &self.running_var)
+    }
+
+    /// Overwrites the running inference statistics (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when either slice's length is not
+    /// the layer dimension.
+    pub fn set_running_stats(&mut self, mean: &[f64], var: &[f64]) -> Result<(), NnError> {
+        for s in [mean, var] {
+            if s.len() != self.dim() {
+                return Err(NnError::ShapeMismatch {
+                    context: "batchnorm running stats",
+                    expected: self.dim(),
+                    found: s.len(),
+                });
+            }
+        }
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -133,6 +133,12 @@ impl Dense {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weights, &mut self.bias]
     }
+
+    /// Immutable view of the parameter tensors (weights, bias), for
+    /// serialization.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.weights, &self.bias]
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,7 @@ pub use init::{he_uniform, xavier_normal, xavier_uniform};
 pub use layer::Dense;
 pub use loss::{BceWithLogitsLoss, Loss, MseLoss, SoftmaxCrossEntropyLoss};
 pub use metrics::{accuracy, confusion_counts, one_hot, softmax_row};
-pub use network::{Mlp, MlpBuilder};
+pub use network::{Mlp, MlpBuilder, MlpLayerSpec};
 pub use optimizer::Optimizer;
 pub use param::Param;
 pub use seed::derive_seed;

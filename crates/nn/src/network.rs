@@ -37,6 +37,28 @@ pub struct Mlp {
     out_dim: usize,
 }
 
+/// Architecture description of one [`Mlp`] stage, introspectable via
+/// [`Mlp::layer_specs`] and replayable via [`Mlp::from_specs`] — the
+/// structural half of model serialization (parameter values travel via
+/// [`crate::save_parameters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlpLayerSpec {
+    /// A dense layer `(in_dim, out_dim)`.
+    Dense {
+        /// Input width.
+        in_dim: usize,
+        /// Output width.
+        out_dim: usize,
+    },
+    /// A batch-norm stage over `dim` features.
+    BatchNorm {
+        /// Feature width.
+        dim: usize,
+    },
+    /// An element-wise activation.
+    Activation(Activation),
+}
+
 /// Builder for [`Mlp`] (see [`Mlp::builder`]).
 #[derive(Debug)]
 pub struct MlpBuilder {
@@ -312,6 +334,122 @@ impl Mlp {
             }
         }
         out
+    }
+
+    /// Immutable view of every trainable parameter tensor, in the same
+    /// order as [`Mlp::params_mut`] (serialization must not require
+    /// exclusive access).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Dense(d) => out.extend(d.params()),
+                Layer::BatchNorm(b) => out.extend(b.params()),
+                Layer::Activation(..) => {}
+            }
+        }
+        out
+    }
+
+    /// Running batch-norm statistics in layer order, flattened as
+    /// `(mean, var)` pairs. Inference output depends on these, so a
+    /// serialized model must carry them alongside its parameters.
+    pub fn running_stats(&self) -> Vec<(&[f64], &[f64])> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                Layer::BatchNorm(b) => Some(b.running_stats()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Overwrites the running batch-norm statistics (deserialization);
+    /// `stats` pairs up with [`Mlp::running_stats`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the pair count differs from
+    /// the network's batch-norm stage count, and propagates length
+    /// mismatches from the stages.
+    pub fn set_running_stats(&mut self, stats: &[(Vec<f64>, Vec<f64>)]) -> Result<(), NnError> {
+        let bn_layers: Vec<&mut BatchNorm> = self
+            .layers
+            .iter_mut()
+            .filter_map(|l| match l {
+                Layer::BatchNorm(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        if bn_layers.len() != stats.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "blob carries {} batch-norm stat pairs, network has {} batch-norm stages",
+                stats.len(),
+                bn_layers.len()
+            )));
+        }
+        for (b, (mean, var)) in bn_layers.into_iter().zip(stats) {
+            b.set_running_stats(mean, var)?;
+        }
+        Ok(())
+    }
+
+    /// The architecture as a replayable spec sequence (see
+    /// [`MlpLayerSpec`]).
+    pub fn layer_specs(&self) -> Vec<MlpLayerSpec> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => MlpLayerSpec::Dense {
+                    in_dim: d.in_dim(),
+                    out_dim: d.out_dim(),
+                },
+                Layer::BatchNorm(b) => MlpLayerSpec::BatchNorm { dim: b.dim() },
+                Layer::Activation(a, _) => MlpLayerSpec::Activation(*a),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a network from [`Mlp::layer_specs`] output. Weights are
+    /// freshly initialized (seed 0) — callers restoring a serialized model
+    /// overwrite them with [`crate::load_parameters`] immediately after.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when consecutive specs disagree
+    /// on widths (e.g. a dense layer whose `in_dim` is not the running
+    /// width).
+    pub fn from_specs(in_dim: usize, specs: &[MlpLayerSpec]) -> Result<Mlp, NnError> {
+        let mut builder = Mlp::builder(in_dim, 0);
+        let mut width = in_dim;
+        for spec in specs {
+            match *spec {
+                MlpLayerSpec::Dense {
+                    in_dim: d_in,
+                    out_dim,
+                } => {
+                    if d_in != width {
+                        return Err(NnError::InvalidConfig(format!(
+                            "dense spec expects input width {d_in}, running width is {width}"
+                        )));
+                    }
+                    builder = builder.dense(out_dim);
+                    width = out_dim;
+                }
+                MlpLayerSpec::BatchNorm { dim } => {
+                    if dim != width {
+                        return Err(NnError::InvalidConfig(format!(
+                            "batch-norm spec expects width {dim}, running width is {width}"
+                        )));
+                    }
+                    builder = builder.batch_norm();
+                }
+                MlpLayerSpec::Activation(a) => {
+                    builder = builder.activation(a);
+                }
+            }
+        }
+        Ok(builder.build())
     }
 
     /// Gradient L2 norm across all parameters (diagnostics, divergence

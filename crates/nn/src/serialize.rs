@@ -2,21 +2,31 @@
 //!
 //! On-device deployment (the paper's whole premise) ships trained weights
 //! to the edge; this module provides a dependency-free, versioned binary
-//! format for any [`Mlp`]'s parameters. Only parameter *values* travel —
-//! optimizer state and caches stay behind.
+//! format for any [`Mlp`]'s parameters. Only values needed to reproduce
+//! inference travel — optimizer state and training caches stay behind.
 //!
-//! Format: magic `NOBL`, format version u32, tensor count u32, then per
-//! tensor: rows u32, cols u32, row-major f64 little-endian payload.
+//! Format (version 2): magic `NOBL`, format version u32, tensor count
+//! u32, then per tensor: rows u32, cols u32, row-major f64 little-endian
+//! payload; then a running-statistics section: stat-vector count u32,
+//! then per vector: len u32, f64 payload. The stat vectors are each
+//! batch-norm stage's running mean and variance in layer order — without
+//! them an inference pass through a restored network would not be
+//! bit-identical to the saved one. Version 1 (no statistics section) is
+//! no longer readable; loading it is a typed error, never a panic.
 
 use crate::{Mlp, NnError};
 
 const MAGIC: &[u8; 4] = b"NOBL";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// Serializes every trainable parameter of `mlp` into a byte buffer.
-pub fn save_parameters(mlp: &mut Mlp) -> Vec<u8> {
-    let params = mlp.params_mut();
-    let mut out = Vec::with_capacity(16 + params.iter().map(|p| 8 + p.len() * 8).sum::<usize>());
+/// Serializes every trainable parameter of `mlp`, plus its batch-norm
+/// running statistics, into a byte buffer.
+pub fn save_parameters(mlp: &Mlp) -> Vec<u8> {
+    let params = mlp.params();
+    let stats = mlp.running_stats();
+    let tensor_bytes: usize = params.iter().map(|p| 8 + p.len() * 8).sum();
+    let stat_bytes: usize = stats.iter().map(|(m, v)| 8 + (m.len() + v.len()) * 8).sum();
+    let mut out = Vec::with_capacity(16 + tensor_bytes + 4 + stat_bytes);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(params.len() as u32).to_le_bytes());
@@ -28,17 +38,27 @@ pub fn save_parameters(mlp: &mut Mlp) -> Vec<u8> {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+    out.extend_from_slice(&(2 * stats.len() as u32).to_le_bytes());
+    for (mean, var) in stats {
+        for vector in [mean, var] {
+            out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+            for v in vector {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
     out
 }
 
-/// Restores parameters previously produced by [`save_parameters`] into a
-/// *structurally identical* network (same builder calls).
+/// Restores parameters and running statistics previously produced by
+/// [`save_parameters`] into a *structurally identical* network (same
+/// builder calls, or [`Mlp::from_specs`] on the saved architecture).
 ///
 /// # Errors
 ///
-/// Returns [`NnError::InvalidConfig`] when the buffer is malformed, the
-/// version is unsupported, or tensor shapes do not match the target
-/// network.
+/// Returns [`NnError::InvalidConfig`] when the buffer is malformed or
+/// truncated, the version is unsupported, or tensor shapes do not match
+/// the target network.
 pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.take(4)?;
@@ -50,31 +70,58 @@ pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
     let version = cursor.u32()?;
     if version != VERSION {
         return Err(NnError::InvalidConfig(format!(
-            "unsupported parameter format version {version}"
+            "unsupported parameter format version {version} (this build reads {VERSION})"
         )));
     }
     let count = cursor.u32()? as usize;
-    let mut params = mlp.params_mut();
-    if count != params.len() {
-        return Err(NnError::InvalidConfig(format!(
-            "blob has {count} tensors, network has {}",
-            params.len()
-        )));
-    }
-    for p in params.iter_mut() {
-        let rows = cursor.u32()? as usize;
-        let cols = cursor.u32()? as usize;
-        if (rows, cols) != p.value.shape() {
+    {
+        let mut params = mlp.params_mut();
+        if count != params.len() {
             return Err(NnError::InvalidConfig(format!(
-                "tensor shape {rows}x{cols} does not match network tensor {}x{}",
-                p.value.shape().0,
-                p.value.shape().1
+                "blob has {count} tensors, network has {}",
+                params.len()
             )));
         }
-        for v in p.value.as_mut_slice() {
-            *v = cursor.f64()?;
+        for p in params.iter_mut() {
+            let rows = cursor.u32()? as usize;
+            let cols = cursor.u32()? as usize;
+            if (rows, cols) != p.value.shape() {
+                return Err(NnError::InvalidConfig(format!(
+                    "tensor shape {rows}x{cols} does not match network tensor {}x{}",
+                    p.value.shape().0,
+                    p.value.shape().1
+                )));
+            }
+            for v in p.value.as_mut_slice() {
+                *v = cursor.f64()?;
+            }
         }
     }
+    // Every vector needs at least a 4-byte length prefix; bounding the
+    // counts against the remaining bytes keeps a corrupt length field
+    // from demanding a huge allocation before any payload is read.
+    let stat_count = cursor.checked_len(4)?;
+    if !stat_count.is_multiple_of(2) {
+        return Err(NnError::InvalidConfig(format!(
+            "running-statistics section has odd vector count {stat_count}"
+        )));
+    }
+    let mut stats = Vec::with_capacity(stat_count / 2);
+    for _ in 0..stat_count / 2 {
+        let mut pair = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let len = cursor.checked_len(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(cursor.f64()?);
+            }
+            pair.push(v);
+        }
+        let var = pair.pop().expect("two vectors pushed");
+        let mean = pair.pop().expect("two vectors pushed");
+        stats.push((mean, var));
+    }
+    mlp.set_running_stats(&stats)?;
     if cursor.pos != bytes.len() {
         return Err(NnError::InvalidConfig(format!(
             "{} trailing bytes after parameters",
@@ -104,6 +151,19 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    /// Reads a count that prefixes `unit`-byte elements, rejecting values
+    /// the remaining buffer cannot possibly hold (allocation guard).
+    fn checked_len(&mut self, unit: usize) -> Result<usize, NnError> {
+        let n = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if n.checked_mul(unit).is_none_or(|bytes| bytes > remaining) {
+            return Err(NnError::InvalidConfig(format!(
+                "corrupt length {n}: exceeds {remaining} remaining blob bytes"
+            )));
+        }
+        Ok(n)
+    }
+
     fn f64(&mut self) -> Result<f64, NnError> {
         let b = self.take(8)?;
         Ok(f64::from_le_bytes([
@@ -130,7 +190,11 @@ mod tests {
     #[test]
     fn round_trip_preserves_outputs() {
         let mut a = network(1);
-        let blob = save_parameters(&mut a);
+        // Drive the running stats away from init so the round-trip result
+        // depends on them being carried.
+        let warm = Matrix::from_fn(16, 3, |i, j| ((i * 3 + j) % 7) as f64 / 3.0 - 1.0);
+        a.forward(&warm, true).unwrap();
+        let blob = save_parameters(&a);
         let mut b = network(99); // different init
         load_parameters(&mut b, &blob).unwrap();
         let x = Matrix::from_rows(&[vec![0.4, -1.0, 2.0]]).unwrap();
@@ -140,9 +204,24 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_through_specs_preserves_outputs() {
+        let mut a = network(7);
+        let warm = Matrix::from_fn(8, 3, |i, j| (i as f64 - j as f64) / 4.0);
+        a.forward(&warm, true).unwrap();
+        let blob = save_parameters(&a);
+        let mut b = Mlp::from_specs(a.in_dim(), &a.layer_specs()).unwrap();
+        load_parameters(&mut b, &blob).unwrap();
+        let x = Matrix::from_rows(&[vec![1.5, -0.25, 0.75]]).unwrap();
+        assert_eq!(
+            a.predict(&x).unwrap().as_slice(),
+            b.predict(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
     fn rejects_bad_magic_and_truncation() {
-        let mut a = network(1);
-        let mut blob = save_parameters(&mut a);
+        let a = network(1);
+        let mut blob = save_parameters(&a);
         let mut bad = blob.clone();
         bad[0] = b'X';
         assert!(load_parameters(&mut network(2), &bad).is_err());
@@ -152,8 +231,8 @@ mod tests {
 
     #[test]
     fn rejects_structural_mismatch() {
-        let mut a = network(1);
-        let blob = save_parameters(&mut a);
+        let a = network(1);
+        let blob = save_parameters(&a);
         let mut wider = Mlp::builder(3, 0)
             .dense(6)
             .batch_norm()
@@ -167,20 +246,24 @@ mod tests {
 
     #[test]
     fn rejects_trailing_bytes_and_bad_version() {
-        let mut a = network(1);
-        let mut blob = save_parameters(&mut a);
+        let a = network(1);
+        let mut blob = save_parameters(&a);
         blob.push(0);
         assert!(load_parameters(&mut network(2), &blob).is_err());
-        let mut blob = save_parameters(&mut a);
+        let mut blob = save_parameters(&a);
         blob[4] = 9; // version
+        let err = load_parameters(&mut network(2), &blob).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // Version 1 blobs (no statistics section) are also a typed error.
+        blob[4] = 1;
         assert!(load_parameters(&mut network(2), &blob).is_err());
     }
 
     #[test]
     fn blob_size_is_deterministic() {
-        let mut a = network(1);
-        let b1 = save_parameters(&mut a);
-        let b2 = save_parameters(&mut a);
+        let a = network(1);
+        let b1 = save_parameters(&a);
+        let b2 = save_parameters(&a);
         assert_eq!(b1, b2);
     }
 }

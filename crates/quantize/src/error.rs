@@ -24,6 +24,8 @@ pub enum QuantizeError {
     /// Invalid resolution parameters (e.g. coarse side not larger than
     /// fine side).
     InvalidResolution(String),
+    /// Inconsistent raw parts handed to a deserializing constructor.
+    BadParts(String),
     /// An underlying geometry failure.
     Geo(GeoError),
 }
@@ -39,6 +41,7 @@ impl fmt::Display for QuantizeError {
                 write!(f, "point ({x}, {y}) outside the fitted grid")
             }
             QuantizeError::InvalidResolution(msg) => write!(f, "invalid resolution: {msg}"),
+            QuantizeError::BadParts(msg) => write!(f, "inconsistent quantizer parts: {msg}"),
             QuantizeError::Geo(e) => write!(f, "geometry failure: {e}"),
         }
     }

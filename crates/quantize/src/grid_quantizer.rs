@@ -115,6 +115,82 @@ impl GridQuantizer {
         })
     }
 
+    /// Reassembles a fitted quantizer from its raw parts (the
+    /// deserialization path): the grid, decode policy, per-class cell
+    /// indices ([`GridQuantizer::class_cells`]), decode centroids and
+    /// training-sample counts. The cell→class map is rebuilt, so a
+    /// round-trip through the accessors reproduces the original quantizer
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::BadParts`] when the three per-class vectors
+    /// disagree in length, a cell index is out of grid range, a cell is
+    /// claimed by two classes, or any count is zero.
+    pub fn from_parts(
+        grid: Grid,
+        policy: DecodePolicy,
+        class_to_cell: Vec<usize>,
+        centroids: Vec<Point>,
+        counts: Vec<usize>,
+    ) -> Result<Self, QuantizeError> {
+        if class_to_cell.len() != centroids.len() || class_to_cell.len() != counts.len() {
+            return Err(QuantizeError::BadParts(format!(
+                "class vectors disagree: {} cells, {} centroids, {} counts",
+                class_to_cell.len(),
+                centroids.len(),
+                counts.len()
+            )));
+        }
+        if class_to_cell.is_empty() {
+            return Err(QuantizeError::NoSamples);
+        }
+        let mut cell_to_class = HashMap::with_capacity(class_to_cell.len());
+        for (class, &flat) in class_to_cell.iter().enumerate() {
+            if flat >= grid.cell_count() {
+                return Err(QuantizeError::BadParts(format!(
+                    "class {class} names cell {flat}, grid has {} cells",
+                    grid.cell_count()
+                )));
+            }
+            if cell_to_class.insert(flat, class).is_some() {
+                return Err(QuantizeError::BadParts(format!(
+                    "cell {flat} is claimed by two classes"
+                )));
+            }
+        }
+        if let Some(class) = counts.iter().position(|&c| c == 0) {
+            return Err(QuantizeError::BadParts(format!(
+                "class {class} has zero training samples"
+            )));
+        }
+        Ok(GridQuantizer {
+            grid,
+            policy,
+            cell_to_class,
+            class_to_cell,
+            centroids,
+            counts,
+        })
+    }
+
+    /// Flat grid-cell index of every class, in class order (the inverse of
+    /// the cell→class map; serialization reads this, [`GridQuantizer::from_parts`]
+    /// consumes it).
+    pub fn class_cells(&self) -> &[usize] {
+        &self.class_to_cell
+    }
+
+    /// Decode centroid of every class, in class order.
+    pub fn centroids(&self) -> &[Point] {
+        &self.centroids
+    }
+
+    /// Training-sample count of every class, in class order.
+    pub fn class_counts(&self) -> &[usize] {
+        &self.counts
+    }
+
     /// Cell side length `τ`.
     pub fn tau(&self) -> f64 {
         self.grid.cell_size()
@@ -347,6 +423,76 @@ mod tests {
         assert!(fine.num_classes() > coarse.num_classes());
         let probe = Point::new(2.3, 2.7);
         assert!(fine.decode_error(probe) <= coarse.decode_error(probe));
+    }
+
+    #[test]
+    fn from_parts_round_trip_is_exact() {
+        let samples = cluster_samples();
+        let q = GridQuantizer::fit(&samples, 1.0, DecodePolicy::SampleMean).unwrap();
+        let rebuilt = GridQuantizer::from_parts(
+            q.grid().clone(),
+            q.policy(),
+            q.class_cells().to_vec(),
+            q.centroids().to_vec(),
+            q.class_counts().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.num_classes(), q.num_classes());
+        for p in &samples {
+            assert_eq!(rebuilt.quantize(*p), q.quantize(*p));
+            let c = rebuilt.quantize_nearest(*p);
+            assert_eq!(c, q.quantize_nearest(*p));
+            assert_eq!(rebuilt.decode(c).unwrap(), q.decode(c).unwrap());
+            assert_eq!(rebuilt.class_count(c).unwrap(), q.class_count(c).unwrap());
+        }
+        // Off-grid probes hit the same nearest class too.
+        let probe = Point::new(42.0, -3.0);
+        assert_eq!(rebuilt.quantize_nearest(probe), q.quantize_nearest(probe));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        let q = GridQuantizer::fit(&cluster_samples(), 1.0, DecodePolicy::SampleMean).unwrap();
+        let grid = q.grid().clone();
+        let cells = q.class_cells().to_vec();
+        let cents = q.centroids().to_vec();
+        let counts = q.class_counts().to_vec();
+        // Length mismatch.
+        assert!(matches!(
+            GridQuantizer::from_parts(
+                grid.clone(),
+                q.policy(),
+                cells[..cells.len() - 1].to_vec(),
+                cents.clone(),
+                counts.clone()
+            ),
+            Err(QuantizeError::BadParts(_))
+        ));
+        // Out-of-range cell.
+        let mut bad_cells = cells.clone();
+        bad_cells[0] = grid.cell_count() + 5;
+        assert!(GridQuantizer::from_parts(
+            grid.clone(),
+            q.policy(),
+            bad_cells,
+            cents.clone(),
+            counts.clone()
+        )
+        .is_err());
+        // Duplicate cell.
+        let mut dup_cells = cells.clone();
+        dup_cells[1] = dup_cells[0];
+        assert!(GridQuantizer::from_parts(
+            grid.clone(),
+            q.policy(),
+            dup_cells,
+            cents.clone(),
+            counts
+        )
+        .is_err());
+        // Zero count.
+        let zero_counts = vec![0; cells.len()];
+        assert!(GridQuantizer::from_parts(grid, q.policy(), cells, cents, zero_counts).is_err());
     }
 
     #[test]

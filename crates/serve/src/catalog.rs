@@ -1,0 +1,595 @@
+//! The capacity-bounded model catalog: the resident tier of the serving
+//! model lifecycle.
+//!
+//! A [`ModelCatalog`] answers every shard's requests while keeping only a
+//! budgeted subset of models in memory:
+//!
+//! - **resident tier** — live [`Localizer`]s, LRU-tracked, bounded by a
+//!   [`CatalogBudget`] (model count or estimated snapshot bytes);
+//! - **store tier** — a pluggable [`ModelStore`] of serialized
+//!   [`ModelSnapshot`]s; cold shards hydrate from here
+//!   ([`noble::hydrate`], bit-identical to the original model);
+//! - **spec tier** — registered [`TrainSpec`]s; shards with neither a
+//!   resident model nor a stored snapshot retrain on demand with the
+//!   same order-free derived seed the eager registry path uses, so a
+//!   lazy retrain reproduces the eager model exactly.
+//!
+//! Eviction is write-through: a victim that is not yet in the store is
+//!   snapshotted into it before its memory is released, so no answer is
+//! ever lost — a later request hydrates the identical model back.
+//! Models that cannot snapshot (the research baselines) and have no
+//! spec are never evicted; they pin their budget share.
+
+use crate::registry::partition_campaign;
+use crate::{shard_seed, MemStore, ModelStore, RegistryConfig, ServeError, ShardKey};
+use noble::imu::{ImuNoble, ImuNobleConfig};
+use noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble::{hydrate, Localizer, LocalizerInfo, ModelSnapshot, NobleError};
+use noble_datasets::{ImuDataset, WifiCampaign, WifiSample};
+use noble_geo::Point;
+use noble_linalg::Matrix;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Memory envelope of the resident tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogBudget {
+    /// No bound: every model stays resident (the legacy registry
+    /// behavior).
+    Unbounded,
+    /// At most this many resident models.
+    Count(usize),
+    /// At most this many estimated bytes of resident models, measured as
+    /// each model's encoded-snapshot size (the honest proxy for its
+    /// parameter + table memory). A single model larger than the budget
+    /// still serves — the bound applies to what *stays* resident around
+    /// the active model.
+    Bytes(usize),
+}
+
+impl CatalogBudget {
+    fn validate(self) -> Result<(), ServeError> {
+        match self {
+            CatalogBudget::Count(0) => Err(ServeError::InvalidConfig(
+                "catalog budget of 0 models cannot serve".into(),
+            )),
+            CatalogBudget::Bytes(0) => Err(ServeError::InvalidConfig(
+                "catalog budget of 0 bytes cannot serve".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Lifecycle counters, readable via [`ModelCatalog::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Requests answered by an already-resident model.
+    pub hits: u64,
+    /// Requests that found the shard cold.
+    pub misses: u64,
+    /// Cold misses served by hydrating a stored snapshot.
+    pub hydrations: u64,
+    /// Cold misses served by retraining from a [`TrainSpec`].
+    pub retrains: u64,
+    /// Resident models retired to the store tier.
+    pub evictions: u64,
+}
+
+/// A recipe to (re)train one shard's model on demand. The seed is
+/// derived from the shard key with [`shard_seed`] exactly as the eager
+/// [`crate::ShardedRegistry::train_wifi`] path derives it, so a lazy
+/// retrain is bit-identical to the model the eager path would have
+/// produced.
+pub enum TrainSpec {
+    /// Train a [`WifiNoble`] on a (typically pre-partitioned) campaign.
+    Wifi {
+        /// The shard's training campaign.
+        campaign: WifiCampaign,
+        /// Model configuration; `cfg.seed` is the *base* seed.
+        cfg: WifiNobleConfig,
+    },
+    /// Train an [`ImuNoble`] tracker on an IMU dataset.
+    Imu {
+        /// The shard's training dataset.
+        dataset: ImuDataset,
+        /// Model configuration; `cfg.seed` is the *base* seed.
+        cfg: ImuNobleConfig,
+    },
+}
+
+impl fmt::Debug for TrainSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainSpec::Wifi { campaign, .. } => f
+                .debug_struct("TrainSpec::Wifi")
+                .field("train_samples", &campaign.train.len())
+                .finish_non_exhaustive(),
+            TrainSpec::Imu { dataset, .. } => f
+                .debug_struct("TrainSpec::Imu")
+                .field("train_paths", &dataset.train.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl TrainSpec {
+    /// Trains the shard model with the derived per-shard seed.
+    fn train(&self, key: ShardKey) -> Result<Box<dyn Localizer>, ServeError> {
+        match self {
+            TrainSpec::Wifi { campaign, cfg } => {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.seed = shard_seed(cfg.seed, key);
+                Ok(Box::new(WifiNoble::train(campaign, &shard_cfg)?))
+            }
+            TrainSpec::Imu { dataset, cfg } => {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.seed = shard_seed(cfg.seed, key);
+                Ok(Box::new(ImuNoble::train(dataset, &shard_cfg)?))
+            }
+        }
+    }
+}
+
+/// Relabels a localizer's site metadata with its shard key.
+pub(crate) struct Sited<L> {
+    pub(crate) site: String,
+    pub(crate) inner: L,
+}
+
+impl<L: Localizer> Localizer for Sited<L> {
+    fn info(&self) -> LocalizerInfo {
+        self.inner.info().with_site(self.site.clone())
+    }
+
+    fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
+        self.inner.localize_batch(features)
+    }
+
+    fn try_snapshot(&self) -> Option<ModelSnapshot> {
+        self.inner.try_snapshot()
+    }
+}
+
+/// One resident model plus its LRU bookkeeping.
+struct Resident {
+    model: Box<dyn Localizer>,
+    /// Encoded-snapshot size, the [`CatalogBudget::Bytes`] unit; `0` when
+    /// unknown (non-snapshotable models under a count budget).
+    cost: usize,
+    last_used: u64,
+}
+
+/// The capacity-bounded, store-backed shard model catalog (see the
+/// module docs for the three tiers).
+pub struct ModelCatalog {
+    budget: CatalogBudget,
+    store: Box<dyn ModelStore>,
+    specs: BTreeMap<ShardKey, TrainSpec>,
+    resident: BTreeMap<ShardKey, Resident>,
+    /// Keys known to have a snapshot in the store tier (primed from
+    /// `store.list()` at construction, maintained on every put).
+    stored: BTreeSet<ShardKey>,
+    clock: u64,
+    stats: CatalogStats,
+}
+
+impl fmt::Debug for ModelCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelCatalog")
+            .field("budget", &self.budget)
+            .field("resident", &self.resident_keys())
+            .field("stored", &self.stored)
+            .field("specs", &self.specs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ModelCatalog {
+    /// An empty catalog backed by an in-memory store.
+    ///
+    /// Note the budget bounds *live models*, not total process memory:
+    /// with the default [`MemStore`], every evicted model's snapshot
+    /// bytes still live in this process (useful to bound the expensive
+    /// part — resident networks with caches — or for tests). To actually
+    /// shed memory with the model count, pair a budget with an on-disk
+    /// store: [`ModelCatalog::with_store`] + [`crate::FsStore`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a zero budget.
+    pub fn new(budget: CatalogBudget) -> Result<Self, ServeError> {
+        Self::with_store(budget, Box::new(MemStore::new()))
+    }
+
+    /// An empty catalog over an existing store; snapshots already in the
+    /// store immediately serve as cold shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a zero budget; propagates store
+    /// listing failures.
+    pub fn with_store(
+        budget: CatalogBudget,
+        store: Box<dyn ModelStore>,
+    ) -> Result<Self, ServeError> {
+        budget.validate()?;
+        let stored: BTreeSet<ShardKey> = store.list()?.into_iter().collect();
+        Ok(ModelCatalog {
+            budget,
+            store,
+            specs: BTreeMap::new(),
+            resident: BTreeMap::new(),
+            stored,
+            clock: 0,
+            stats: CatalogStats::default(),
+        })
+    }
+
+    /// Adopts every shard of an eagerly trained registry under a budget
+    /// (the migration path from the legacy grow-only registry).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCatalog::with_store`]; propagates write-through
+    /// failures while evicting down to the budget.
+    pub fn adopt(
+        registry: crate::ShardedRegistry,
+        budget: CatalogBudget,
+        store: Box<dyn ModelStore>,
+    ) -> Result<Self, ServeError> {
+        let mut catalog = Self::with_store(budget, store)?;
+        for (key, model) in registry.into_shards() {
+            catalog.insert_sited(key, model)?;
+        }
+        Ok(catalog)
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> CatalogBudget {
+        self.budget
+    }
+
+    /// Lifecycle counters so far.
+    pub fn stats(&self) -> CatalogStats {
+        self.stats
+    }
+
+    /// Registers (or replaces) a live model for `key`, relabeling its
+    /// site metadata with the shard key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write-through failures when the insert pushes the
+    /// resident tier over budget and a victim must be stored first.
+    pub fn insert(
+        &mut self,
+        key: ShardKey,
+        localizer: Box<dyn Localizer>,
+    ) -> Result<(), ServeError> {
+        self.insert_sited(
+            key,
+            Box::new(Sited {
+                site: key.to_string(),
+                inner: localizer,
+            }),
+        )
+    }
+
+    /// [`ModelCatalog::insert`] for a model whose site metadata is
+    /// already labeled (restores from a stopping `BatchServer`).
+    pub(crate) fn insert_sited(
+        &mut self,
+        key: ShardKey,
+        model: Box<dyn Localizer>,
+    ) -> Result<(), ServeError> {
+        // The byte budget needs each model's cost up front; the snapshot
+        // is only built when that budget is active — and since it is in
+        // hand, write it through now so a later eviction of this shard
+        // never has to serialize the model a second time.
+        let cost = match self.budget {
+            CatalogBudget::Bytes(_) => match model.try_snapshot() {
+                Some(snapshot) => {
+                    self.store.put(key, &snapshot)?;
+                    self.stored.insert(key);
+                    snapshot.encoded_len()
+                }
+                None => 0,
+            },
+            _ => 0,
+        };
+        self.clock += 1;
+        self.resident.insert(
+            key,
+            Resident {
+                model,
+                cost,
+                last_used: self.clock,
+            },
+        );
+        self.enforce_budget(key)
+    }
+
+    /// Registers a training recipe for a cold shard: the first request
+    /// for `key` (with no resident model and no stored snapshot) trains
+    /// it on demand, snapshots it into the store, and serves.
+    pub fn register_spec(&mut self, key: ShardKey, spec: TrainSpec) {
+        self.specs.insert(key, spec);
+    }
+
+    /// Partitions a WiFi campaign under the registry configuration and
+    /// registers one *lazy* [`TrainSpec::Wifi`] per shard — nothing
+    /// trains until a shard's first request arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoShards`] when the campaign has no training
+    /// samples.
+    pub fn register_wifi_campaign(
+        &mut self,
+        campaign: &WifiCampaign,
+        cfg: &WifiNobleConfig,
+        reg: &RegistryConfig,
+    ) -> Result<Vec<ShardKey>, ServeError> {
+        let parts = partition_campaign(
+            campaign,
+            |s: &WifiSample| reg.policy.key_of(s),
+            reg.max_train_samples_per_shard,
+        );
+        if parts.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        let mut keys = Vec::with_capacity(parts.len());
+        for (key, shard) in parts {
+            self.register_spec(
+                key,
+                TrainSpec::Wifi {
+                    campaign: shard,
+                    cfg: cfg.clone(),
+                },
+            );
+            keys.push(key);
+        }
+        Ok(keys)
+    }
+
+    /// Registers a lazy IMU tracker shard (the IMU serving path).
+    pub fn register_imu_campaign(
+        &mut self,
+        key: ShardKey,
+        dataset: ImuDataset,
+        cfg: ImuNobleConfig,
+    ) {
+        self.register_spec(key, TrainSpec::Imu { dataset, cfg });
+    }
+
+    /// Every key the catalog can serve (resident ∪ stored ∪ specs),
+    /// sorted.
+    pub fn keys(&self) -> Vec<ShardKey> {
+        let mut keys: BTreeSet<ShardKey> = self.resident.keys().copied().collect();
+        keys.extend(self.stored.iter().copied());
+        keys.extend(self.specs.keys().copied());
+        keys.into_iter().collect()
+    }
+
+    /// Keys currently holding a live model, sorted.
+    pub fn resident_keys(&self) -> Vec<ShardKey> {
+        self.resident.keys().copied().collect()
+    }
+
+    /// Number of live models (what the budget bounds).
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Number of servable shards across all tiers.
+    pub fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    /// Whether no shard is servable.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty() && self.stored.is_empty() && self.specs.is_empty()
+    }
+
+    /// Metadata of every *resident* model, in key order.
+    pub fn info(&self) -> Vec<LocalizerInfo> {
+        self.resident.values().map(|r| r.model.info()).collect()
+    }
+
+    /// Mutable access to `key`'s model, faulting it in from the store or
+    /// spec tier if cold (and evicting the least-recently-used resident
+    /// models past the budget).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] when no tier knows `key`; propagates
+    /// hydration, training and write-through failures.
+    pub fn get_mut(&mut self, key: ShardKey) -> Result<&mut (dyn Localizer + '_), ServeError> {
+        self.ensure_resident(key)?;
+        self.clock += 1;
+        let entry = self.resident.get_mut(&key).expect("ensured resident");
+        entry.last_used = self.clock;
+        Ok(entry.model.as_mut())
+    }
+
+    /// Routes a feature batch to its shard and localizes it, faulting
+    /// the model in if cold.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCatalog::get_mut`]; propagates model failures.
+    pub fn localize(&mut self, key: ShardKey, features: &Matrix) -> Result<Vec<Point>, ServeError> {
+        let shard = self.get_mut(key)?;
+        shard.localize_batch(features).map_err(ServeError::from)
+    }
+
+    /// Snapshots every resident model into `store` (e.g. an
+    /// [`crate::FsStore`] for warm restarts). Returns how many snapshots
+    /// were written.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotSnapshotable`] when a resident model cannot
+    /// serialize itself; propagates store failures.
+    pub fn export_to(&self, store: &dyn ModelStore) -> Result<usize, ServeError> {
+        for (key, resident) in &self.resident {
+            let snapshot = resident
+                .model
+                .try_snapshot()
+                .ok_or(ServeError::NotSnapshotable(*key))?;
+            store.put(*key, &snapshot)?;
+        }
+        Ok(self.resident.len())
+    }
+
+    /// Consumes the catalog into its *resident* `(key, model)` pairs (the
+    /// batch server hand-off; cold tiers are dropped with the catalog —
+    /// persist them first via the shared store or
+    /// [`ModelCatalog::export_to`]).
+    pub fn into_shards(self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
+        self.resident
+            .into_iter()
+            .map(|(k, r)| (k, r.model))
+            .collect()
+    }
+
+    /// Faults `key` into the resident tier.
+    fn ensure_resident(&mut self, key: ShardKey) -> Result<(), ServeError> {
+        if self.resident.contains_key(&key) {
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        let (model, cost): (Box<dyn Localizer>, usize) =
+            if let Some(snapshot) = self.store.get(key)? {
+                self.stats.hydrations += 1;
+                let model = hydrate(&snapshot)?;
+                (
+                    Box::new(Sited {
+                        site: key.to_string(),
+                        inner: model,
+                    }),
+                    snapshot.encoded_len(),
+                )
+            } else if let Some(spec) = self.specs.get(&key) {
+                self.stats.retrains += 1;
+                let model = spec.train(key)?;
+                // Write through immediately: the next cold miss hydrates
+                // from the store instead of paying the retrain again.
+                let cost = match model.try_snapshot() {
+                    Some(snapshot) => {
+                        self.store.put(key, &snapshot)?;
+                        self.stored.insert(key);
+                        snapshot.encoded_len()
+                    }
+                    None => 0,
+                };
+                (
+                    Box::new(Sited {
+                        site: key.to_string(),
+                        inner: model,
+                    }),
+                    cost,
+                )
+            } else {
+                return Err(ServeError::UnknownShard(key));
+            };
+        self.clock += 1;
+        self.resident.insert(
+            key,
+            Resident {
+                model,
+                cost,
+                last_used: self.clock,
+            },
+        );
+        self.enforce_budget(key)
+    }
+
+    fn over_budget(&self) -> bool {
+        match self.budget {
+            CatalogBudget::Unbounded => false,
+            CatalogBudget::Count(n) => self.resident.len() > n,
+            CatalogBudget::Bytes(n) => {
+                self.resident.values().map(|r| r.cost).sum::<usize>() > n && self.resident.len() > 1
+            }
+        }
+    }
+
+    /// Evicts least-recently-used resident models (never `protect`, the
+    /// shard being served) until the budget holds or only unevictable
+    /// models remain.
+    fn enforce_budget(&mut self, protect: ShardKey) -> Result<(), ServeError> {
+        while self.over_budget() {
+            let mut candidates: Vec<(u64, ShardKey)> = self
+                .resident
+                .iter()
+                .filter(|(k, _)| **k != protect)
+                .map(|(k, r)| (r.last_used, *k))
+                .collect();
+            candidates.sort_unstable();
+            // Walk in strict LRU order. A victim whose model must be
+            // serialized for the write-through is serialized exactly once
+            // here — the snapshot is carried into the eviction rather
+            // than probed and rebuilt.
+            let mut victim: Option<(ShardKey, Option<ModelSnapshot>)> = None;
+            for (_, k) in candidates {
+                if self.stored.contains(&k) || self.specs.contains_key(&k) {
+                    victim = Some((k, None)); // recoverable without serializing
+                    break;
+                }
+                if let Some(snapshot) = self.resident[&k].model.try_snapshot() {
+                    victim = Some((k, Some(snapshot)));
+                    break;
+                }
+                // Pinned (unsnapshotable, no spec): try the next-oldest.
+            }
+            let Some((victim, snapshot)) = victim else {
+                // Everything left is pinned; staying over budget beats
+                // losing a model.
+                return Ok(());
+            };
+            self.evict_resident(victim, snapshot)?;
+        }
+        Ok(())
+    }
+
+    /// Retires one resident model, writing it through to the store first
+    /// when it is not already there (`snapshot` carries a pre-built blob
+    /// so the model is never serialized twice).
+    fn evict_resident(
+        &mut self,
+        key: ShardKey,
+        snapshot: Option<ModelSnapshot>,
+    ) -> Result<(), ServeError> {
+        let resident = self.resident.remove(&key).expect("victim is resident");
+        if !self.stored.contains(&key) {
+            match snapshot {
+                Some(snapshot) => {
+                    self.store.put(key, &snapshot)?;
+                    self.stored.insert(key);
+                }
+                // A registered spec makes the shard retrainable; honoring
+                // the caller's choice not to serialize keeps eviction of
+                // spec-backed shards free (a later retrain writes through
+                // in ensure_resident, converting the miss after that one
+                // into a hydrate).
+                None if self.specs.contains_key(&key) => {}
+                None => match resident.model.try_snapshot() {
+                    Some(snapshot) => {
+                        self.store.put(key, &snapshot)?;
+                        self.stored.insert(key);
+                    }
+                    None => {
+                        // Unrecoverable: keep it resident and report.
+                        self.resident.insert(key, resident);
+                        return Err(ServeError::NotSnapshotable(key));
+                    }
+                },
+            }
+        }
+        self.stats.evictions += 1;
+        Ok(())
+    }
+}

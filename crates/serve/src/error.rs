@@ -33,6 +33,14 @@ pub enum ServeError {
     Model(String),
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// A stored model snapshot was corrupt, truncated, version-skewed or
+    /// failed validation on read.
+    BadSnapshot(String),
+    /// A model-store backend failed (I/O, permissions, ...).
+    Store(String),
+    /// The shard's resident model cannot be serialized and has no
+    /// registered training spec, so evicting it would lose it.
+    NotSnapshotable(ShardKey),
 }
 
 impl fmt::Display for ServeError {
@@ -51,6 +59,11 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Model(msg) => write!(f, "model failure: {msg}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ServeError::BadSnapshot(msg) => write!(f, "bad snapshot: {msg}"),
+            ServeError::Store(msg) => write!(f, "model store failure: {msg}"),
+            ServeError::NotSnapshotable(key) => {
+                write!(f, "shard {key}'s model cannot be snapshotted")
+            }
         }
     }
 }
@@ -59,7 +72,10 @@ impl Error for ServeError {}
 
 impl From<noble::NobleError> for ServeError {
     fn from(e: noble::NobleError) -> Self {
-        ServeError::Model(e.to_string())
+        match e {
+            noble::NobleError::BadSnapshot(msg) => ServeError::BadSnapshot(msg),
+            other => ServeError::Model(other.to_string()),
+        }
     }
 }
 

@@ -5,17 +5,27 @@
 //! This crate is the serving seam between the trained models (anything
 //! implementing [`noble::Localizer`]) and that traffic:
 //!
-//! - [`ShardedRegistry`] partitions a campaign by building/floor
-//!   [`ShardKey`], trains (or accepts) one model per shard with
-//!   order-free derived seeds and bounded per-shard memory, and routes
-//!   feature batches to the owning shard — an unknown key is the typed
-//!   [`ServeError::UnknownShard`], never a panic.
+//! - [`ModelCatalog`] is the model-lifecycle tier: a capacity-bounded
+//!   (count or byte [`CatalogBudget`]) LRU of resident models over a
+//!   pluggable [`ModelStore`] ([`MemStore`] / checksummed atomic-file
+//!   [`FsStore`]). Cold shards hydrate from stored snapshots
+//!   ([`noble::hydrate`], bit-identical) or retrain on demand from a
+//!   registered [`TrainSpec`]; eviction writes through to the store so
+//!   a model is never lost.
+//! - [`ShardedRegistry`] (now a thin façade over an unbounded catalog)
+//!   partitions a campaign by building/floor [`ShardKey`], trains (or
+//!   accepts) one model per shard with order-free derived seeds and
+//!   bounded per-shard memory, and routes feature batches to the owning
+//!   shard — an unknown key is the typed [`ServeError::UnknownShard`],
+//!   never a panic.
 //! - [`BatchServer`] owns one std worker thread per shard and
 //!   micro-batches concurrently arriving fixes under a configurable
 //!   latency budget / max batch size ([`BatchConfig`]) before one stacked
 //!   `localize_batch` call; per-request reply channels carry results
-//!   back, [`BatchServer::shutdown`] drains gracefully, and
-//!   [`BatchServer::stats`] reports per-shard throughput/latency.
+//!   back, [`BatchServer::shutdown`] drains gracefully,
+//!   [`BatchServer::stats`] reports per-shard throughput/latency, and
+//!   [`BatchServer::start_from_store`] warm-restarts straight from
+//!   persisted snapshots, skipping retraining entirely.
 //!
 //! Batching never changes answers: the linalg substrate picks its matmul
 //! kernel per output row, so served results are **bit-identical** to
@@ -45,12 +55,16 @@
 //! }
 //! ```
 
+mod catalog;
 mod error;
 mod registry;
 mod server;
+mod store;
 
+pub use catalog::{CatalogBudget, CatalogStats, ModelCatalog, TrainSpec};
 pub use error::ServeError;
 pub use registry::{
     partition_campaign, shard_seed, RegistryConfig, ShardKey, ShardPolicy, ShardedRegistry,
 };
 pub use server::{BatchConfig, BatchServer, PendingFix, ServeClient, ShardStats};
+pub use store::{FsStore, MemStore, ModelStore};

@@ -2,9 +2,9 @@
 //! key, trains (or accepts) one [`Localizer`] per shard, and routes
 //! feature batches to the owning shard.
 
-use crate::ServeError;
+use crate::{CatalogBudget, ModelCatalog, ModelStore, ServeError};
 use noble::wifi::{WifiNoble, WifiNobleConfig};
-use noble::{Localizer, LocalizerInfo, NobleError};
+use noble::{Localizer, LocalizerInfo};
 use noble_datasets::{WifiCampaign, WifiSample};
 use noble_geo::Point;
 use noble_linalg::Matrix;
@@ -151,31 +151,33 @@ pub fn partition_campaign(
     shards
 }
 
-/// Relabels a localizer's site metadata with its shard key.
-struct Sited<L> {
-    site: String,
-    inner: L,
-}
-
-impl<L: Localizer> Localizer for Sited<L> {
-    fn info(&self) -> LocalizerInfo {
-        self.inner.info().with_site(self.site.clone())
-    }
-
-    fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
-        self.inner.localize_batch(features)
-    }
-}
-
-/// A keyed collection of per-shard localizers.
+/// A keyed collection of per-shard localizers — now a thin façade over
+/// the capacity-managed [`ModelCatalog`], kept so existing call sites
+/// and suites compile unchanged.
+///
+/// **Deprecated as a primary API**: the registry keeps *every* model
+/// resident (an unbounded catalog), which is exactly the grow-only
+/// memory behavior [`ModelCatalog`] was built to replace. New code that
+/// serves more sites than fit in RAM should construct a
+/// [`ModelCatalog`] with a [`CatalogBudget`] (and usually a
+/// [`crate::FsStore`]) directly; [`ShardedRegistry::into_catalog`] is
+/// the migration path for an already-trained registry.
 ///
 /// Routing is by exact [`ShardKey`]; an unknown key is the typed
 /// [`ServeError::UnknownShard`], never a panic. The registry is the
 /// hand-off point to [`crate::BatchServer`], which moves each shard's
 /// model onto its own worker thread.
-#[derive(Default)]
 pub struct ShardedRegistry {
-    shards: BTreeMap<ShardKey, Box<dyn Localizer>>,
+    catalog: ModelCatalog,
+}
+
+impl Default for ShardedRegistry {
+    fn default() -> Self {
+        ShardedRegistry {
+            catalog: ModelCatalog::new(CatalogBudget::Unbounded)
+                .expect("an unbounded budget is always valid"),
+        }
+    }
 }
 
 impl fmt::Debug for ShardedRegistry {
@@ -183,6 +185,12 @@ impl fmt::Debug for ShardedRegistry {
         f.debug_struct("ShardedRegistry")
             .field("shards", &self.keys())
             .finish()
+    }
+}
+
+impl From<ShardedRegistry> for ModelCatalog {
+    fn from(registry: ShardedRegistry) -> Self {
+        registry.catalog
     }
 }
 
@@ -258,33 +266,29 @@ impl ShardedRegistry {
     /// Registers (or replaces) the localizer serving `key`, relabeling its
     /// site metadata with the shard key.
     pub fn insert(&mut self, key: ShardKey, localizer: Box<dyn Localizer>) {
-        self.shards.insert(
-            key,
-            Box::new(Sited {
-                site: key.to_string(),
-                inner: localizer,
-            }),
-        );
+        self.catalog
+            .insert(key, localizer)
+            .expect("an unbounded catalog never evicts, so insert cannot fail");
     }
 
     /// Number of shards.
     pub fn len(&self) -> usize {
-        self.shards.len()
+        self.catalog.resident_len()
     }
 
     /// Whether the registry holds no shards.
     pub fn is_empty(&self) -> bool {
-        self.shards.is_empty()
+        self.catalog.resident_len() == 0
     }
 
     /// Shard keys in sorted order.
     pub fn keys(&self) -> Vec<ShardKey> {
-        self.shards.keys().copied().collect()
+        self.catalog.resident_keys()
     }
 
     /// Metadata of every shard, in key order.
     pub fn info(&self) -> Vec<LocalizerInfo> {
-        self.shards.values().map(|l| l.info()).collect()
+        self.catalog.info()
     }
 
     /// Mutable access to the localizer serving `key`.
@@ -293,10 +297,7 @@ impl ShardedRegistry {
     ///
     /// [`ServeError::UnknownShard`] when no shard owns `key`.
     pub fn get_mut(&mut self, key: ShardKey) -> Result<&mut (dyn Localizer + '_), ServeError> {
-        match self.shards.get_mut(&key) {
-            Some(l) => Ok(l.as_mut()),
-            None => Err(ServeError::UnknownShard(key)),
-        }
+        self.catalog.get_mut(key)
     }
 
     /// Routes a feature batch to its shard and localizes it (the direct,
@@ -308,21 +309,52 @@ impl ShardedRegistry {
     /// [`ServeError::UnknownShard`] on an unroutable key; propagates model
     /// failures as [`ServeError::Model`].
     pub fn localize(&mut self, key: ShardKey, features: &Matrix) -> Result<Vec<Point>, ServeError> {
-        let shard = self.get_mut(key)?;
-        shard.localize_batch(features).map_err(ServeError::from)
+        self.catalog.localize(key, features)
+    }
+
+    /// Snapshots every shard model into `store` so a later
+    /// [`crate::BatchServer::start_from_store`] can warm-restart serving
+    /// without retraining. Returns how many snapshots were written.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotSnapshotable`] when a shard's model cannot
+    /// serialize itself; propagates store failures.
+    pub fn save_to(&self, store: &dyn ModelStore) -> Result<usize, ServeError> {
+        self.catalog.export_to(store)
+    }
+
+    /// Upgrades the registry into a capacity-managed [`ModelCatalog`]
+    /// (the migration path off this façade): every trained shard moves
+    /// into the catalog, which then enforces `budget` against `store`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelCatalog::adopt`].
+    pub fn into_catalog(
+        self,
+        budget: CatalogBudget,
+        store: Box<dyn ModelStore>,
+    ) -> Result<ModelCatalog, ServeError> {
+        ModelCatalog::adopt(self, budget, store)
     }
 
     /// Consumes the registry into `(key, localizer)` pairs for the batch
     /// server's per-shard workers.
     pub fn into_shards(self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
-        self.shards.into_iter().collect()
+        self.catalog.into_shards()
     }
 
     /// Rebuilds a registry from already-sited shards handed back by a
     /// stopping [`crate::BatchServer`] (no re-wrapping, no relabeling).
     pub(crate) fn restore(shards: Vec<(ShardKey, Box<dyn Localizer>)>) -> Self {
-        ShardedRegistry {
-            shards: shards.into_iter().collect(),
+        let mut registry = ShardedRegistry::new();
+        for (key, model) in shards {
+            registry
+                .catalog
+                .insert_sited(key, model)
+                .expect("an unbounded catalog never evicts, so insert cannot fail");
         }
+        registry
     }
 }

@@ -17,7 +17,7 @@
 //! `NOBLE_THREADS` still govern intra-batch matmul parallelism on top of
 //! the inter-shard parallelism this module adds.
 
-use crate::{ServeError, ShardKey, ShardedRegistry};
+use crate::{ModelStore, ServeError, ShardKey, ShardedRegistry};
 use noble::Localizer;
 use noble_geo::Point;
 use noble_linalg::Matrix;
@@ -203,6 +203,33 @@ impl BatchServer {
             stats,
             workers,
         })
+    }
+
+    /// Warm restart: hydrates every snapshot in `store` back into a
+    /// servable model ([`noble::hydrate`] — bit-identical to the model
+    /// that was saved) and starts serving. A restarted process skips
+    /// retraining entirely; combined with
+    /// [`crate::ShardedRegistry::save_to`] /
+    /// [`crate::ModelCatalog::export_to`] this closes the
+    /// train → save → restart → serve loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoShards`] for an empty store,
+    /// [`ServeError::BadSnapshot`] for a corrupt stored model, plus
+    /// whatever [`BatchServer::start`] rejects.
+    pub fn start_from_store(store: &dyn ModelStore, cfg: BatchConfig) -> Result<Self, ServeError> {
+        let keys = store.list()?;
+        if keys.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        let mut registry = ShardedRegistry::new();
+        for key in keys {
+            let snapshot = store.get(key)?.ok_or(ServeError::UnknownShard(key))?;
+            let model = noble::hydrate(&snapshot)?;
+            registry.insert(key, model);
+        }
+        BatchServer::start(registry, cfg)
     }
 
     /// A new submission handle (cheap to clone per client thread).

@@ -1,0 +1,445 @@
+//! Model store + catalog lifecycle guarantees.
+//!
+//! Covers the three tiers end to end: FsStore durability (atomic
+//! write-rename, checksummed reads, corrupt files as typed errors), the
+//! catalog's budget enforcement (never more than N resident models while
+//! every shard keeps answering bit-identically), and the lazy
+//! hydrate/retrain paths — including the IMU serving path through
+//! `ModelCatalog` and `BatchServer`.
+
+use noble::imu::{ImuNoble, ImuNobleConfig};
+use noble::wifi::{KnnFingerprint, WifiNoble, WifiNobleConfig};
+use noble::{Localizer, SnapshotLocalizer};
+use noble_datasets::{uji_campaign, ImuConfig, ImuDataset, ImuPathSample, UjiConfig, WifiCampaign};
+use noble_geo::Point;
+use noble_linalg::Matrix;
+use noble_serve::{
+    partition_campaign, shard_seed, BatchConfig, BatchServer, CatalogBudget, FsStore, MemStore,
+    ModelCatalog, ModelStore, RegistryConfig, ServeError, ShardKey, ShardPolicy, ShardedRegistry,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn quick_campaign() -> WifiCampaign {
+    let mut cfg = UjiConfig::small();
+    cfg.seed = 42;
+    uji_campaign(&cfg).unwrap()
+}
+
+fn quick_imu_dataset() -> ImuDataset {
+    let mut cfg = ImuConfig::small();
+    cfg.num_paths = 200;
+    ImuDataset::generate(&cfg).unwrap()
+}
+
+fn fast_model_cfg() -> WifiNobleConfig {
+    WifiNobleConfig {
+        epochs: 3,
+        ..WifiNobleConfig::small()
+    }
+}
+
+fn fast_imu_cfg() -> ImuNobleConfig {
+    ImuNobleConfig {
+        epochs: 8,
+        ..ImuNobleConfig::small()
+    }
+}
+
+/// A fresh store directory per test, under the cargo-managed tmp dir.
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("store-{tag}-{n}"))
+}
+
+#[test]
+fn fs_store_round_trips_and_survives_reopen() {
+    let campaign = quick_campaign();
+    let model = KnnFingerprint::fit(&campaign, 4).unwrap();
+    let snapshot = SnapshotLocalizer::snapshot(&model);
+    let dir = store_dir("roundtrip");
+    let key = ShardKey::building_floor(2, 1);
+
+    {
+        let store = FsStore::open(&dir).unwrap();
+        assert!(store.list().unwrap().is_empty());
+        store.put(key, &snapshot).unwrap();
+        assert_eq!(store.list().unwrap(), vec![key]);
+    }
+    // A brand-new handle (a restarted process) sees the same snapshot.
+    let store = FsStore::open(&dir).unwrap();
+    let back = store.get(key).unwrap().expect("snapshot persisted");
+    assert_eq!(back, snapshot);
+    assert!(store.get(ShardKey::building(9)).unwrap().is_none());
+    assert!(store.evict(key).unwrap());
+    assert!(!store.evict(key).unwrap());
+    assert!(store.list().unwrap().is_empty());
+}
+
+#[test]
+fn fs_store_detects_corruption_as_typed_error() {
+    let campaign = quick_campaign();
+    let model = KnnFingerprint::fit(&campaign, 3).unwrap();
+    let snapshot = SnapshotLocalizer::snapshot(&model);
+    let dir = store_dir("corrupt");
+    let store = FsStore::open(&dir).unwrap();
+    let key = ShardKey::building(0);
+    store.put(key, &snapshot).unwrap();
+    let path = dir.join("b0.snap");
+
+    // Flip one byte deep in the payload: the checksum must catch what
+    // the container's structural checks cannot.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        store.get(key),
+        Err(ServeError::BadSnapshot(ref m)) if m.contains("checksum")
+    ));
+
+    // Truncation is typed too.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    assert!(matches!(store.get(key), Err(ServeError::BadSnapshot(_))));
+
+    // And so is garbage that is not even a snapshot file.
+    std::fs::write(&path, b"not a snapshot at all").unwrap();
+    assert!(matches!(store.get(key), Err(ServeError::BadSnapshot(_))));
+
+    // Foreign and temp files are not listed as shards.
+    std::fs::write(dir.join("README.txt"), b"hello").unwrap();
+    std::fs::write(dir.join(".b3.snap.tmp"), b"partial").unwrap();
+    assert_eq!(store.list().unwrap(), vec![key]);
+}
+
+/// Budget N over >N shards: the resident tier never exceeds N while
+/// every shard keeps answering, and answers are bit-identical to the
+/// original models across eviction/hydration cycles.
+#[test]
+fn catalog_budget_never_exceeded_and_answers_stay_bit_identical() {
+    let campaign = quick_campaign();
+    let features = campaign.features(&campaign.test);
+    let probe_rows = 6.min(features.rows());
+    let probe = Matrix::from_rows(
+        &(0..probe_rows)
+            .map(|i| features.row(i).to_vec())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    // Six kNN shards (cheap to build, snapshotable) with distinct k so
+    // every shard answers differently.
+    let shard_count = 6;
+    let budget = 2;
+    let mut reference: Vec<(ShardKey, Vec<Point>)> = Vec::new();
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(budget)).unwrap();
+    for i in 0..shard_count {
+        let key = ShardKey::building(i);
+        let model = KnnFingerprint::fit(&campaign, i + 1).unwrap();
+        let mut boxed: Box<dyn Localizer> = Box::new(model);
+        reference.push((key, boxed.localize_batch(&probe).unwrap()));
+        catalog.insert(key, boxed).unwrap();
+        assert!(
+            catalog.resident_len() <= budget,
+            "resident tier grew to {} with budget {budget}",
+            catalog.resident_len()
+        );
+    }
+    assert_eq!(catalog.keys().len(), shard_count);
+
+    // Three rounds over every shard in changing order: each request hits
+    // the budgeted catalog, faulting cold shards back in.
+    for round in 0..3 {
+        for step in 0..shard_count {
+            let idx = (step * 5 + round * 3) % shard_count;
+            let (key, expected) = &reference[idx];
+            let got = catalog.localize(*key, &probe).unwrap();
+            assert_eq!(
+                &got, expected,
+                "shard {key} diverged after eviction (round {round})"
+            );
+            assert!(catalog.resident_len() <= budget);
+        }
+    }
+    let stats = catalog.stats();
+    assert!(stats.evictions > 0, "budget {budget} never evicted");
+    assert!(stats.hydrations > 0, "no shard was ever faulted back in");
+    assert_eq!(stats.retrains, 0, "snapshots must obviate retraining");
+    assert!(matches!(
+        catalog.localize(ShardKey::building(99), &probe),
+        Err(ServeError::UnknownShard(_))
+    ));
+}
+
+#[test]
+fn byte_budget_is_enforced() {
+    let campaign = quick_campaign();
+    let model = KnnFingerprint::fit(&campaign, 2).unwrap();
+    let one_model_bytes = SnapshotLocalizer::snapshot(&model).encoded_len();
+    // Room for two models but not three.
+    let mut catalog = ModelCatalog::new(CatalogBudget::Bytes(one_model_bytes * 2 + 1)).unwrap();
+    for i in 0..4 {
+        let m = KnnFingerprint::fit(&campaign, 2).unwrap();
+        catalog.insert(ShardKey::building(i), Box::new(m)).unwrap();
+        assert!(catalog.resident_len() <= 2, "byte budget exceeded");
+    }
+    assert_eq!(catalog.keys().len(), 4);
+    assert!(catalog.stats().evictions >= 2);
+}
+
+#[test]
+fn lazy_wifi_specs_retrain_bit_identically_to_eager_registry() {
+    let campaign = quick_campaign();
+    let cfg = fast_model_cfg();
+    let reg_cfg = RegistryConfig {
+        policy: ShardPolicy::PerBuilding,
+        max_train_samples_per_shard: None,
+        parallel_training: false,
+    };
+
+    // Eager reference: the registry trains everything up front.
+    let mut eager = ShardedRegistry::train_wifi(&campaign, &cfg, &reg_cfg).unwrap();
+    let features = campaign.features(&campaign.test);
+
+    // Lazy catalog: nothing trains until the first request.
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(1)).unwrap();
+    let keys = catalog
+        .register_wifi_campaign(&campaign, &cfg, &reg_cfg)
+        .unwrap();
+    assert_eq!(keys, eager.keys());
+    assert_eq!(catalog.resident_len(), 0, "specs must not train eagerly");
+
+    for key in eager.keys() {
+        let expected = eager.localize(key, &features).unwrap();
+        let got = catalog.localize(key, &features).unwrap();
+        assert_eq!(
+            got, expected,
+            "lazy retrain of {key} diverged from the eager registry model"
+        );
+        assert_eq!(catalog.resident_len(), 1);
+    }
+    let stats = catalog.stats();
+    assert_eq!(stats.retrains as usize, keys.len());
+
+    // Second sweep: every shard was written through on retrain, so cold
+    // faults now hydrate instead of retraining.
+    for key in eager.keys() {
+        let expected = eager.localize(key, &features).unwrap();
+        assert_eq!(catalog.localize(key, &features).unwrap(), expected);
+    }
+    assert_eq!(
+        catalog.stats().retrains as usize,
+        keys.len(),
+        "retrained twice"
+    );
+    assert!(catalog.stats().hydrations > 0);
+}
+
+#[test]
+fn imu_campaign_serves_through_catalog_and_batch_server() {
+    let dataset = quick_imu_dataset();
+    let cfg = fast_imu_cfg();
+    let imu_key = ShardKey::building(7);
+
+    // Direct reference: train with the same derived seed the catalog uses.
+    let mut shard_cfg = cfg.clone();
+    shard_cfg.seed = shard_seed(cfg.seed, imu_key);
+    let mut reference_model = ImuNoble::train(&dataset, &shard_cfg).unwrap();
+    let refs: Vec<&ImuPathSample> = dataset.test.iter().take(24).collect();
+    let features = reference_model.path_features(&refs);
+    let expected = Localizer::localize_batch(&mut reference_model, &features).unwrap();
+
+    // Through the catalog (lazy spec -> retrain -> hydrate).
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(4)).unwrap();
+    catalog.register_imu_campaign(imu_key, dataset.clone(), cfg.clone());
+    let got = catalog.localize(imu_key, &features).unwrap();
+    assert_eq!(got, expected, "catalog-trained IMU model diverged");
+    let info = &catalog.info()[0];
+    assert_eq!(info.model, "imu-noble");
+    assert_eq!(info.site, imu_key.to_string());
+
+    // Through the batch server (mixed with a WiFi shard).
+    let campaign = quick_campaign();
+    let mut registry = ShardedRegistry::new();
+    registry.insert(
+        imu_key,
+        Box::new(ImuNoble::train(&dataset, &shard_cfg).unwrap()),
+    );
+    let wifi_key = ShardKey::building(0);
+    registry.insert(
+        wifi_key,
+        Box::new(WifiNoble::train(&campaign, &fast_model_cfg()).unwrap()),
+    );
+    let server = BatchServer::start(
+        registry,
+        BatchConfig {
+            max_batch: 16,
+            latency_budget: Duration::from_micros(200),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let pending: Vec<_> = (0..features.rows())
+        .map(|i| client.submit(imu_key, features.row(i).to_vec()).unwrap())
+        .collect();
+    // Interleave WiFi traffic on the same server.
+    let wifi_features = campaign.features(&campaign.test[..4.min(campaign.test.len())]);
+    let wifi_pending: Vec<_> = (0..wifi_features.rows())
+        .map(|i| {
+            client
+                .submit(wifi_key, wifi_features.row(i).to_vec())
+                .unwrap()
+        })
+        .collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        assert_eq!(
+            p.wait().unwrap(),
+            expected[i],
+            "served IMU fix {i} diverged"
+        );
+    }
+    for p in wifi_pending {
+        p.wait().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn catalog_over_fs_store_survives_process_restart() {
+    let campaign = quick_campaign();
+    let dir = store_dir("restart");
+    let features = campaign.features(&campaign.test);
+    let expected: Vec<(ShardKey, Vec<Point>)>;
+
+    {
+        // "Process one": train shards eagerly, adopt into a catalog over
+        // the FsStore, touch every shard so write-through persists them.
+        let reg_cfg = RegistryConfig {
+            parallel_training: false,
+            ..RegistryConfig::default()
+        };
+        let registry = ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &reg_cfg).unwrap();
+        let store = Box::new(FsStore::open(&dir).unwrap());
+        let mut catalog = registry
+            .into_catalog(CatalogBudget::Count(1), store)
+            .unwrap();
+        expected = catalog
+            .keys()
+            .into_iter()
+            .map(|k| {
+                let out = catalog.localize(k, &features).unwrap();
+                (k, out)
+            })
+            .collect();
+        // Force the last resident shard out too, so the store holds all.
+        catalog.export_to(&FsStore::open(&dir).unwrap()).unwrap();
+    }
+
+    // "Process two": a fresh catalog over the same directory serves every
+    // shard bit-identically without a single retrain.
+    let store = Box::new(FsStore::open(&dir).unwrap());
+    let mut catalog = ModelCatalog::with_store(CatalogBudget::Count(1), store).unwrap();
+    assert_eq!(
+        catalog.keys(),
+        expected.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+    for (key, reference) in &expected {
+        assert_eq!(
+            catalog.localize(*key, &features).unwrap(),
+            *reference,
+            "shard {key} diverged across the restart"
+        );
+    }
+    assert_eq!(catalog.stats().retrains, 0);
+    assert_eq!(catalog.stats().hydrations as usize, expected.len());
+}
+
+#[test]
+fn unsnapshotable_models_are_pinned_not_lost() {
+    use noble::{LocalizerInfo, NobleError};
+
+    /// A research-only localizer: no snapshot capability.
+    struct Opaque;
+    impl Localizer for Opaque {
+        fn info(&self) -> LocalizerInfo {
+            LocalizerInfo {
+                model: "opaque",
+                site: "default".into(),
+                feature_dim: 2,
+                class_count: 0,
+            }
+        }
+        fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
+            Ok(vec![Point::new(1.0, 2.0); features.rows()])
+        }
+    }
+
+    let campaign = quick_campaign();
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(1)).unwrap();
+    catalog
+        .insert(ShardKey::building(0), Box::new(Opaque))
+        .unwrap();
+    // A snapshotable second shard pushes the catalog over budget; the
+    // opaque model must be pinned (not silently dropped), so the *kNN*
+    // shard is the one that cycles.
+    let knn = KnnFingerprint::fit(&campaign, 2).unwrap();
+    catalog
+        .insert(ShardKey::building(1), Box::new(knn))
+        .unwrap();
+    let probe = Matrix::zeros(1, 2);
+    assert_eq!(
+        catalog.localize(ShardKey::building(0), &probe).unwrap(),
+        vec![Point::new(1.0, 2.0)]
+    );
+    let wide = Matrix::zeros(1, campaign.num_waps());
+    catalog.localize(ShardKey::building(1), &wide).unwrap();
+    assert_eq!(
+        catalog.localize(ShardKey::building(0), &probe).unwrap(),
+        vec![Point::new(1.0, 2.0)],
+        "pinned model was lost"
+    );
+}
+
+#[test]
+fn mem_store_backs_the_same_lifecycle_as_fs() {
+    let campaign = quick_campaign();
+    let model = KnnFingerprint::fit(&campaign, 5).unwrap();
+    let snapshot = SnapshotLocalizer::snapshot(&model);
+    let key = ShardKey::building(3);
+    let store = MemStore::new();
+    store.put(key, &snapshot).unwrap();
+
+    let mut catalog = ModelCatalog::with_store(CatalogBudget::Count(1), Box::new(store)).unwrap();
+    assert_eq!(catalog.keys(), vec![key]);
+    let features = campaign.features(&campaign.test[..3.min(campaign.test.len())]);
+    let mut direct: Box<dyn Localizer> = Box::new(model);
+    assert_eq!(
+        catalog.localize(key, &features).unwrap(),
+        direct.localize_batch(&features).unwrap()
+    );
+    assert_eq!(catalog.stats().hydrations, 1);
+}
+
+#[test]
+fn partitioned_specs_match_partition_campaign() {
+    // register_wifi_campaign must shard exactly like the eager path.
+    let campaign = quick_campaign();
+    let reg_cfg = RegistryConfig {
+        policy: ShardPolicy::PerBuildingFloor,
+        max_train_samples_per_shard: Some(32),
+        parallel_training: false,
+    };
+    let parts = partition_campaign(
+        &campaign,
+        |s| reg_cfg.policy.key_of(s),
+        reg_cfg.max_train_samples_per_shard,
+    );
+    let mut catalog = ModelCatalog::new(CatalogBudget::Unbounded).unwrap();
+    let keys = catalog
+        .register_wifi_campaign(&campaign, &fast_model_cfg(), &reg_cfg)
+        .unwrap();
+    assert_eq!(keys, parts.keys().copied().collect::<Vec<_>>());
+    assert_eq!(catalog.len(), parts.len());
+}

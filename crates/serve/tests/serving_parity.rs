@@ -10,8 +10,8 @@ use noble::Localizer;
 use noble_datasets::{uji_campaign, UjiConfig, WifiCampaign};
 use noble_geo::Point;
 use noble_serve::{
-    partition_campaign, shard_seed, BatchConfig, BatchServer, RegistryConfig, ServeError, ShardKey,
-    ShardPolicy, ShardedRegistry,
+    partition_campaign, shard_seed, BatchConfig, BatchServer, FsStore, MemStore, RegistryConfig,
+    ServeError, ShardKey, ShardPolicy, ShardedRegistry,
 };
 use std::time::Duration;
 
@@ -112,6 +112,57 @@ fn served_results_bit_identical_to_direct() {
         }
     }
     assert_eq!(registry.len(), reference.len(), "shards survive restarts");
+}
+
+#[test]
+fn warm_restart_from_store_bit_identical_to_fresh_registry() {
+    // The model-lifecycle acceptance bar: train once, save every shard
+    // model, restart serving purely from the store — answers must be the
+    // exact bits the freshly trained registry serves.
+    let campaign = quick_campaign();
+    let reference = direct_reference(&campaign);
+    let registry =
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()).unwrap();
+
+    // Through both store backends: in-memory and on-disk (checksummed
+    // files under the cargo tmp dir).
+    let fs_dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("warm-restart-store");
+    let mem = MemStore::new();
+    let fs = FsStore::open(&fs_dir).unwrap();
+    assert_eq!(registry.save_to(&mem).unwrap(), reference.len());
+    assert_eq!(registry.save_to(&fs).unwrap(), reference.len());
+    drop(registry); // the trained models are gone; only snapshots remain
+
+    for store in [&mem as &dyn noble_serve::ModelStore, &fs] {
+        let server = BatchServer::start_from_store(
+            store,
+            BatchConfig {
+                max_batch: 64,
+                latency_budget: Duration::from_micros(300),
+            },
+        )
+        .unwrap();
+        assert_eq!(server.keys().len(), reference.len());
+        std::thread::scope(|s| {
+            for (key, rows, expected) in &reference {
+                let client = server.client();
+                s.spawn(move || {
+                    let pending: Vec<_> = rows
+                        .iter()
+                        .map(|row| client.submit(*key, row.clone()).unwrap())
+                        .collect();
+                    for (i, p) in pending.into_iter().enumerate() {
+                        assert_eq!(
+                            p.wait().unwrap(),
+                            expected[i],
+                            "{key} fix {i} diverged after warm restart"
+                        );
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
 }
 
 #[test]
