@@ -1,0 +1,316 @@
+//! Pluggable persistence for serialized shard models.
+//!
+//! A [`ModelStore`] keeps [`ModelSnapshot`]s keyed by [`ShardKey`] — the
+//! durable tier below the resident [`crate::ModelCatalog`]. Two backends
+//! ship:
+//!
+//! - [`MemStore`] — an in-process map; the default catalog backing and
+//!   the test double.
+//! - [`FsStore`] — one checksummed file per shard under a site
+//!   directory, written atomically (temp file + rename) so a crashed
+//!   writer can never leave a half-written snapshot where a reader finds
+//!   it. Corrupt, truncated or tampered files read back as the typed
+//!   [`ServeError::BadSnapshot`], never a panic.
+//!
+//! Stores take `&self` (interior mutability) so one store can back a
+//! catalog while an operator thread lists or evicts concurrently.
+
+use crate::{ServeError, ShardKey};
+use noble::ModelSnapshot;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Keyed durable storage of model snapshots.
+pub trait ModelStore: Send {
+    /// Inserts or replaces the snapshot stored for `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn put(&self, key: ShardKey, snapshot: &ModelSnapshot) -> Result<(), ServeError>;
+
+    /// Fetches the snapshot stored for `key`, `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadSnapshot`] when the stored bytes fail validation,
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn get(&self, key: ShardKey) -> Result<Option<ModelSnapshot>, ServeError>;
+
+    /// Keys with a stored snapshot, in sorted order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn list(&self) -> Result<Vec<ShardKey>, ServeError>;
+
+    /// Removes the snapshot stored for `key`; returns whether one
+    /// existed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn evict(&self, key: ShardKey) -> Result<bool, ServeError>;
+}
+
+/// In-memory snapshot store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    snapshots: Mutex<BTreeMap<ShardKey, ModelSnapshot>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl ModelStore for MemStore {
+    fn put(&self, key: ShardKey, snapshot: &ModelSnapshot) -> Result<(), ServeError> {
+        self.snapshots
+            .lock()
+            .expect("store lock")
+            .insert(key, snapshot.clone());
+        Ok(())
+    }
+
+    fn get(&self, key: ShardKey) -> Result<Option<ModelSnapshot>, ServeError> {
+        Ok(self
+            .snapshots
+            .lock()
+            .expect("store lock")
+            .get(&key)
+            .cloned())
+    }
+
+    fn list(&self) -> Result<Vec<ShardKey>, ServeError> {
+        Ok(self
+            .snapshots
+            .lock()
+            .expect("store lock")
+            .keys()
+            .copied()
+            .collect())
+    }
+
+    fn evict(&self, key: ShardKey) -> Result<bool, ServeError> {
+        Ok(self
+            .snapshots
+            .lock()
+            .expect("store lock")
+            .remove(&key)
+            .is_some())
+    }
+}
+
+/// Per-file header of [`FsStore`] blobs: magic, format version, payload
+/// length, FNV-1a checksum, then the [`ModelSnapshot::to_bytes`] payload.
+const FS_MAGIC: &[u8; 4] = b"NOBF";
+const FS_VERSION: u32 = 1;
+const FS_HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Filesystem snapshot store: one `<key>.snap` file per shard under a
+/// site directory (see the module docs for the durability contract).
+#[derive(Debug)]
+pub struct FsStore {
+    root: PathBuf,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| ServeError::Store(format!("create {}: {e}", root.display())))?;
+        Ok(FsStore { root })
+    }
+
+    /// The site directory this store reads and writes.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `b<building>.snap` or `b<building>-f<floor>.snap`.
+    fn file_name(key: ShardKey) -> String {
+        match key.floor {
+            Some(floor) => format!("b{}-f{floor}.snap", key.building),
+            None => format!("b{}.snap", key.building),
+        }
+    }
+
+    fn path_of(&self, key: ShardKey) -> PathBuf {
+        self.root.join(Self::file_name(key))
+    }
+
+    /// Inverse of [`FsStore::file_name`]; `None` for foreign files.
+    fn key_of(name: &str) -> Option<ShardKey> {
+        let stem = name.strip_suffix(".snap")?.strip_prefix('b')?;
+        match stem.split_once("-f") {
+            Some((b, f)) => Some(ShardKey::building_floor(b.parse().ok()?, f.parse().ok()?)),
+            None => Some(ShardKey::building(stem.parse().ok()?)),
+        }
+    }
+
+    fn encode(snapshot: &ModelSnapshot) -> Vec<u8> {
+        let payload = snapshot.to_bytes();
+        let mut out = Vec::with_capacity(FS_HEADER_LEN + payload.len());
+        out.extend_from_slice(FS_MAGIC);
+        out.extend_from_slice(&FS_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn decode(bytes: &[u8], origin: &Path) -> Result<ModelSnapshot, ServeError> {
+        let corrupt = |why: &str| ServeError::BadSnapshot(format!("{}: {why}", origin.display()));
+        if bytes.len() < FS_HEADER_LEN {
+            return Err(corrupt("file shorter than the snapshot header"));
+        }
+        if &bytes[..4] != FS_MAGIC {
+            return Err(corrupt("bad magic: not a NObLe snapshot file"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FS_VERSION {
+            return Err(corrupt(&format!(
+                "unsupported snapshot file version {version}"
+            )));
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let payload = &bytes[FS_HEADER_LEN..];
+        if payload.len() != len {
+            return Err(corrupt(&format!(
+                "payload is {} bytes, header promises {len}",
+                payload.len()
+            )));
+        }
+        if fnv1a64(payload) != checksum {
+            return Err(corrupt("checksum mismatch: snapshot bytes are corrupt"));
+        }
+        ModelSnapshot::from_bytes(payload).map_err(ServeError::from)
+    }
+}
+
+impl ModelStore for FsStore {
+    fn put(&self, key: ShardKey, snapshot: &ModelSnapshot) -> Result<(), ServeError> {
+        // The temp name is unique per writer and per call, so two
+        // concurrent puts of the same key never interleave writes into
+        // one file — each publishes its own complete bytes and the last
+        // rename wins atomically.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = self.path_of(key);
+        let tmp = self.root.join(format!(
+            ".{}.{}-{seq}.tmp",
+            Self::file_name(key),
+            std::process::id()
+        ));
+        let io = |stage: &str, e: std::io::Error| {
+            ServeError::Store(format!("{stage} {}: {e}", path.display()))
+        };
+        let bytes = Self::encode(snapshot);
+        let mut file = fs::File::create(&tmp).map_err(|e| io("create temp for", e))?;
+        file.write_all(&bytes).map_err(|e| io("write", e))?;
+        // Flush file contents before the rename publishes the path, so a
+        // reader can never observe the final name with partial bytes.
+        file.sync_all().map_err(|e| io("sync", e))?;
+        drop(file);
+        fs::rename(&tmp, &path).map_err(|e| io("publish", e))
+    }
+
+    fn get(&self, key: ShardKey) -> Result<Option<ModelSnapshot>, ServeError> {
+        let path = self.path_of(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServeError::Store(format!("read {}: {e}", path.display()))),
+        };
+        Self::decode(&bytes, &path).map(Some)
+    }
+
+    fn list(&self) -> Result<Vec<ShardKey>, ServeError> {
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| ServeError::Store(format!("list {}: {e}", self.root.display())))?;
+        let mut keys = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| ServeError::Store(format!("list {}: {e}", self.root.display())))?;
+            if let Some(key) = entry.file_name().to_str().and_then(Self::key_of) {
+                keys.push(key);
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn evict(&self, key: ShardKey) -> Result<bool, ServeError> {
+        let path = self.path_of(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(ServeError::Store(format!("evict {}: {e}", path.display()))),
+        }
+    }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free corruption detector for
+/// snapshot files (not a cryptographic integrity guarantee).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_name_round_trips_keys() {
+        for key in [
+            ShardKey::building(0),
+            ShardKey::building(17),
+            ShardKey::building_floor(3, 0),
+            ShardKey::building_floor(12, 9),
+        ] {
+            assert_eq!(FsStore::key_of(&FsStore::file_name(key)), Some(key));
+        }
+        assert_eq!(FsStore::key_of("junk.txt"), None);
+        assert_eq!(FsStore::key_of("bX.snap"), None);
+        assert_eq!(FsStore::key_of(".b1.snap.tmp"), None);
+    }
+
+    #[test]
+    fn mem_store_round_trip_and_evict() {
+        let store = MemStore::new();
+        let key = ShardKey::building(4);
+        let snap = ModelSnapshot::new("wifi-noble", 8, 3, vec![1, 2, 3]);
+        assert!(store.get(key).unwrap().is_none());
+        store.put(key, &snap).unwrap();
+        assert_eq!(store.get(key).unwrap().unwrap(), snap);
+        assert_eq!(store.list().unwrap(), vec![key]);
+        assert!(store.evict(key).unwrap());
+        assert!(!store.evict(key).unwrap());
+        assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        let a = fnv1a64(b"snapshot");
+        assert_eq!(a, fnv1a64(b"snapshot"));
+        assert_ne!(a, fnv1a64(b"snapshos"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+    }
+}
