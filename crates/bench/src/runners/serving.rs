@@ -16,6 +16,14 @@
 //!   at several latency budgets, so the backlog rides stacked
 //!   `localize_batch` calls.
 //!
+//! A second measurement family covers **demand-paged** serving
+//! ([`noble_serve::BatchServer::start_paged`]): an oversubscribed
+//! catalog (16 shards under a budget of 4 resident models at full
+//! scale) driven with uniform-rotation and popularity-skewed traffic,
+//! recording fault / drain / spin-down counts and cold-vs-warm latency
+//! percentiles — with every answer asserted bit-identical to the
+//! fully-resident server inline.
+//!
 //! Serving results are bit-identical across all modes (the kernel
 //! dispatch is per-row; `noble-serve`'s parity suite pins it), so the
 //! sweep is purely a throughput story. Results go to stdout and
@@ -29,9 +37,12 @@ use noble::imu::{ImuNoble, ImuNobleConfig};
 use noble::report::TextTable;
 use noble::wifi::WifiNobleConfig;
 use noble_datasets::{uji_campaign, ImuDataset, ImuPathSample, WifiSample};
+use noble_geo::Point;
 use noble_serve::{
-    BatchConfig, BatchServer, RegistryConfig, ShardKey, ShardPolicy, ShardStats, ShardedRegistry,
+    BatchConfig, BatchServer, CatalogBudget, CatalogStats, MemStore, ModelCatalog, RegistryConfig,
+    ShardKey, ShardPolicy, ShardStats, ShardedRegistry,
 };
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// One serving measurement.
@@ -69,6 +80,167 @@ impl Measurement {
             "    {{\"mode\": \"{}\", \"shards\": {}, \"max_batch\": {}, \"budget_us\": {}, \"fixes_per_sec\": {:.1}, \"shard_stats\": [{}]}}",
             self.mode, self.shards, self.max_batch, self.budget_us, self.fixes_per_sec, shards.join(", ")
         )
+    }
+}
+
+/// Latency percentile summary of one request class (cold or warm).
+struct LatencySummary {
+    count: usize,
+    p50_us: u128,
+    p99_us: u128,
+    max_us: u128,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-request latencies (microseconds).
+    fn of(mut samples: Vec<u128>) -> Self {
+        samples.sort_unstable();
+        let pick = |pct: f64| -> u128 {
+            if samples.is_empty() {
+                0
+            } else {
+                samples[((samples.len() - 1) as f64 * pct).round() as usize]
+            }
+        };
+        LatencySummary {
+            count: samples.len(),
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: samples.last().copied().unwrap_or(0),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            self.count, self.p50_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+/// One demand-paged (oversubscribed) serving measurement.
+struct PagedMeasurement {
+    mode: &'static str,
+    shards: usize,
+    budget: usize,
+    fixes: usize,
+    fixes_per_sec: f64,
+    /// Bit-identical to the fully-resident server (asserted inline; a
+    /// mismatch aborts the runner, so a written row is always `true`).
+    parity: bool,
+    faults: u64,
+    idle_spin_downs: u64,
+    drains: u64,
+    parked_requests: u64,
+    catalog: CatalogStats,
+    cold: LatencySummary,
+    warm: LatencySummary,
+}
+
+impl PagedMeasurement {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"budget\": {}, \"fixes\": {}, \
+             \"fixes_per_sec\": {:.1}, \"parity\": {}, \"faults\": {}, \
+             \"idle_spin_downs\": {}, \"drains\": {}, \"parked_requests\": {}, \
+             \"catalog\": {{\"hits\": {}, \"misses\": {}, \"hydrations\": {}, \
+             \"retrains\": {}, \"evictions\": {}, \"pinned\": {}}}, \
+             \"cold\": {}, \"warm\": {}}}",
+            self.mode,
+            self.shards,
+            self.budget,
+            self.fixes,
+            self.fixes_per_sec,
+            self.parity,
+            self.faults,
+            self.idle_spin_downs,
+            self.drains,
+            self.parked_requests,
+            self.catalog.hits,
+            self.catalog.misses,
+            self.catalog.hydrations,
+            self.catalog.retrains,
+            self.catalog.evictions,
+            self.catalog.pinned,
+            self.cold.json(),
+            self.warm.json()
+        )
+    }
+}
+
+/// Per-fix observations of [`drive_collect`]: answers aligned to the fix
+/// stream's submission order, `(cold, latency_us)` samples, and the
+/// overall fixes/second.
+type DriveObservations = (Vec<Point>, Vec<(bool, u128)>, f64);
+
+/// Drives `fixes` through the server from `clients` synchronous
+/// request/response threads, collecting each fix's answer (in submission
+/// order), its cold flag and its end-to-end latency — the per-request
+/// view the demand-paged measurement needs to split cold-start tails
+/// from steady-state percentiles.
+fn drive_collect(
+    server: &BatchServer,
+    fixes: &[(ShardKey, Vec<f64>)],
+    clients: usize,
+) -> Result<DriveObservations, Box<dyn std::error::Error>> {
+    type Record = (usize, Point, bool, u128);
+    let slices: Vec<Vec<(usize, ShardKey, Vec<f64>)>> = (0..clients)
+        .map(|c| {
+            fixes
+                .iter()
+                .enumerate()
+                .skip(c)
+                .step_by(clients)
+                .map(|(i, (key, row))| (i, *key, row.clone()))
+                .collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let mut collected: Vec<Record> = Vec::with_capacity(fixes.len());
+    std::thread::scope(|s| -> Result<(), noble_serve::ServeError> {
+        let mut handles = Vec::new();
+        for mine in slices {
+            let client = server.client();
+            handles.push(
+                s.spawn(move || -> Result<Vec<Record>, noble_serve::ServeError> {
+                    let mut out = Vec::with_capacity(mine.len());
+                    for (i, key, row) in mine {
+                        let submitted = Instant::now();
+                        let pending = client.submit(key, row)?;
+                        let cold = pending.cold();
+                        let point = pending.wait()?;
+                        out.push((i, point, cold, submitted.elapsed().as_micros()));
+                    }
+                    Ok(out)
+                }),
+            );
+        }
+        for h in handles {
+            collected.extend(h.join().expect("client thread")?);
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let mut answers = vec![Point::new(f64::NAN, f64::NAN); fixes.len()];
+    let mut samples = Vec::with_capacity(fixes.len());
+    for (i, point, cold, latency) in collected {
+        answers[i] = point;
+        samples.push((cold, latency));
+    }
+    Ok((answers, samples, fixes.len() as f64 / elapsed))
+}
+
+/// Per-run catalog counters: the paged server reports cumulative catalog
+/// stats (the catalog round-trips between measurement modes), so each
+/// row records the delta across its own drive.
+fn catalog_delta(after: CatalogStats, before: CatalogStats) -> CatalogStats {
+    CatalogStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        hydrations: after.hydrations - before.hydrations,
+        retrains: after.retrains - before.retrains,
+        evictions: after.evictions - before.evictions,
+        pinned: after.pinned - before.pinned,
     }
 }
 
@@ -237,6 +409,7 @@ pub fn run(scale: Scale) -> RunnerResult {
                     BatchConfig {
                         max_batch,
                         latency_budget: Duration::from_micros(budget_us),
+                        idle_ttl: None,
                     },
                 )?;
                 let rate = drive(&server, &fixes, clients, pipeline)?;
@@ -346,6 +519,7 @@ pub fn run(scale: Scale) -> RunnerResult {
                 BatchConfig {
                     max_batch,
                     latency_budget: Duration::from_micros(budget_us),
+                    idle_ttl: None,
                 },
             )?;
             let rate = drive(&server, &fixes, clients, true)?;
@@ -365,6 +539,151 @@ pub fn run(scale: Scale) -> RunnerResult {
             fixes_per_sec: best,
             shard_stats: stats,
         });
+    }
+
+    // --- Demand-paged oversubscribed serving (ROADMAP "store-aware
+    // BatchServer"): many more shards than the catalog budget allows
+    // resident. Shard workers fault models in through the shared catalog
+    // and spin down under budget pressure (LRU drains) or the idle TTL;
+    // answers are asserted bit-identical to the fully-resident server
+    // inline, and the JSON rows record fault / spin-down counts plus
+    // cold-vs-warm latency percentiles. ---
+    let mut paged_rows: Vec<PagedMeasurement> = Vec::new();
+    let (paged_shards_target, paged_budget) = match scale {
+        Scale::Quick => (8usize, 2usize),
+        Scale::Full => (16, 4),
+    };
+    {
+        let paged_fixes = match scale {
+            Scale::Quick => 768usize,
+            Scale::Full => 4096,
+        };
+        let shard_total = paged_shards_target;
+        // Oversplit the campus into `shard_total` shards: building-floor
+        // zones, each further quartered by the low mantissa bits of the
+        // sample position (deterministic, and consistent between train
+        // and test samples recorded at the same spot).
+        let keyer = move |s: &WifiSample| {
+            let zone = s.building * floors + s.floor;
+            let sub = (((s.position.x.to_bits() & 1) << 1) | (s.position.y.to_bits() & 1)) as usize;
+            ShardKey::building((zone * 4 + sub) % shard_total)
+        };
+        let registry = ShardedRegistry::train_wifi_with(
+            &campaign,
+            keyer,
+            &model_cfg,
+            &RegistryConfig::default(),
+        )?;
+        let registry_keys = registry.keys();
+        let shard_count = registry_keys.len();
+
+        // Snapshot every trained shard into the store the paged catalog
+        // will fault from (hydration is bit-identical, so the paged
+        // server serves the *same models* the resident control serves).
+        let store = MemStore::new();
+        registry.save_to(&store)?;
+        let mut catalog = Some(ModelCatalog::with_store(
+            CatalogBudget::Count(paged_budget),
+            Box::new(store),
+        )?);
+
+        // Per-shard test rows under the same keyer.
+        let features = campaign.features(&campaign.test);
+        let mut by_shard: BTreeMap<ShardKey, Vec<Vec<f64>>> = BTreeMap::new();
+        for (i, sample) in campaign.test.iter().enumerate() {
+            let key = keyer(sample);
+            if registry_keys.contains(&key) {
+                by_shard
+                    .entry(key)
+                    .or_default()
+                    .push(features.row(i).to_vec());
+            }
+        }
+        let shard_keys: Vec<ShardKey> = by_shard.keys().copied().collect();
+
+        // Uniform: blocks of `clients * 4` consecutive fixes per shard,
+        // rotating round-robin — every shard revisit past the budget is
+        // an evict-then-refault, with warm riders inside each block.
+        let uniform: Vec<(ShardKey, Vec<f64>)> = (0..paged_fixes)
+            .map(|i| {
+                let key = shard_keys[(i / (clients * 4)) % shard_keys.len()];
+                let rows = &by_shard[&key];
+                (key, rows[i % rows.len()].clone())
+            })
+            .collect();
+        // Skewed: shard popularity ~ 1/(rank+1) over a deterministic
+        // stride — popular shards stay resident, the tail keeps faulting.
+        let weights: Vec<usize> = (0..shard_keys.len()).map(|r| 1000 / (r + 1)).collect();
+        let total_weight: usize = weights.iter().sum();
+        let skewed: Vec<(ShardKey, Vec<f64>)> = (0..paged_fixes)
+            .map(|i| {
+                let mut t = (i * 7919 + 13) % total_weight;
+                let mut idx = shard_keys.len() - 1;
+                for (j, w) in weights.iter().enumerate() {
+                    if t < *w {
+                        idx = j;
+                        break;
+                    }
+                    t -= w;
+                }
+                let key = shard_keys[idx];
+                let rows = &by_shard[&key];
+                (key, rows[i % rows.len()].clone())
+            })
+            .collect();
+
+        let serve_cfg = BatchConfig {
+            max_batch: 64,
+            latency_budget: Duration::from_micros(200),
+            idle_ttl: Some(Duration::from_millis(20)),
+        };
+        let pin = ThreadPin::pin_to_one();
+        let resident = BatchServer::start(registry, serve_cfg)?;
+        for (mode, fixes) in [("paged-uniform", &uniform), ("paged-skewed", &skewed)] {
+            let (expected, _, _) = drive_collect(&resident, fixes, clients)?;
+            let paged_server =
+                BatchServer::start_paged(catalog.take().expect("catalog round-trips"), serve_cfg)?;
+            let catalog_before = paged_server.paged_stats().expect("paged server").catalog;
+            let (answers, samples, rate) = drive_collect(&paged_server, fixes, clients)?;
+            if answers != expected {
+                return Err(format!(
+                    "{mode}: demand-paged answers diverged from the fully-resident server"
+                )
+                .into());
+            }
+            let pstats = paged_server.paged_stats().expect("paged server");
+            let (_, recovered) = paged_server.shutdown_with_catalog()?;
+            catalog = Some(recovered);
+            paged_rows.push(PagedMeasurement {
+                mode,
+                shards: shard_count,
+                budget: paged_budget,
+                fixes: fixes.len(),
+                fixes_per_sec: rate,
+                parity: true,
+                faults: pstats.faults,
+                idle_spin_downs: pstats.idle_spin_downs,
+                drains: pstats.drains,
+                parked_requests: pstats.parked_requests,
+                catalog: catalog_delta(pstats.catalog, catalog_before),
+                cold: LatencySummary::of(
+                    samples
+                        .iter()
+                        .filter(|(c, _)| *c)
+                        .map(|(_, l)| *l)
+                        .collect(),
+                ),
+                warm: LatencySummary::of(
+                    samples
+                        .iter()
+                        .filter(|(c, _)| !*c)
+                        .map(|(_, l)| *l)
+                        .collect(),
+                ),
+            });
+        }
+        drop(pin);
+        resident.shutdown();
     }
 
     let mut out = String::new();
@@ -409,18 +728,51 @@ pub fn run(scale: Scale) -> RunnerResult {
         speedup_at_reference * single_at_reference,
         single_at_reference,
     ));
+    if let Some(first) = paged_rows.first() {
+        out.push_str(&format!(
+            "\nDEMAND-PAGED (oversubscribed): {} shards under a budget of {} resident models, \
+             answers bit-identical to the fully-resident server\n",
+            first.shards, first.budget
+        ));
+        for row in &paged_rows {
+            out.push_str(&format!(
+                "  {:>13}: {:>7.0} fixes/sec | faults={} drains={} idle_spin_downs={} \
+                 hydrations={} | cold p50/p99 = {}/{} us ({} fixes) | \
+                 warm p50/p99 = {}/{} us ({} fixes)\n",
+                row.mode,
+                row.fixes_per_sec,
+                row.faults,
+                row.drains,
+                row.idle_spin_downs,
+                row.catalog.hydrations,
+                row.cold.p50_us,
+                row.cold.p99_us,
+                row.cold.count,
+                row.warm.p50_us,
+                row.warm.p99_us,
+                row.warm.count,
+            ));
+        }
+    }
 
     let json = format!(
         "{{\n  \"available_parallelism\": {available},\n  \"hidden_dim\": {},\n  \
          \"num_waps\": {},\n  \"clients\": {clients},\n  \"total_fixes\": {total_fixes},\n  \
          \"reference_shards\": {reference_shards},\n  \
          \"speedup_batched_vs_single\": {speedup_at_reference:.3},\n  \
-         \"measurements\": [\n{}\n  ]\n}}\n",
+         \"measurements\": [\n{}\n  ],\n  \
+         \"paged_budget\": {paged_budget},\n  \
+         \"paged\": [\n{}\n  ]\n}}\n",
         model_cfg.hidden_dim,
         campaign.num_waps(),
         measurements
             .iter()
             .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        paged_rows
+            .iter()
+            .map(PagedMeasurement::json)
             .collect::<Vec<_>>()
             .join(",\n")
     );

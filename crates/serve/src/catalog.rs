@@ -18,7 +18,50 @@
 //!   snapshotted into it before its memory is released, so no answer is
 //! ever lost — a later request hydrates the identical model back.
 //! Models that cannot snapshot (the research baselines) and have no
-//! spec are never evicted; they pin their budget share.
+//! spec are never evicted; they pin their budget share, and every time
+//! eviction has to walk past one the [`CatalogStats::pinned`] counter
+//! ticks so an un-honorable budget is observable.
+//!
+//! For serving, [`ModelCatalog::into_shared`] converts the catalog into
+//! a [`SharedCatalog`]: the thread-shared face that demand-paged shard
+//! workers lease models out of and release them back into
+//! ([`crate::BatchServer::start_paged`]). Faulting — store reads,
+//! hydration, retraining — runs *outside* the shared state lock, so
+//! concurrently faulting shards overlap instead of queueing behind one
+//! another; only same-shard lease/release pairs are serialized.
+//!
+//! # Examples
+//!
+//! A budget of one resident model over three shards: inserts evict
+//! least-recently-used victims through the store, and later requests
+//! hydrate them back bit-identically.
+//!
+//! ```
+//! use noble::wifi::KnnFingerprint;
+//! use noble::Localizer;
+//! use noble_datasets::{uji_campaign, UjiConfig};
+//! use noble_serve::{CatalogBudget, ModelCatalog, ShardKey};
+//!
+//! let campaign = uji_campaign(&UjiConfig::small())?;
+//! let probe = campaign.features(&campaign.test[..4]);
+//!
+//! let mut catalog = ModelCatalog::new(CatalogBudget::Count(1))?;
+//! let mut expected = Vec::new();
+//! for k in 1..=3 {
+//!     let mut model: Box<dyn Localizer> = Box::new(KnnFingerprint::fit(&campaign, k)?);
+//!     expected.push(model.localize_batch(&probe)?);
+//!     catalog.insert(ShardKey::building(k), model)?;
+//!     assert!(catalog.resident_len() <= 1, "budget of one enforced");
+//! }
+//! // All three shards still answer — cold ones fault back in from the
+//! // store tier, bit-identical to the original models.
+//! for (k, reference) in (1..=3).zip(&expected) {
+//!     assert_eq!(&catalog.localize(ShardKey::building(k), &probe)?, reference);
+//! }
+//! assert!(catalog.stats().evictions >= 2);
+//! assert!(catalog.stats().hydrations >= 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use crate::registry::partition_campaign;
 use crate::{shard_seed, MemStore, ModelStore, RegistryConfig, ServeError, ShardKey};
@@ -30,6 +73,7 @@ use noble_geo::Point;
 use noble_linalg::Matrix;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Memory envelope of the resident tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +118,12 @@ pub struct CatalogStats {
     pub retrains: u64,
     /// Resident models retired to the store tier.
     pub evictions: u64,
+    /// Times eviction needed room but had to walk past a model that can
+    /// neither snapshot nor retrain. The model stays resident (pinned),
+    /// which means the budget could not be fully honored — a nonzero
+    /// count is the observable warning that an oversubscribed budget is
+    /// being exceeded by unsnapshotable baselines.
+    pub pinned: u64,
 }
 
 /// A recipe to (re)train one shard's model on demand. The seed is
@@ -164,8 +214,8 @@ struct Resident {
 /// module docs for the three tiers).
 pub struct ModelCatalog {
     budget: CatalogBudget,
-    store: Box<dyn ModelStore>,
-    specs: BTreeMap<ShardKey, TrainSpec>,
+    store: Arc<dyn ModelStore>,
+    specs: BTreeMap<ShardKey, Arc<TrainSpec>>,
     resident: BTreeMap<ShardKey, Resident>,
     /// Keys known to have a snapshot in the store tier (primed from
     /// `store.list()` at construction, maintained on every put).
@@ -217,7 +267,7 @@ impl ModelCatalog {
         let stored: BTreeSet<ShardKey> = store.list()?.into_iter().collect();
         Ok(ModelCatalog {
             budget,
-            store,
+            store: Arc::from(store),
             specs: BTreeMap::new(),
             resident: BTreeMap::new(),
             stored,
@@ -307,14 +357,14 @@ impl ModelCatalog {
                 last_used: self.clock,
             },
         );
-        self.enforce_budget(key)
+        self.enforce_budget(Some(key))
     }
 
     /// Registers a training recipe for a cold shard: the first request
     /// for `key` (with no resident model and no stored snapshot) trains
     /// it on demand, snapshots it into the store, and serves.
     pub fn register_spec(&mut self, key: ShardKey, spec: TrainSpec) {
-        self.specs.insert(key, spec);
+        self.specs.insert(key, Arc::new(spec));
     }
 
     /// Partitions a WiFi campaign under the registry configuration and
@@ -454,6 +504,26 @@ impl ModelCatalog {
             .collect()
     }
 
+    /// Converts the catalog into its thread-shared face for demand-paged
+    /// serving (see [`SharedCatalog`]). All three tiers carry over:
+    /// resident models become the parked tier, the store and spec tiers
+    /// serve cold faults.
+    pub fn into_shared(self) -> SharedCatalog {
+        SharedCatalog {
+            budget: self.budget,
+            store: self.store,
+            specs: self.specs,
+            state: Mutex::new(SharedState {
+                parked: self.resident,
+                stored: self.stored,
+                leased: BTreeSet::new(),
+                clock: self.clock,
+                stats: self.stats,
+            }),
+            released: Condvar::new(),
+        }
+    }
+
     /// Faults `key` into the resident tier.
     fn ensure_resident(&mut self, key: ShardKey) -> Result<(), ServeError> {
         if self.resident.contains_key(&key) {
@@ -504,7 +574,7 @@ impl ModelCatalog {
                 last_used: self.clock,
             },
         );
-        self.enforce_budget(key)
+        self.enforce_budget(Some(key))
     }
 
     fn over_budget(&self) -> bool {
@@ -520,12 +590,12 @@ impl ModelCatalog {
     /// Evicts least-recently-used resident models (never `protect`, the
     /// shard being served) until the budget holds or only unevictable
     /// models remain.
-    fn enforce_budget(&mut self, protect: ShardKey) -> Result<(), ServeError> {
+    fn enforce_budget(&mut self, protect: Option<ShardKey>) -> Result<(), ServeError> {
         while self.over_budget() {
             let mut candidates: Vec<(u64, ShardKey)> = self
                 .resident
                 .iter()
-                .filter(|(k, _)| **k != protect)
+                .filter(|(k, _)| protect != Some(**k))
                 .map(|(k, r)| (r.last_used, *k))
                 .collect();
             candidates.sort_unstable();
@@ -543,7 +613,11 @@ impl ModelCatalog {
                     victim = Some((k, Some(snapshot)));
                     break;
                 }
-                // Pinned (unsnapshotable, no spec): try the next-oldest.
+                // Pinned (unsnapshotable, no spec): the budget cannot be
+                // honored for this model — count the walk-past so
+                // oversubscribed-but-pinned budgets are observable, then
+                // try the next-oldest.
+                self.stats.pinned += 1;
             }
             let Some((victim, snapshot)) = victim else {
                 // Everything left is pinned; staying over budget beats
@@ -591,5 +665,299 @@ impl ModelCatalog {
         }
         self.stats.evictions += 1;
         Ok(())
+    }
+}
+
+/// What a leasing worker must do to materialize a cold model.
+enum LeaseSource {
+    Stored,
+    Spec(Arc<TrainSpec>),
+}
+
+/// State of a [`SharedCatalog`] that changes under the lock. The store
+/// and spec tiers live *outside* it: they are `&self`-safe, so the
+/// expensive half of a fault (store reads, hydration, retraining) never
+/// holds this lock.
+struct SharedState {
+    /// Models checked into the catalog and not leased out (the resident
+    /// tier between serve cycles).
+    parked: BTreeMap<ShardKey, Resident>,
+    /// Keys known to have a snapshot in the store tier.
+    stored: BTreeSet<ShardKey>,
+    /// Keys whose model is currently leased to a shard worker.
+    leased: BTreeSet<ShardKey>,
+    clock: u64,
+    stats: CatalogStats,
+}
+
+/// The thread-shared face of a [`ModelCatalog`], built for demand-paged
+/// serving ([`crate::BatchServer::start_paged`]).
+///
+/// Shard workers *lease* a model out of the catalog on their first
+/// request (a parked-tier hit, a store-tier hydration, or a spec-tier
+/// retrain — all bit-identical to the eager model) and *release* it back
+/// when they spin down: either cold (write-through to the store, memory
+/// freed) or parked (kept live for the next lease, the shutdown path).
+///
+/// Concurrency contract: the state lock only guards bookkeeping. Two
+/// shards faulting at the same time hydrate or retrain concurrently;
+/// only lease/release pairs *for the same shard* serialize (a new lease
+/// waits until the previous worker has released the key, so a spinning-
+/// down worker's write-through always completes before a successor
+/// rehydrates).
+pub struct SharedCatalog {
+    budget: CatalogBudget,
+    store: Arc<dyn ModelStore>,
+    specs: BTreeMap<ShardKey, Arc<TrainSpec>>,
+    state: Mutex<SharedState>,
+    /// Signals lease releases (same-shard waiters re-check here).
+    released: Condvar,
+}
+
+impl fmt::Debug for SharedCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().expect("catalog state");
+        f.debug_struct("SharedCatalog")
+            .field("budget", &self.budget)
+            .field("parked", &state.parked.keys().collect::<Vec<_>>())
+            .field("leased", &state.leased)
+            .field("stored", &state.stored)
+            .field("specs", &self.specs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SharedCatalog {
+    /// The configured budget (enforced across *leased* models by the
+    /// paged server, and across parked models when converting back to a
+    /// [`ModelCatalog`]).
+    pub fn budget(&self) -> CatalogBudget {
+        self.budget
+    }
+
+    /// Lifecycle counters so far.
+    pub fn stats(&self) -> CatalogStats {
+        self.state.lock().expect("catalog state").stats
+    }
+
+    /// Every key the catalog can serve (parked ∪ leased ∪ stored ∪
+    /// specs), sorted.
+    pub fn keys(&self) -> Vec<ShardKey> {
+        let state = self.state.lock().expect("catalog state");
+        let mut keys: BTreeSet<ShardKey> = state.parked.keys().copied().collect();
+        keys.extend(state.leased.iter().copied());
+        keys.extend(state.stored.iter().copied());
+        keys.extend(self.specs.keys().copied());
+        keys.into_iter().collect()
+    }
+
+    /// Number of models currently leased to shard workers.
+    pub fn leased_len(&self) -> usize {
+        self.state.lock().expect("catalog state").leased.len()
+    }
+
+    /// Checks `key`'s model out of the catalog for exclusive use by one
+    /// shard worker, faulting it in (parked hit → store hydration → spec
+    /// retrain) if cold. Returns the model and its budget cost (encoded
+    /// snapshot bytes; `0` when unknown).
+    ///
+    /// Blocks while a previous worker still holds `key`'s lease, so a
+    /// spin-down's write-through always completes before the re-fault.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] when no tier knows `key`; propagates
+    /// hydration, training and store failures (the lease is not held on
+    /// error).
+    pub(crate) fn lease(&self, key: ShardKey) -> Result<(Box<dyn Localizer>, usize), ServeError> {
+        let source = {
+            let mut state = self.state.lock().expect("catalog state");
+            while state.leased.contains(&key) {
+                state = self.released.wait(state).expect("catalog state");
+            }
+            if let Some(parked) = state.parked.remove(&key) {
+                state.stats.hits += 1;
+                state.leased.insert(key);
+                return Ok((parked.model, parked.cost));
+            }
+            state.stats.misses += 1;
+            if state.stored.contains(&key) {
+                state.leased.insert(key);
+                LeaseSource::Stored
+            } else if let Some(spec) = self.specs.get(&key) {
+                state.leased.insert(key);
+                LeaseSource::Spec(Arc::clone(spec))
+            } else {
+                return Err(ServeError::UnknownShard(key));
+            }
+        };
+        // The expensive half — a store read + hydration, or a full
+        // retrain — runs outside the state lock so concurrently faulting
+        // shards overlap instead of queueing behind one another.
+        let outcome: Result<(Box<dyn Localizer>, usize, bool), ServeError> = match source {
+            LeaseSource::Stored => self
+                .store
+                .get(key)
+                .and_then(|snapshot| {
+                    snapshot.ok_or_else(|| {
+                        ServeError::Store(format!("snapshot for shard {key} vanished from store"))
+                    })
+                })
+                .and_then(|snapshot| {
+                    let model = hydrate(&snapshot)?;
+                    Ok((
+                        Box::new(Sited {
+                            site: key.to_string(),
+                            inner: model,
+                        }) as Box<dyn Localizer>,
+                        snapshot.encoded_len(),
+                        false,
+                    ))
+                }),
+            LeaseSource::Spec(spec) => spec.train(key).and_then(|model| {
+                // Write through immediately: the next cold fault hydrates
+                // instead of paying the retrain again.
+                let cost = match model.try_snapshot() {
+                    Some(snapshot) => {
+                        self.store.put(key, &snapshot)?;
+                        snapshot.encoded_len()
+                    }
+                    None => 0,
+                };
+                Ok((
+                    Box::new(Sited {
+                        site: key.to_string(),
+                        inner: model,
+                    }) as Box<dyn Localizer>,
+                    cost,
+                    true,
+                ))
+            }),
+        };
+        let mut state = self.state.lock().expect("catalog state");
+        match outcome {
+            Ok((model, cost, retrained)) => {
+                if retrained {
+                    state.stats.retrains += 1;
+                    if cost > 0 {
+                        state.stored.insert(key);
+                    }
+                } else {
+                    state.stats.hydrations += 1;
+                }
+                Ok((model, cost))
+            }
+            Err(e) => {
+                state.leased.remove(&key);
+                self.released.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Checks a leased model back in *cold*: writes it through to the
+    /// store if it is not already there, then releases its memory (the
+    /// spin-down path). A model that can neither snapshot nor retrain is
+    /// parked instead of dropped — never lost — and the
+    /// [`CatalogStats::pinned`] warning counter ticks.
+    pub(crate) fn release_cold(&self, key: ShardKey, model: Box<dyn Localizer>, cost: usize) {
+        let needs_write = !self
+            .state
+            .lock()
+            .expect("catalog state")
+            .stored
+            .contains(&key);
+        if needs_write {
+            // Serialization and the store write run outside the lock.
+            match model.try_snapshot() {
+                Some(snapshot) => match self.store.put(key, &snapshot) {
+                    Ok(()) => {
+                        self.state.lock().expect("catalog state").stored.insert(key);
+                    }
+                    Err(e) => {
+                        // Failing the write-through must not lose the
+                        // model: park it and keep serving from memory.
+                        eprintln!(
+                            "noble-serve: spin-down write-through for shard {key} failed ({e}); \
+                             keeping the model resident"
+                        );
+                        return self.release_parked(key, model, cost);
+                    }
+                },
+                // Retrainable from its spec: dropping is safe.
+                None if self.specs.contains_key(&key) => {}
+                None => {
+                    self.state.lock().expect("catalog state").stats.pinned += 1;
+                    return self.release_parked(key, model, cost);
+                }
+            }
+        }
+        drop(model);
+        let mut state = self.state.lock().expect("catalog state");
+        state.stats.evictions += 1;
+        state.leased.remove(&key);
+        self.released.notify_all();
+    }
+
+    /// Checks a leased model back in *live*: it stays parked in the
+    /// resident tier for the next lease (the server-shutdown path, so
+    /// converting back to a [`ModelCatalog`] hands warm models back).
+    pub(crate) fn release_parked(&self, key: ShardKey, model: Box<dyn Localizer>, cost: usize) {
+        let mut state = self.state.lock().expect("catalog state");
+        state.clock += 1;
+        let last_used = state.clock;
+        state.parked.insert(
+            key,
+            Resident {
+                model,
+                cost,
+                last_used,
+            },
+        );
+        state.leased.remove(&key);
+        self.released.notify_all();
+    }
+
+    /// Takes every parked model out of the catalog without budget
+    /// trimming (the registry hand-off: the caller wants the live models
+    /// themselves, not a budget-enforced resident tier). Stored
+    /// snapshots and specs stay behind and are dropped with `self`.
+    pub(crate) fn take_parked(&self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
+        let mut state = self.state.lock().expect("catalog state");
+        std::mem::take(&mut state.parked)
+            .into_iter()
+            .map(|(key, resident)| (key, resident.model))
+            .collect()
+    }
+
+    /// Drains the shared state back into a single-threaded
+    /// [`ModelCatalog`] (parked models become the resident tier, trimmed
+    /// back under the budget with write-through evictions). Any model
+    /// still leased when this runs stays with its worker and is simply
+    /// absent — the paged server only calls this after joining every
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write-through failures while trimming to the budget.
+    pub(crate) fn drain_into_catalog(&self) -> Result<ModelCatalog, ServeError> {
+        let mut state = self.state.lock().expect("catalog state");
+        debug_assert!(
+            state.leased.is_empty(),
+            "draining a SharedCatalog with live leases loses models"
+        );
+        let resident = std::mem::take(&mut state.parked);
+        let mut catalog = ModelCatalog {
+            budget: self.budget,
+            store: Arc::clone(&self.store),
+            specs: self.specs.clone(),
+            resident,
+            stored: state.stored.clone(),
+            clock: state.clock,
+            stats: state.stats,
+        };
+        drop(state);
+        catalog.enforce_budget(None)?;
+        Ok(catalog)
     }
 }

@@ -18,19 +18,28 @@
 //!   bounded per-shard memory, and routes feature batches to the owning
 //!   shard — an unknown key is the typed [`ServeError::UnknownShard`],
 //!   never a panic.
-//! - [`BatchServer`] owns one std worker thread per shard and
-//!   micro-batches concurrently arriving fixes under a configurable
-//!   latency budget / max batch size ([`BatchConfig`]) before one stacked
-//!   `localize_batch` call; per-request reply channels carry results
-//!   back, [`BatchServer::shutdown`] drains gracefully,
-//!   [`BatchServer::stats`] reports per-shard throughput/latency, and
-//!   [`BatchServer::start_from_store`] warm-restarts straight from
-//!   persisted snapshots, skipping retraining entirely.
+//! - [`BatchServer`] micro-batches concurrently arriving fixes under a
+//!   configurable latency budget / max batch size ([`BatchConfig`])
+//!   before one stacked `localize_batch` call; per-request reply
+//!   channels carry results back, [`BatchServer::shutdown`] drains
+//!   gracefully, [`BatchServer::stats`] reports per-shard
+//!   throughput/latency, and [`BatchServer::start_from_store`]
+//!   warm-restarts straight from persisted snapshots, skipping
+//!   retraining entirely. It runs in one of two disciplines:
+//!   [`BatchServer::start`] keeps every shard's model and worker alive
+//!   (fully resident), while [`BatchServer::start_paged`] **demand-pages
+//!   shards over a shared catalog** — workers fault models in on a
+//!   shard's first request and spin down when idle or when a colder
+//!   shard needs their budget slot, so one process serves strictly more
+//!   shards than fit under the [`CatalogBudget`]
+//!   ([`BatchServer::paged_stats`] counts faults, spin-downs and drains).
 //!
-//! Batching never changes answers: the linalg substrate picks its matmul
-//! kernel per output row, so served results are **bit-identical** to
-//! direct `localize_batch` calls under any coalescing and any thread
-//! count (pinned by this crate's `serving_parity` integration test).
+//! Neither batching nor paging changes answers: the linalg substrate
+//! picks its matmul kernel per output row, and snapshot round-trips /
+//! key-derived retrains are exact, so served results are
+//! **bit-identical** to direct `localize_batch` calls under any
+//! coalescing, any thread count, and any eviction schedule (pinned by
+//! this crate's `serving_parity` integration test).
 //!
 //! ```no_run
 //! use noble_serve::{BatchConfig, BatchServer, RegistryConfig, ShardedRegistry, ShardKey};
@@ -61,10 +70,10 @@ mod registry;
 mod server;
 mod store;
 
-pub use catalog::{CatalogBudget, CatalogStats, ModelCatalog, TrainSpec};
+pub use catalog::{CatalogBudget, CatalogStats, ModelCatalog, SharedCatalog, TrainSpec};
 pub use error::ServeError;
 pub use registry::{
     partition_campaign, shard_seed, RegistryConfig, ShardKey, ShardPolicy, ShardedRegistry,
 };
-pub use server::{BatchConfig, BatchServer, PendingFix, ServeClient, ShardStats};
+pub use server::{BatchConfig, BatchServer, PagedStats, PendingFix, ServeClient, ShardStats};
 pub use store::{FsStore, MemStore, ModelStore};

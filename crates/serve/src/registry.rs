@@ -157,11 +157,18 @@ pub fn partition_campaign(
 ///
 /// **Deprecated as a primary API**: the registry keeps *every* model
 /// resident (an unbounded catalog), which is exactly the grow-only
-/// memory behavior [`ModelCatalog`] was built to replace. New code that
-/// serves more sites than fit in RAM should construct a
-/// [`ModelCatalog`] with a [`CatalogBudget`] (and usually a
-/// [`crate::FsStore`]) directly; [`ShardedRegistry::into_catalog`] is
-/// the migration path for an already-trained registry.
+/// memory behavior [`ModelCatalog`] was built to replace. Migrate in
+/// two steps:
+///
+/// 1. build a [`ModelCatalog`] with a [`CatalogBudget`] and usually a
+///    [`crate::FsStore`] — either directly
+///    ([`ModelCatalog::register_wifi_campaign`] /
+///    [`ModelCatalog::register_imu_campaign`] for lazy training) or via
+///    [`ShardedRegistry::into_catalog`] for an already-trained registry;
+/// 2. serve it demand-paged with [`crate::BatchServer::start_paged`],
+///    which replaces the one-worker-per-shard assumption of
+///    [`crate::BatchServer::start`] with request-driven shard
+///    spin-up/spin-down under the same budget.
 ///
 /// Routing is by exact [`ShardKey`]; an unknown key is the typed
 /// [`ServeError::UnknownShard`], never a panic. The registry is the

@@ -1,33 +1,108 @@
-//! The micro-batching request pipeline.
+//! The micro-batching request pipeline, in two serving disciplines.
 //!
-//! [`BatchServer`] owns one std worker thread per shard. Clients submit
-//! fingerprints tagged with a [`ShardKey`]; the shard's worker coalesces
-//! whatever arrives within a **latency budget** (or up to a **max batch
-//! size**) into one stacked [`Localizer::localize_batch`] call and fans
-//! the results back through per-request reply channels.
+//! [`BatchServer::start`] is the **fully-resident** server: one std
+//! worker thread per shard, every model materialized up front. Clients
+//! submit fingerprints tagged with a [`ShardKey`]; the shard's worker
+//! coalesces whatever arrives within a **latency budget** (or up to a
+//! **max batch size**) into one stacked [`Localizer::localize_batch`]
+//! call and fans the results back through per-request reply channels.
 //!
-//! Because the linalg substrate picks its matmul kernel per output row,
-//! results are **bit-identical to unbatched serving no matter how
-//! requests coalesce** — batching buys throughput, never changes answers
-//! (pinned by the `serving_parity` integration test).
+//! [`BatchServer::start_paged`] is the **demand-paged** server: it
+//! serves every shard of a [`crate::ModelCatalog`] — resident, stored,
+//! or merely spec-registered — while keeping only the catalog's
+//! [`crate::CatalogBudget`] worth of models (and worker threads) alive.
+//! Each shard walks a four-state lifecycle:
+//!
+//! ```text
+//!          submit() to a cold shard              lease() done
+//!   COLD ───────────────────────────► WARMING ───────────────► HOT
+//!    ▲         (worker spawned;        (model faulting in:      │
+//!    │          requests park in        store hydration or      │ Drain /
+//!    │          its queue)              spec retrain)           │ idle TTL
+//!    │                                                          ▼
+//!    └───────────────────────────────────────────────────── DRAINING
+//!              (serves its parked backlog, writes the model
+//!               back through the store, worker thread exits)
+//! ```
+//!
+//! - **COLD → WARMING**: the first request to a cold shard spawns its
+//!   worker and *parks* in the worker's queue; the worker leases the
+//!   model from the shared [`crate::SharedCatalog`] (hydrate or retrain,
+//!   outside any global lock, so concurrently warming shards overlap).
+//! - **HOT → DRAINING**: a worker retires when it has been idle for
+//!   [`BatchConfig::idle_ttl`], or when a *colder* shard needs its
+//!   budget slot (the least-recently-active hot worker is drained — the
+//!   LRU spin-down policy). Draining writes the model back through the
+//!   store first, so nothing is ever lost and a later re-fault hydrates
+//!   the identical bits.
+//! - Requests racing a spin-down are never dropped: the retiring worker
+//!   serves everything already queued, and anything newer re-warms the
+//!   shard through a fresh worker.
+//!
+//! Because model snapshot round-trips and key-derived retrains are
+//! bit-identical (pinned by the `snapshot_roundtrip` and `model_store`
+//! suites), a demand-paged server returns the **exact bits** the
+//! fully-resident server returns — oversubscription buys memory, never
+//! changes answers (pinned by `serving_parity`).
 //!
 //! The container targets offline std-only builds, so there is no async
 //! runtime: blocking `mpsc` channels plus `recv_timeout` implement the
 //! budgeted coalescing loop, and [`noble_linalg::num_threads`] /
 //! `NOBLE_THREADS` still govern intra-batch matmul parallelism on top of
 //! the inter-shard parallelism this module adds.
+//!
+//! # Examples
+//!
+//! Serve six shards with at most two models resident — the catalog
+//! budget is the *memory* bound, not the *serving* bound:
+//!
+//! ```
+//! use noble::wifi::KnnFingerprint;
+//! use noble_datasets::{uji_campaign, UjiConfig};
+//! use noble_serve::{BatchConfig, BatchServer, CatalogBudget, ModelCatalog, ShardKey};
+//! use std::time::Duration;
+//!
+//! let campaign = uji_campaign(&UjiConfig::small())?;
+//! let mut catalog = ModelCatalog::new(CatalogBudget::Count(2))?;
+//! for i in 0..6 {
+//!     let model = KnnFingerprint::fit(&campaign, i + 1)?;
+//!     catalog.insert(ShardKey::building(i), Box::new(model))?;
+//! }
+//!
+//! let server = BatchServer::start_paged(
+//!     catalog,
+//!     BatchConfig {
+//!         idle_ttl: Some(Duration::from_millis(50)),
+//!         ..BatchConfig::default()
+//!     },
+//! )?;
+//! let client = server.client();
+//! // Every shard answers, faulting its model in on first touch.
+//! for i in 0..6 {
+//!     let fix = client.localize(ShardKey::building(i), vec![0.0; campaign.num_waps()])?;
+//!     println!("b{i}: {fix}");
+//! }
+//! let paged = server.paged_stats().expect("paged server");
+//! assert!(paged.faults >= 6);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-use crate::{ModelStore, ServeError, ShardKey, ShardedRegistry};
+use crate::catalog::SharedCatalog;
+use crate::{
+    CatalogBudget, CatalogStats, ModelCatalog, ModelStore, ServeError, ShardKey, ShardedRegistry,
+};
 use noble::Localizer;
 use noble_geo::Point;
 use noble_linalg::Matrix;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Micro-batching knobs.
+/// Micro-batching and lifecycle knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Largest batch one shard inference call may carry.
@@ -36,6 +111,12 @@ pub struct BatchConfig {
     /// after the first request arrives. `ZERO` disables coalescing
     /// waits (each batch is whatever is already queued).
     pub latency_budget: Duration,
+    /// Demand-paged servers only ([`BatchServer::start_paged`]): how
+    /// long a hot shard worker sits with an empty queue before spinning
+    /// itself down (writing its model back through the store and
+    /// exiting). `None` — the default — means idle shards stay hot and
+    /// spin down only under budget pressure (the LRU drain policy).
+    pub idle_ttl: Option<Duration>,
 }
 
 impl Default for BatchConfig {
@@ -43,6 +124,7 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: 128,
             latency_budget: Duration::from_micros(500),
+            idle_ttl: None,
         }
     }
 }
@@ -87,13 +169,41 @@ impl ShardStats {
     }
 }
 
-/// One queued request.
+/// Demand-paging lifecycle counters ([`BatchServer::paged_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagedStats {
+    /// Worker spin-ups: a request found its shard cold and faulted it in.
+    pub faults: u64,
+    /// Workers that retired after [`BatchConfig::idle_ttl`] with an
+    /// empty queue.
+    pub idle_spin_downs: u64,
+    /// Workers drained under budget pressure (LRU victim retired so a
+    /// colder shard could warm).
+    pub drains: u64,
+    /// Requests that arrived while their shard was cold or still warming
+    /// and parked in the worker's queue until the model was resident.
+    pub parked_requests: u64,
+    /// Workers currently holding (or faulting in) a model — never more
+    /// than a [`CatalogBudget::Count`] allows.
+    pub hot_shards: usize,
+    /// The shared catalog's lifecycle counters (hits / hydrations /
+    /// retrains / evictions / pinned).
+    pub catalog: CatalogStats,
+}
+
+/// One queued request or lifecycle marker.
 enum Job {
     Fix {
         fingerprint: Vec<f64>,
         enqueued: Instant,
         reply: Sender<Result<Point, ServeError>>,
     },
+    /// Paged only: retire after serving everything queued ahead of this
+    /// marker; write the model back through the store and free it.
+    Drain,
+    /// Retire after serving the backlog. A static worker returns its
+    /// model to the caller; a paged worker parks it in the shared
+    /// catalog.
     Shutdown,
 }
 
@@ -101,6 +211,7 @@ enum Job {
 #[derive(Debug)]
 pub struct PendingFix {
     rx: Receiver<Result<Point, ServeError>>,
+    cold: bool,
 }
 
 impl PendingFix {
@@ -113,37 +224,58 @@ impl PendingFix {
     pub fn wait(self) -> Result<Point, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
+
+    /// Whether this fix found its shard cold (or still warming) and had
+    /// to park while the model faulted in — always `false` on a
+    /// fully-resident server. Latency-sensitive callers use this to
+    /// split cold-start tails from steady-state percentiles.
+    pub fn cold(&self) -> bool {
+        self.cold
+    }
+}
+
+/// Routing table behind a [`ServeClient`] (and the server itself).
+#[derive(Clone)]
+enum Router {
+    /// Fixed sender per shard, workers alive for the server's lifetime.
+    Static(BTreeMap<ShardKey, Sender<Job>>),
+    /// Dynamic: senders appear and disappear as shards spin up and down.
+    Paged(Arc<PagedEngine>),
 }
 
 /// A cloneable submission handle onto a running [`BatchServer`].
 #[derive(Clone)]
 pub struct ServeClient {
-    senders: BTreeMap<ShardKey, Sender<Job>>,
+    router: Router,
 }
 
 impl ServeClient {
     /// Enqueues one fingerprint for `key`'s shard and returns the pending
     /// reply without blocking (clients pipeline by submitting many fixes
-    /// before waiting — that depth is what the worker coalesces).
+    /// before waiting — that depth is what the worker coalesces). On a
+    /// demand-paged server, a submit to a cold shard spins its worker up
+    /// and parks the request while the model faults in.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownShard`] for an unroutable key,
-    /// [`ServeError::ShuttingDown`] when the shard worker is gone.
+    /// [`ServeError::ShuttingDown`] when the server is stopping.
     pub fn submit(&self, key: ShardKey, fingerprint: Vec<f64>) -> Result<PendingFix, ServeError> {
-        let sender = self
-            .senders
-            .get(&key)
-            .ok_or(ServeError::UnknownShard(key))?;
-        let (tx, rx) = mpsc::channel();
-        sender
-            .send(Job::Fix {
-                fingerprint,
-                enqueued: Instant::now(),
-                reply: tx,
-            })
-            .map_err(|_| ServeError::ShuttingDown)?;
-        Ok(PendingFix { rx })
+        match &self.router {
+            Router::Static(senders) => {
+                let sender = senders.get(&key).ok_or(ServeError::UnknownShard(key))?;
+                let (tx, rx) = mpsc::channel();
+                sender
+                    .send(Job::Fix {
+                        fingerprint,
+                        enqueued: Instant::now(),
+                        reply: tx,
+                    })
+                    .map_err(|_| ServeError::ShuttingDown)?;
+                Ok(PendingFix { rx, cold: false })
+            }
+            Router::Paged(engine) => engine.submit(key, fingerprint),
+        }
     }
 
     /// Submits and blocks for the result (the per-fix convenience path).
@@ -157,20 +289,425 @@ impl ServeClient {
 
     /// Keys this client can route to.
     pub fn keys(&self) -> Vec<ShardKey> {
-        self.senders.keys().copied().collect()
+        match &self.router {
+            Router::Static(senders) => senders.keys().copied().collect(),
+            Router::Paged(engine) => engine.keys.iter().copied().collect(),
+        }
     }
+}
+
+/// A shard's routing slot. Absent from the map = COLD (no worker).
+enum Slot {
+    /// Worker spawned, model still faulting in; requests park in `tx`.
+    Warming { tx: Sender<Job> },
+    /// Worker serving; `last_active` orders LRU drain victims, `cost`
+    /// is the model's budget cost (for drain-in-flight accounting).
+    Hot {
+        tx: Sender<Job>,
+        last_active: u64,
+        cost: usize,
+    },
+}
+
+/// Slot map plus occupancy accounting (all under one short-held lock;
+/// lock order where both are taken: `slots` before `paged`).
+struct Slots {
+    map: BTreeMap<ShardKey, Slot>,
+    /// Workers currently holding (or faulting in) a model.
+    occupancy: usize,
+    /// Budget cost (encoded-snapshot bytes) of those models.
+    occupied_bytes: usize,
+    /// Drain markers sent whose workers have not yet released their
+    /// occupancy — counted so budget decisions see the room already on
+    /// its way instead of cascading drains while a victim is still
+    /// writing its model back.
+    draining: usize,
+    /// Budget cost of those draining models.
+    draining_bytes: usize,
+    /// Logical activity clock for LRU victim selection.
+    clock: u64,
+    /// Handles of live (and recently finished) workers; reaped on spawn,
+    /// joined at shutdown.
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Shared state of a demand-paged server.
+struct PagedEngine {
+    catalog: SharedCatalog,
+    cfg: BatchConfig,
+    /// Routable keys, fixed at start (the catalog's keys).
+    keys: BTreeSet<ShardKey>,
+    /// Max workers holding a model at once ([`CatalogBudget::Count`]).
+    max_hot: usize,
+    /// Byte bound on held models ([`CatalogBudget::Bytes`]).
+    byte_budget: Option<usize>,
+    slots: Mutex<Slots>,
+    /// Signals occupancy releases to warming workers waiting for room.
+    room: Condvar,
+    shutting_down: AtomicBool,
+    stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
+    paged: Mutex<PagedStats>,
+}
+
+impl PagedEngine {
+    fn submit(
+        self: &Arc<Self>,
+        key: ShardKey,
+        fingerprint: Vec<f64>,
+    ) -> Result<PendingFix, ServeError> {
+        if !self.keys.contains(&key) {
+            return Err(ServeError::UnknownShard(key));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut slots = self.slots.lock().expect("slots lock");
+        // Checked under the lock: shutdown sets the flag and sweeps the
+        // slot map while holding it, so a submit that sees the flag clear
+        // here cannot enqueue onto a swept shard.
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        slots.clock += 1;
+        let now = slots.clock;
+        let (tx, cold) = match slots.map.get_mut(&key) {
+            Some(Slot::Hot {
+                tx, last_active, ..
+            }) => {
+                *last_active = now;
+                (tx.clone(), false)
+            }
+            Some(Slot::Warming { tx }) => (tx.clone(), true),
+            None => {
+                let tx = self.spawn_worker(&mut slots, key);
+                (tx, true)
+            }
+        };
+        // Sending under the lock orders every fix against the lifecycle
+        // markers (Drain/Shutdown are also sent under it): a fix is
+        // either ahead of the marker — served by the retiring worker —
+        // or routed to a fresh successor. Never dropped.
+        tx.send(Job::Fix {
+            fingerprint,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        })
+        .map_err(|_| ServeError::ShuttingDown)?;
+        if cold {
+            self.paged.lock().expect("paged stats").parked_requests += 1;
+        }
+        Ok(PendingFix { rx: reply_rx, cold })
+    }
+
+    /// Spawns a shard worker in the WARMING state and returns its sender.
+    /// Caller holds the slots lock.
+    fn spawn_worker(self: &Arc<Self>, slots: &mut Slots, key: ShardKey) -> Sender<Job> {
+        // Reap handles of workers that already spun down so a long-lived
+        // server does not accumulate one handle per spin cycle.
+        let mut i = 0;
+        while i < slots.workers.len() {
+            if slots.workers[i].is_finished() {
+                let _ = slots.workers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        slots.map.insert(key, Slot::Warming { tx: tx.clone() });
+        let engine = Arc::clone(self);
+        let shard_stats = Arc::clone(&self.stats[&key]);
+        let handle = std::thread::Builder::new()
+            .name(format!("noble-page-{key}"))
+            .spawn(move || paged_worker(engine, key, rx, shard_stats))
+            .expect("spawn paged worker");
+        slots.workers.push(handle);
+        self.paged.lock().expect("paged stats").faults += 1;
+        tx
+    }
+
+    /// Whether a warming worker may claim an occupancy slot now.
+    fn admit(&self, slots: &Slots) -> bool {
+        if slots.occupancy == 0 {
+            // A single model always serves, however large (mirrors the
+            // catalog's byte-budget semantics).
+            return true;
+        }
+        if slots.occupancy >= self.max_hot {
+            return false;
+        }
+        match self.byte_budget {
+            Some(bound) => slots.occupied_bytes < bound,
+            None => true,
+        }
+    }
+
+    /// Asks the least-recently-active HOT worker (never `except`) to
+    /// drain: its slot goes cold immediately — newer requests re-warm
+    /// through a successor — while the retiring worker serves everything
+    /// already queued, writes its model back, and releases its occupancy
+    /// slot. Returns whether a victim was found. Caller holds the slots
+    /// lock.
+    fn request_drain(&self, slots: &mut Slots, except: ShardKey) -> bool {
+        let victim = slots
+            .map
+            .iter()
+            .filter_map(|(k, slot)| match slot {
+                Slot::Hot { last_active, .. } if *k != except => Some((*last_active, *k)),
+                _ => None,
+            })
+            .min()
+            .map(|(_, k)| k);
+        let Some(victim) = victim else { return false };
+        if let Some(Slot::Hot { tx, cost, .. }) = slots.map.remove(&victim) {
+            let _ = tx.send(Job::Drain);
+            slots.draining += 1;
+            slots.draining_bytes += cost;
+            self.paged.lock().expect("paged stats").drains += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the budget will hold once the drains already in flight
+    /// release — if so, a waiting warming worker should *not* request
+    /// another victim (one cold fault must not cascade into retiring
+    /// every hot shard while the first victim is still writing its model
+    /// back through the store).
+    fn room_already_coming(&self, slots: &Slots) -> bool {
+        let occupancy = slots.occupancy.saturating_sub(slots.draining);
+        if occupancy == 0 {
+            return true;
+        }
+        if occupancy >= self.max_hot {
+            return false;
+        }
+        match self.byte_budget {
+            Some(bound) => slots.occupied_bytes.saturating_sub(slots.draining_bytes) < bound,
+            None => true,
+        }
+    }
+}
+
+/// How a paged worker retires.
+enum Retire {
+    /// Write the model back through the store and free it. `requested`
+    /// distinguishes a budget-pressure drain (counted in
+    /// `Slots::draining` until the release lands) from an idle-TTL or
+    /// vanished-slot spin-down.
+    Cold { requested: bool },
+    /// Park the model live in the shared catalog (server shutdown).
+    Park,
+}
+
+/// A demand-paged shard worker: claim a budget slot (draining an LRU
+/// victim if the server is at capacity), lease the model, serve batches,
+/// retire. See the module docs for the state diagram.
+fn paged_worker(
+    engine: Arc<PagedEngine>,
+    key: ShardKey,
+    rx: Receiver<Job>,
+    stats: Arc<Mutex<ShardStats>>,
+) {
+    // ---- WARMING: claim an occupancy slot under the budget. ----
+    {
+        let mut slots = engine.slots.lock().expect("slots lock");
+        loop {
+            if engine.admit(&slots) {
+                slots.occupancy += 1;
+                break;
+            }
+            // Ask for one victim at a time: while a drain is already in
+            // flight (its worker is writing the model back), re-polls
+            // must not keep retiring further hot shards.
+            if !engine.room_already_coming(&slots) {
+                engine.request_drain(&mut slots, key);
+            }
+            // Re-poll on a short timeout: the victim this round may still
+            // be WARMING (undrainable) — once it turns HOT a later pass
+            // drains it, so waiting must not be notification-only.
+            let (guard, _) = engine
+                .room
+                .wait_timeout(slots, Duration::from_millis(5))
+                .expect("slots lock");
+            slots = guard;
+        }
+    }
+
+    // ---- WARMING: fault the model in (no engine lock held). ----
+    let (mut model, cost) = match engine.catalog.lease(key) {
+        Ok(leased) => leased,
+        Err(e) => {
+            fail_cold(&engine, key, &rx, e, &stats);
+            return;
+        }
+    };
+    {
+        let mut slots = engine.slots.lock().expect("slots lock");
+        slots.occupied_bytes += cost;
+        slots.clock += 1;
+        let now = slots.clock;
+        if let Some(slot) = slots.map.get_mut(&key) {
+            if let Slot::Warming { tx } = slot {
+                let tx = tx.clone();
+                *slot = Slot::Hot {
+                    tx,
+                    last_active: now,
+                    cost,
+                };
+            }
+        }
+        // Byte budgets learn a model's cost only after the lease; shed
+        // least-recently-active peers if this one pushed past the bound —
+        // counting the bytes already draining, so one oversized lease
+        // retires only as many victims as the overshoot needs.
+        if let Some(bound) = engine.byte_budget {
+            while slots.occupied_bytes.saturating_sub(slots.draining_bytes) > bound
+                && engine.request_drain(&mut slots, key)
+            {}
+        }
+    }
+
+    // ---- HOT: the serve loop. ----
+    let feature_dim = model.info().feature_dim;
+    let retire = 'serve: loop {
+        // First job of a batch, honoring the idle TTL.
+        let job = match engine.cfg.idle_ttl {
+            Some(ttl) => match rx.recv_timeout(ttl) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle: go cold — unless a submit raced the timeout.
+                    // Submits send while holding the slots lock, so the
+                    // emptiness check below is atomic with removing the
+                    // slot.
+                    let mut slots = engine.slots.lock().expect("slots lock");
+                    match rx.try_recv() {
+                        Ok(job) => job,
+                        Err(_) => {
+                            slots.map.remove(&key);
+                            drop(slots);
+                            engine.paged.lock().expect("paged stats").idle_spin_downs += 1;
+                            break 'serve Retire::Cold { requested: false };
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    break 'serve Retire::Cold { requested: false }
+                }
+            },
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break 'serve Retire::Cold { requested: false },
+            },
+        };
+        let first = match job {
+            Job::Fix {
+                fingerprint,
+                enqueued,
+                reply,
+            } => (fingerprint, enqueued, reply),
+            Job::Drain => break 'serve Retire::Cold { requested: true },
+            Job::Shutdown => break 'serve Retire::Park,
+        };
+        let mut batch = vec![first];
+        let mut retire_after = None;
+        if engine.cfg.max_batch > 1 {
+            let deadline = Instant::now() + engine.cfg.latency_budget;
+            while batch.len() < engine.cfg.max_batch {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(Job::Fix {
+                        fingerprint,
+                        enqueued,
+                        reply,
+                    }) => batch.push((fingerprint, enqueued, reply)),
+                    Ok(Job::Drain) => {
+                        retire_after = Some(Retire::Cold { requested: true });
+                        break;
+                    }
+                    Ok(Job::Shutdown) => {
+                        retire_after = Some(Retire::Park);
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        retire_after = Some(Retire::Cold { requested: false });
+                        break;
+                    }
+                }
+            }
+        }
+        serve_batch(model.as_mut(), key, feature_dim, batch, &stats);
+        if let Some(retire) = retire_after {
+            break 'serve retire;
+        }
+    };
+
+    // ---- DRAINING: hand the model back, release the budget slot. ----
+    match retire {
+        Retire::Cold { .. } => engine.catalog.release_cold(key, model, cost),
+        Retire::Park => engine.catalog.release_parked(key, model, cost),
+    }
+    let mut slots = engine.slots.lock().expect("slots lock");
+    slots.occupancy -= 1;
+    slots.occupied_bytes -= cost;
+    if let Retire::Cold { requested: true } = retire {
+        slots.draining = slots.draining.saturating_sub(1);
+        slots.draining_bytes = slots.draining_bytes.saturating_sub(cost);
+    }
+    engine.room.notify_all();
+}
+
+/// A warming worker whose lease failed: go cold and fail every request
+/// parked behind the fault with the lease error.
+fn fail_cold(
+    engine: &Arc<PagedEngine>,
+    key: ShardKey,
+    rx: &Receiver<Job>,
+    err: ServeError,
+    stats: &Mutex<ShardStats>,
+) {
+    {
+        let mut slots = engine.slots.lock().expect("slots lock");
+        slots.map.remove(&key);
+        slots.occupancy -= 1;
+        engine.room.notify_all();
+    }
+    // Everything parked before the slot was removed is in the queue;
+    // nothing new can arrive (the sender in the map was the last route).
+    let mut tally = stats.lock().expect("stats lock");
+    while let Ok(job) = rx.try_recv() {
+        if let Job::Fix {
+            enqueued, reply, ..
+        } = job
+        {
+            tally.requests += 1;
+            tally.errors += 1;
+            let waited = enqueued.elapsed().as_micros();
+            tally.total_latency_us += waited;
+            tally.max_latency_us = tally.max_latency_us.max(waited);
+            let _ = reply.send(Err(err.clone()));
+        }
+    }
+}
+
+/// The serving engine behind a [`BatchServer`].
+enum Engine {
+    Static {
+        senders: BTreeMap<ShardKey, Sender<Job>>,
+        stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
+        workers: Vec<(ShardKey, JoinHandle<Box<dyn Localizer>>)>,
+    },
+    Paged(Arc<PagedEngine>),
 }
 
 /// The running micro-batching server (see the module docs).
 pub struct BatchServer {
-    senders: BTreeMap<ShardKey, Sender<Job>>,
-    stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
-    workers: Vec<(ShardKey, JoinHandle<Box<dyn Localizer>>)>,
+    engine: Engine,
 }
 
 impl BatchServer {
     /// Moves every shard of `registry` onto its own worker thread and
-    /// starts accepting requests.
+    /// starts accepting requests (the fully-resident discipline — for
+    /// more shards than fit in memory, see [`BatchServer::start_paged`]).
     ///
     /// # Errors
     ///
@@ -199,9 +736,66 @@ impl BatchServer {
             workers.push((key, handle));
         }
         Ok(BatchServer {
-            senders,
-            stats,
-            workers,
+            engine: Engine::Static {
+                senders,
+                stats,
+                workers,
+            },
+        })
+    }
+
+    /// Starts a **demand-paged** server over every shard the catalog can
+    /// serve — resident models, stored snapshots, and registered
+    /// [`crate::TrainSpec`]s alike. Workers fault models in through the
+    /// shared catalog on a shard's first request and spin down under the
+    /// idle TTL or budget pressure (see the module docs), so one process
+    /// serves strictly more shards than the catalog's
+    /// [`crate::CatalogBudget`] allows resident, with answers
+    /// bit-identical to the fully-resident server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoShards`] for an empty catalog,
+    /// [`ServeError::InvalidConfig`] for a zero `max_batch`.
+    pub fn start_paged(catalog: ModelCatalog, cfg: BatchConfig) -> Result<Self, ServeError> {
+        if catalog.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        if cfg.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        let (max_hot, byte_budget) = match catalog.budget() {
+            CatalogBudget::Unbounded => (usize::MAX, None),
+            CatalogBudget::Count(n) => (n, None),
+            CatalogBudget::Bytes(b) => (usize::MAX, Some(b)),
+        };
+        let shared = catalog.into_shared();
+        let keys: BTreeSet<ShardKey> = shared.keys().into_iter().collect();
+        let stats = keys
+            .iter()
+            .map(|k| (*k, Arc::new(Mutex::new(ShardStats::default()))))
+            .collect();
+        Ok(BatchServer {
+            engine: Engine::Paged(Arc::new(PagedEngine {
+                catalog: shared,
+                cfg,
+                keys,
+                max_hot,
+                byte_budget,
+                slots: Mutex::new(Slots {
+                    map: BTreeMap::new(),
+                    occupancy: 0,
+                    occupied_bytes: 0,
+                    draining: 0,
+                    draining_bytes: 0,
+                    clock: 0,
+                    workers: Vec::new(),
+                }),
+                room: Condvar::new(),
+                shutting_down: AtomicBool::new(false),
+                stats,
+                paged: Mutex::new(PagedStats::default()),
+            })),
         })
     }
 
@@ -235,21 +829,44 @@ impl BatchServer {
     /// A new submission handle (cheap to clone per client thread).
     pub fn client(&self) -> ServeClient {
         ServeClient {
-            senders: self.senders.clone(),
+            router: match &self.engine {
+                Engine::Static { senders, .. } => Router::Static(senders.clone()),
+                Engine::Paged(engine) => Router::Paged(Arc::clone(engine)),
+            },
         }
     }
 
     /// Shard keys being served.
     pub fn keys(&self) -> Vec<ShardKey> {
-        self.senders.keys().copied().collect()
+        match &self.engine {
+            Engine::Static { senders, .. } => senders.keys().copied().collect(),
+            Engine::Paged(engine) => engine.keys.iter().copied().collect(),
+        }
     }
 
     /// Live per-shard statistics snapshot, in key order.
     pub fn stats(&self) -> Vec<(ShardKey, ShardStats)> {
-        self.stats
-            .iter()
+        let map = match &self.engine {
+            Engine::Static { stats, .. } => stats,
+            Engine::Paged(engine) => &engine.stats,
+        };
+        map.iter()
             .map(|(k, s)| (*k, s.lock().expect("stats lock").clone()))
             .collect()
+    }
+
+    /// Demand-paging lifecycle counters; `None` on a fully-resident
+    /// server.
+    pub fn paged_stats(&self) -> Option<PagedStats> {
+        match &self.engine {
+            Engine::Static { .. } => None,
+            Engine::Paged(engine) => {
+                let mut paged = *engine.paged.lock().expect("paged stats");
+                paged.hot_shards = engine.slots.lock().expect("slots lock").occupancy;
+                paged.catalog = engine.catalog.stats();
+                Some(paged)
+            }
+        }
     }
 
     /// Graceful shutdown: each worker finishes every request already
@@ -260,67 +877,120 @@ impl BatchServer {
     /// [`ServeError::ShuttingDown`] on later submits.
     pub fn shutdown(mut self) -> Vec<(ShardKey, ShardStats)> {
         self.stop();
-        self.final_stats()
+        self.stats()
     }
 
     /// Like [`BatchServer::shutdown`], but also hands the shard models
     /// back as a registry so a caller can restart serving under different
     /// batching knobs without retraining (the benchmark sweep's pattern).
+    /// On a demand-paged server the registry holds the models that were
+    /// live (hot or parked) at shutdown — shards that existed only as
+    /// stored snapshots or train specs are dropped with the engine;
+    /// prefer [`BatchServer::shutdown_with_catalog`], which keeps every
+    /// tier.
     pub fn shutdown_with_registry(mut self) -> (Vec<(ShardKey, ShardStats)>, ShardedRegistry) {
-        let shards = self.stop();
-        let stats = self.final_stats();
+        let mut shards = self.stop();
+        let stats = self.stats();
+        if let Engine::Paged(engine) = &self.engine {
+            // Paged workers parked their models in the shared catalog at
+            // shutdown rather than handing them through join handles.
+            shards = engine.catalog.take_parked();
+        }
         (stats, ShardedRegistry::restore(shards))
     }
 
-    /// Sends the shutdown marker to every shard and joins the workers,
-    /// collecting their localizers.
-    fn stop(&mut self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
-        for sender in self.senders.values() {
-            // A worker that already exited has dropped its receiver; that
-            // is fine — there is nothing left to drain.
-            let _ = sender.send(Job::Shutdown);
-        }
-        self.workers
-            .drain(..)
-            .filter_map(|(key, handle)| match handle.join() {
-                Ok(localizer) => Some((key, localizer)),
-                Err(panic) => {
-                    // A panicked worker's model is gone; surface the cause
-                    // instead of silently dropping the shard (requests to
-                    // it will report UnknownShard after a restart).
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    eprintln!("noble-serve: shard {key} worker panicked: {msg}");
-                    None
+    /// Shuts down and hands the whole model catalog back — resident
+    /// models parked live, stored snapshots and train specs intact — so
+    /// the caller can restart paged serving (or inspect the store)
+    /// without losing a single tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write-through failures while trimming the resident
+    /// tier back under the catalog budget.
+    pub fn shutdown_with_catalog(
+        mut self,
+    ) -> Result<(Vec<(ShardKey, ShardStats)>, ModelCatalog), ServeError> {
+        let shards = self.stop();
+        let stats = self.stats();
+        let catalog = match &self.engine {
+            Engine::Static { .. } => {
+                let mut catalog = ModelCatalog::new(CatalogBudget::Unbounded)?;
+                for (key, model) in shards {
+                    catalog.insert_sited(key, model)?;
                 }
-            })
-            .collect()
+                catalog
+            }
+            Engine::Paged(engine) => engine.catalog.drain_into_catalog()?,
+        };
+        Ok((stats, catalog))
     }
 
-    fn final_stats(&self) -> Vec<(ShardKey, ShardStats)> {
-        self.stats
-            .iter()
-            .map(|(k, s)| (*k, s.lock().expect("stats lock").clone()))
-            .collect()
+    /// Sends the shutdown marker to every worker and joins them. Static
+    /// workers hand their localizers back; paged workers park theirs in
+    /// the shared catalog (and return an empty list here).
+    fn stop(&mut self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
+        match &mut self.engine {
+            Engine::Static {
+                senders, workers, ..
+            } => {
+                for sender in senders.values() {
+                    // A worker that already exited has dropped its
+                    // receiver; that is fine — nothing left to drain.
+                    let _ = sender.send(Job::Shutdown);
+                }
+                workers
+                    .drain(..)
+                    .filter_map(|(key, handle)| match handle.join() {
+                        Ok(localizer) => Some((key, localizer)),
+                        Err(panic) => {
+                            // A panicked worker's model is gone; surface
+                            // the cause instead of silently dropping the
+                            // shard.
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            eprintln!("noble-serve: shard {key} worker panicked: {msg}");
+                            None
+                        }
+                    })
+                    .collect()
+            }
+            Engine::Paged(engine) => {
+                engine.shutting_down.store(true, Ordering::Release);
+                let handles = {
+                    let mut slots = engine.slots.lock().expect("slots lock");
+                    let keys: Vec<ShardKey> = slots.map.keys().copied().collect();
+                    for key in keys {
+                        if let Some(slot) = slots.map.remove(&key) {
+                            let tx = match slot {
+                                Slot::Warming { tx } | Slot::Hot { tx, .. } => tx,
+                            };
+                            let _ = tx.send(Job::Shutdown);
+                        }
+                    }
+                    std::mem::take(&mut slots.workers)
+                };
+                for handle in handles {
+                    let _ = handle.join();
+                }
+                Vec::new()
+            }
+        }
     }
 }
 
 impl Drop for BatchServer {
     fn drop(&mut self) {
-        for sender in self.senders.values() {
-            let _ = sender.send(Job::Shutdown);
-        }
-        for (_, handle) in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.stop();
     }
 }
 
-/// One shard's serve loop: block for the first request, hold the batch
-/// open under the latency budget, run one stacked inference, reply.
+/// One fully-resident shard's serve loop: block for the first request,
+/// hold the batch open under the latency budget, run one stacked
+/// inference, reply.
 fn shard_worker(
     mut localizer: Box<dyn Localizer>,
     key: ShardKey,
@@ -336,7 +1006,7 @@ fn shard_worker(
                 enqueued,
                 reply,
             }) => (fingerprint, enqueued, reply),
-            Ok(Job::Shutdown) | Err(_) => return localizer,
+            Ok(Job::Shutdown | Job::Drain) | Err(_) => return localizer,
         };
         let mut batch = vec![first];
         let mut saw_shutdown = false;
@@ -353,7 +1023,7 @@ fn shard_worker(
                         enqueued,
                         reply,
                     }) => batch.push((fingerprint, enqueued, reply)),
-                    Ok(Job::Shutdown) => {
+                    Ok(Job::Shutdown | Job::Drain) => {
                         saw_shutdown = true;
                         break;
                     }

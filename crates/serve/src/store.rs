@@ -12,8 +12,51 @@
 //!   it. Corrupt, truncated or tampered files read back as the typed
 //!   [`ServeError::BadSnapshot`], never a panic.
 //!
-//! Stores take `&self` (interior mutability) so one store can back a
-//! catalog while an operator thread lists or evicts concurrently.
+//! Stores take `&self` (interior mutability) and are `Send + Sync`, so a
+//! single store can back a catalog while shard workers fault models in
+//! and out concurrently ([`crate::BatchServer::start_paged`]) and an
+//! operator thread lists or evicts at the same time.
+//!
+//! # Examples
+//!
+//! Both backends speak the same four-verb protocol; [`MemStore`] is the
+//! in-process reference implementation:
+//!
+//! ```
+//! use noble::ModelSnapshot;
+//! use noble_serve::{MemStore, ModelStore, ShardKey};
+//!
+//! let store = MemStore::new();
+//! let key = ShardKey::building_floor(2, 1);
+//! let snapshot = ModelSnapshot::new("example-kind", 8, 3, vec![1, 2, 3]);
+//!
+//! assert!(store.get(key)?.is_none());
+//! store.put(key, &snapshot)?;
+//! assert_eq!(store.get(key)?.as_ref(), Some(&snapshot));
+//! assert_eq!(store.list()?, vec![key]);
+//! assert!(store.evict(key)?);
+//! # Ok::<(), noble_serve::ServeError>(())
+//! ```
+//!
+//! [`FsStore`] persists the same protocol as one checksummed file per
+//! shard, surviving process restarts:
+//!
+//! ```
+//! use noble::ModelSnapshot;
+//! use noble_serve::{FsStore, ModelStore, ShardKey};
+//!
+//! let dir = std::env::temp_dir().join(format!("noble-fs-doc-{}", std::process::id()));
+//! let key = ShardKey::building(4);
+//! let snapshot = ModelSnapshot::new("example-kind", 16, 5, vec![9, 9]);
+//! {
+//!     let store = FsStore::open(&dir)?;
+//!     store.put(key, &snapshot)?;
+//! } // handle dropped — a "process restart"
+//! let reopened = FsStore::open(&dir)?;
+//! assert_eq!(reopened.get(key)?.as_ref(), Some(&snapshot));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), noble_serve::ServeError>(())
+//! ```
 
 use crate::{ServeError, ShardKey};
 use noble::ModelSnapshot;
@@ -24,7 +67,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Keyed durable storage of model snapshots.
-pub trait ModelStore: Send {
+///
+/// `Send + Sync` because one store is shared by every shard worker of a
+/// demand-paged [`crate::BatchServer`]: spin-downs write through and
+/// faults read back concurrently, without a catalog-wide lock.
+pub trait ModelStore: Send + Sync {
     /// Inserts or replaces the snapshot stored for `key`.
     ///
     /// # Errors

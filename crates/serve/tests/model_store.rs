@@ -277,6 +277,7 @@ fn imu_campaign_serves_through_catalog_and_batch_server() {
         BatchConfig {
             max_batch: 16,
             latency_budget: Duration::from_micros(200),
+            idle_ttl: None,
         },
     )
     .unwrap();
@@ -356,6 +357,90 @@ fn catalog_over_fs_store_survives_process_restart() {
     assert_eq!(catalog.stats().hydrations as usize, expected.len());
 }
 
+/// A demand-paged worker's spin-down writes its model through to the
+/// store *before* the memory is released — so even a hard process stop
+/// right after the spin-down loses nothing, and a fresh process over the
+/// same directory serves every shard bit-identically without retraining.
+#[test]
+fn paged_spin_down_write_through_survives_process_restart() {
+    let campaign = quick_campaign();
+    let dir = store_dir("paged-restart");
+    let features = campaign.features(&campaign.test[..4.min(campaign.test.len())]);
+    let shard_count = 3usize;
+
+    // "Process one": live models only — nothing pre-saved in the store.
+    let expected: Vec<(ShardKey, Vec<Point>)> = (0..shard_count)
+        .map(|i| {
+            let mut model = KnnFingerprint::fit(&campaign, i + 1).unwrap();
+            let out = Localizer::localize_batch(&mut model, &features).unwrap();
+            (ShardKey::building(i), out)
+        })
+        .collect();
+    {
+        let store = Box::new(FsStore::open(&dir).unwrap());
+        let mut catalog = ModelCatalog::with_store(CatalogBudget::Count(1), store).unwrap();
+        for i in 0..shard_count {
+            catalog
+                .insert(
+                    ShardKey::building(i),
+                    Box::new(KnnFingerprint::fit(&campaign, i + 1).unwrap()),
+                )
+                .unwrap();
+        }
+        let server = BatchServer::start_paged(
+            catalog,
+            BatchConfig {
+                max_batch: 8,
+                latency_budget: Duration::from_micros(100),
+                idle_ttl: Some(Duration::from_millis(10)),
+            },
+        )
+        .unwrap();
+        let client = server.client();
+        for (key, reference) in &expected {
+            for (i, row) in (0..features.rows()).map(|i| (i, features.row(i).to_vec())) {
+                assert_eq!(client.localize(*key, row).unwrap(), reference[i]);
+            }
+        }
+        // Wait until every worker has spun down through the idle TTL —
+        // each spin-down is a write-through.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let paged = server.paged_stats().expect("paged server");
+            if paged.idle_spin_downs >= 1 && paged.hot_shards == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never spun down: {paged:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Hard stop: drop the server without any explicit export. Only
+        // what was written through survives — which must be everything.
+        drop(server);
+    }
+
+    // "Process two": a fresh catalog over the same directory hydrates
+    // every shard bit-identically, with zero retrains.
+    let store = Box::new(FsStore::open(&dir).unwrap());
+    let mut catalog = ModelCatalog::with_store(CatalogBudget::Count(1), store).unwrap();
+    assert_eq!(
+        catalog.keys(),
+        expected.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        "a spin-down write-through is missing from the store"
+    );
+    for (key, reference) in &expected {
+        assert_eq!(
+            &catalog.localize(*key, &features).unwrap(),
+            reference,
+            "shard {key} diverged across the paged restart"
+        );
+    }
+    assert_eq!(catalog.stats().retrains, 0);
+    assert_eq!(catalog.stats().hydrations as usize, shard_count);
+}
+
 #[test]
 fn unsnapshotable_models_are_pinned_not_lost() {
     use noble::{LocalizerInfo, NobleError};
@@ -399,6 +484,12 @@ fn unsnapshotable_models_are_pinned_not_lost() {
         catalog.localize(ShardKey::building(0), &probe).unwrap(),
         vec![Point::new(1.0, 2.0)],
         "pinned model was lost"
+    );
+    // Pinning is not silent: the stats carry a counted warning that the
+    // budget could not be honored for the unsnapshotable model.
+    assert!(
+        catalog.stats().pinned > 0,
+        "eviction walked past a pinned model without counting it"
     );
 }
 

@@ -5,13 +5,14 @@
 //! exact bits a direct `Localizer::localize_batch` call produces. CI
 //! greps for this suite by name — do not rename it casually.
 
-use noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble::wifi::{KnnFingerprint, WifiNoble, WifiNobleConfig};
 use noble::Localizer;
 use noble_datasets::{uji_campaign, UjiConfig, WifiCampaign};
 use noble_geo::Point;
+use noble_linalg::Matrix;
 use noble_serve::{
-    partition_campaign, shard_seed, BatchConfig, BatchServer, FsStore, MemStore, RegistryConfig,
-    ServeError, ShardKey, ShardPolicy, ShardedRegistry,
+    partition_campaign, shard_seed, BatchConfig, BatchServer, CatalogBudget, FsStore, MemStore,
+    ModelCatalog, RegistryConfig, ServeError, ShardKey, ShardPolicy, ShardedRegistry,
 };
 use std::time::Duration;
 
@@ -75,6 +76,7 @@ fn served_results_bit_identical_to_direct() {
             BatchConfig {
                 max_batch,
                 latency_budget: Duration::from_micros(budget_us),
+                idle_ttl: None,
             },
         )
         .unwrap();
@@ -139,6 +141,7 @@ fn warm_restart_from_store_bit_identical_to_fresh_registry() {
             BatchConfig {
                 max_batch: 64,
                 latency_budget: Duration::from_micros(300),
+                idle_ttl: None,
             },
         )
         .unwrap();
@@ -163,6 +166,214 @@ fn warm_restart_from_store_bit_identical_to_fresh_registry() {
         });
         server.shutdown();
     }
+}
+
+/// The demand-paged acceptance bar (CI greps for this test by name): a
+/// server whose catalog budget is far below the shard count — so
+/// interleaved traffic keeps forcing evict-then-refault cycles — must
+/// return the exact bits the fully-resident server returns, while never
+/// holding more models than the budget allows.
+#[test]
+fn oversubscribed_paged_server_bit_identical_to_fully_resident() {
+    let campaign = quick_campaign();
+    let shard_count = 6usize;
+    let budget = 2usize;
+    let features = campaign.features(&campaign.test);
+    let probe_rows: Vec<Vec<f64>> = (0..8.min(features.rows()))
+        .map(|i| features.row(i).to_vec())
+        .collect();
+
+    // Per-shard reference answers from the direct, serverless path (kNN
+    // fits are deterministic, so refitting reproduces the same model).
+    let reference: Vec<(ShardKey, Vec<Point>)> = (0..shard_count)
+        .map(|i| {
+            let mut model = KnnFingerprint::fit(&campaign, i + 1).unwrap();
+            let probe = Matrix::from_rows(&probe_rows).unwrap();
+            let expected = Localizer::localize_batch(&mut model, &probe).unwrap();
+            (ShardKey::building(i), expected)
+        })
+        .collect();
+
+    // Fully-resident control server: every model alive on its own worker.
+    let mut resident_registry = ShardedRegistry::new();
+    for i in 0..shard_count {
+        resident_registry.insert(
+            ShardKey::building(i),
+            Box::new(KnnFingerprint::fit(&campaign, i + 1).unwrap()),
+        );
+    }
+    let resident_server = BatchServer::start(
+        resident_registry,
+        BatchConfig {
+            max_batch: 16,
+            latency_budget: Duration::from_micros(200),
+            idle_ttl: None,
+        },
+    )
+    .unwrap();
+
+    // Demand-paged server: same models, but only `budget` may be live.
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(budget)).unwrap();
+    for i in 0..shard_count {
+        catalog
+            .insert(
+                ShardKey::building(i),
+                Box::new(KnnFingerprint::fit(&campaign, i + 1).unwrap()),
+            )
+            .unwrap();
+    }
+    let paged_server = BatchServer::start_paged(
+        catalog,
+        BatchConfig {
+            max_batch: 16,
+            latency_budget: Duration::from_micros(200),
+            idle_ttl: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(paged_server.keys().len(), shard_count);
+
+    // Interleaved traffic in a rotating shard order: with budget 2 over 6
+    // shards every round evicts and refaults, and concurrent clients make
+    // shards warm in parallel.
+    for round in 0..3 {
+        std::thread::scope(|s| {
+            for (i, (key, expected)) in reference.iter().enumerate() {
+                let order = (i + round) % shard_count; // rotate who warms first
+                let paged = paged_server.client();
+                let control = resident_server.client();
+                let rows = &probe_rows;
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_micros(50 * order as u64));
+                    let pending: Vec<_> = rows
+                        .iter()
+                        .map(|row| paged.submit(*key, row.clone()).unwrap())
+                        .collect();
+                    let control_pending: Vec<_> = rows
+                        .iter()
+                        .map(|row| control.submit(*key, row.clone()).unwrap())
+                        .collect();
+                    for (j, (p, c)) in pending.into_iter().zip(control_pending).enumerate() {
+                        let got = p.wait().unwrap();
+                        assert_eq!(
+                            got, expected[j],
+                            "paged {key} fix {j} diverged from direct (round {round})"
+                        );
+                        assert_eq!(
+                            got,
+                            c.wait().unwrap(),
+                            "paged {key} fix {j} diverged from resident server"
+                        );
+                    }
+                });
+            }
+        });
+        let paged = paged_server.paged_stats().expect("paged server");
+        assert!(
+            paged.hot_shards <= budget,
+            "round {round}: {} workers hold models with budget {budget}",
+            paged.hot_shards
+        );
+    }
+
+    let paged = paged_server.paged_stats().expect("paged server");
+    assert!(
+        paged.faults as usize > shard_count,
+        "only {} faults over 3 rounds of 6 shards under budget 2 — nothing refaulted",
+        paged.faults
+    );
+    assert!(paged.drains > 0, "budget pressure never drained a worker");
+    assert!(paged.parked_requests > 0, "no request ever parked");
+    assert!(paged.catalog.hydrations > 0, "refaults must hydrate");
+    assert_eq!(
+        paged.catalog.retrains, 0,
+        "snapshots must obviate retraining"
+    );
+
+    resident_server.shutdown();
+    let (stats, catalog) = paged_server.shutdown_with_catalog().unwrap();
+    let total: u64 = stats.iter().map(|(_, s)| s.requests).sum();
+    assert_eq!(total as usize, 3 * shard_count * probe_rows.len());
+    for (_, s) in &stats {
+        assert_eq!(s.errors, 0);
+    }
+    // The handed-back catalog still serves every shard and respects the
+    // budget again.
+    assert_eq!(catalog.keys().len(), shard_count);
+    assert!(catalog.resident_len() <= budget);
+}
+
+/// Idle shards spin their worker down (releasing the model through the
+/// store) and later traffic re-warms them with bit-identical answers.
+#[test]
+fn idle_shards_spin_down_and_rewarm_bit_identically() {
+    let campaign = quick_campaign();
+    let features = campaign.features(&campaign.test);
+    let probe: Vec<Vec<f64>> = (0..4.min(features.rows()))
+        .map(|i| features.row(i).to_vec())
+        .collect();
+    let keys = [ShardKey::building(0), ShardKey::building(1)];
+
+    let mut catalog = ModelCatalog::new(CatalogBudget::Unbounded).unwrap();
+    for (i, key) in keys.iter().enumerate() {
+        catalog
+            .insert(
+                *key,
+                Box::new(KnnFingerprint::fit(&campaign, i + 2).unwrap()),
+            )
+            .unwrap();
+    }
+    let server = BatchServer::start_paged(
+        catalog,
+        BatchConfig {
+            max_batch: 8,
+            latency_budget: Duration::from_micros(100),
+            idle_ttl: Some(Duration::from_millis(15)),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    let first: Vec<Vec<Point>> = keys
+        .iter()
+        .map(|key| {
+            probe
+                .iter()
+                .map(|row| client.localize(*key, row.clone()).unwrap())
+                .collect()
+        })
+        .collect();
+
+    // Wait for the idle TTL to retire both workers (bounded poll, not a
+    // bare sleep, so a slow CI box cannot flake this).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let paged = server.paged_stats().expect("paged server");
+        if paged.idle_spin_downs >= 2 && paged.hot_shards == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers never spun down: {paged:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Re-warm: answers must be the exact bits from before the spin-down.
+    for (key, expected) in keys.iter().zip(&first) {
+        let again: Vec<Point> = probe
+            .iter()
+            .map(|row| client.localize(*key, row.clone()).unwrap())
+            .collect();
+        assert_eq!(&again, expected, "{key} diverged across spin-down/rewarm");
+    }
+    let paged = server.paged_stats().expect("paged server");
+    assert!(paged.faults >= 4, "rewarm must fault the shards back in");
+    assert!(
+        paged.catalog.hydrations >= 2,
+        "rewarm must hydrate from the store"
+    );
+    server.shutdown();
 }
 
 #[test]
@@ -227,6 +438,7 @@ fn graceful_shutdown_drains_queued_fixes_then_rejects() {
         BatchConfig {
             max_batch: 8,
             latency_budget: Duration::from_micros(200),
+            idle_ttl: None,
         },
     )
     .unwrap();
