@@ -20,6 +20,7 @@ fn main() {
         ("throughput", noble_bench::runners::throughput::run),
         ("serving", noble_bench::runners::serving::run),
         ("model_store", noble_bench::runners::model_store::run),
+        ("tracking", noble_bench::runners::tracking::run),
         (
             "ablation_tau",
             noble_bench::runners::ablation::run_tau_sweep,

@@ -1,0 +1,9 @@
+//! Tracking-session capacity drive (`results/BENCH_tracking.json`).
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::tracking::run(scale) {
+        eprintln!("exp_tracking failed: {e}");
+        std::process::exit(1);
+    }
+}

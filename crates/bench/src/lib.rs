@@ -17,6 +17,7 @@
 //! | [`runners::throughput`] | serving throughput — single vs batched vs threaded fixes/sec |
 //! | [`runners::serving`] | sharded serving — micro-batching pipeline over 1/2/4 shards |
 //! | [`runners::model_store`] | model lifecycle — cold-train vs hydrate vs resident-hit, eviction thrash |
+//! | [`runners::tracking`] | tracking sessions — concurrent per-device session capacity and zone-event latency |
 //!
 //! Each runner honors [`Scale`]: `Scale::Quick` (set `NOBLE_QUICK=1`)
 //! shrinks datasets and epochs so the whole suite runs in seconds; the

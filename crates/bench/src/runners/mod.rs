@@ -14,6 +14,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod throughput;
+pub mod tracking;
 
 /// Shared error type of the runners.
 pub type RunnerResult = Result<String, Box<dyn std::error::Error>>;

@@ -410,6 +410,7 @@ pub fn run(scale: Scale) -> RunnerResult {
                         max_batch,
                         latency_budget: Duration::from_micros(budget_us),
                         idle_ttl: None,
+                        ..BatchConfig::default()
                     },
                 )?;
                 let rate = drive(&server, &fixes, clients, pipeline)?;
@@ -520,6 +521,7 @@ pub fn run(scale: Scale) -> RunnerResult {
                     max_batch,
                     latency_budget: Duration::from_micros(budget_us),
                     idle_ttl: None,
+                    ..BatchConfig::default()
                 },
             )?;
             let rate = drive(&server, &fixes, clients, true)?;
@@ -636,6 +638,7 @@ pub fn run(scale: Scale) -> RunnerResult {
             max_batch: 64,
             latency_budget: Duration::from_micros(200),
             idle_ttl: Some(Duration::from_millis(20)),
+            ..BatchConfig::default()
         };
         let pin = ThreadPin::pin_to_one();
         let resident = BatchServer::start(registry, serve_cfg)?;

@@ -10,6 +10,12 @@
 //! This is an extension beyond the paper's evaluation (documented in
 //! DESIGN.md §6); it reuses only public NObLe outputs and the map
 //! substrate, so it works with any per-fix localizer.
+//!
+//! [`ZoneDetector`] is the second tracking primitive: it debounces a
+//! per-fix zone-membership stream into stable entered/left transitions
+//! (`stability_k` consecutive agreeing fixes commit a change), which is
+//! what the `noble-serve` session layer turns into per-device zone
+//! events.
 
 use noble_geo::{CampusMap, Point};
 
@@ -126,6 +132,127 @@ impl TrajectorySmoother {
     /// Smooths a whole fix sequence at once.
     pub fn smooth_sequence(&mut self, fixes: &[Point], map: Option<&CampusMap>) -> Vec<Point> {
         fixes.iter().map(|&f| self.update(f, map)).collect()
+    }
+}
+
+/// A committed zone change reported by [`ZoneDetector::observe`].
+///
+/// `left` is the zone the track departed (`None` when it was outside
+/// every zone) and `entered` the zone it settled in (`None` when it
+/// settled outside). At least one side is always `Some` — a transition
+/// from outside to outside is not a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneTransition {
+    /// Zone index departed, if the track was in one.
+    pub left: Option<usize>,
+    /// Zone index settled into, if any.
+    pub entered: Option<usize>,
+}
+
+/// Zone membership with stability hysteresis: a per-fix zone stream
+/// (`Some(zone index)` or `None` for "outside every zone") commits a
+/// transition only after `stability_k` *consecutive* fixes agree on the
+/// new zone.
+///
+/// Raw per-fix zone lookups flap: a track walking a corridor along a
+/// room boundary resolves to a different side scan by scan. The
+/// detector is the standard debounce (BLE room trackers call it a
+/// *room stability threshold*): observations matching the current zone
+/// reset the pending candidate; a change of candidate restarts the
+/// count; only a full window of agreement commits. Two committed
+/// transitions are therefore always at least `stability_k` observations
+/// apart, and alternating boundary jitter never commits at all.
+///
+/// The detector is a pure, allocation-free state machine — the sharded
+/// session layer in `noble-serve` holds one per device, and its
+/// determinism contract (same observation sequence ⇒ same event
+/// sequence, regardless of sharding or threading) reduces to this
+/// struct being deterministic, which it trivially is.
+///
+/// # Example
+///
+/// ```
+/// use noble::wifi::tracking::ZoneDetector;
+///
+/// let mut d = ZoneDetector::new(2);
+/// assert_eq!(d.observe(Some(0)), None); // 1 of 2
+/// let t = d.observe(Some(0)).unwrap(); // 2 of 2: committed
+/// assert_eq!((t.left, t.entered), (None, Some(0)));
+/// assert_eq!(d.observe(Some(1)), None); // boundary jitter...
+/// assert_eq!(d.observe(Some(0)), None); // ...never commits
+/// assert_eq!(d.current(), Some(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneDetector {
+    stability_k: u32,
+    current: Option<usize>,
+    /// Pending zone (`Some(None)` = pending "outside"); `None` = no
+    /// pending change.
+    candidate: Option<Option<usize>>,
+    streak: u32,
+}
+
+impl ZoneDetector {
+    /// Creates a detector requiring `stability_k` consecutive agreeing
+    /// fixes (0 is treated as 1: every change commits immediately). The
+    /// initial state is outside every zone.
+    pub fn new(stability_k: u32) -> Self {
+        ZoneDetector {
+            stability_k: stability_k.max(1),
+            current: None,
+            candidate: None,
+            streak: 0,
+        }
+    }
+
+    /// The committed zone, if the track has settled in one.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The configured stability window.
+    pub fn stability_k(&self) -> u32 {
+        self.stability_k
+    }
+
+    /// Consumes one per-fix zone observation; returns the transition if
+    /// this observation completed a stability window.
+    pub fn observe(&mut self, zone: Option<usize>) -> Option<ZoneTransition> {
+        if zone == self.current {
+            // Agreement with the committed zone cancels any pending
+            // change — the jitter never lasted a full window.
+            self.candidate = None;
+            self.streak = 0;
+            return None;
+        }
+        if self.candidate == Some(zone) {
+            self.streak += 1;
+        } else {
+            self.candidate = Some(zone);
+            self.streak = 1;
+        }
+        if self.streak < self.stability_k {
+            return None;
+        }
+        let transition = ZoneTransition {
+            left: self.current,
+            entered: zone,
+        };
+        self.current = zone;
+        self.candidate = None;
+        self.streak = 0;
+        Some(transition)
+    }
+
+    /// Forces the track out of its committed zone (the away-timeout
+    /// path: the device went silent, so the session layer closes its
+    /// zone membership without waiting for fixes). Returns the zone
+    /// left, if there was one; pending candidates are discarded either
+    /// way.
+    pub fn force_leave(&mut self) -> Option<usize> {
+        self.candidate = None;
+        self.streak = 0;
+        self.current.take()
     }
 }
 
@@ -250,6 +377,106 @@ mod tests {
         let mut b = TrajectorySmoother::new(no_snap());
         let manual: Vec<Point> = fixes.iter().map(|&f| b.update(f, None)).collect();
         assert_eq!(seq, manual);
+    }
+
+    #[test]
+    fn detector_commits_only_after_full_window() {
+        let mut d = ZoneDetector::new(3);
+        assert_eq!(d.current(), None);
+        assert_eq!(d.observe(Some(2)), None);
+        assert_eq!(d.observe(Some(2)), None);
+        let t = d.observe(Some(2)).unwrap();
+        assert_eq!(
+            t,
+            ZoneTransition {
+                left: None,
+                entered: Some(2)
+            }
+        );
+        assert_eq!(d.current(), Some(2));
+        // Leaving needs a full window of "outside" too.
+        assert_eq!(d.observe(None), None);
+        assert_eq!(d.observe(None), None);
+        let t = d.observe(None).unwrap();
+        assert_eq!(
+            t,
+            ZoneTransition {
+                left: Some(2),
+                entered: None
+            }
+        );
+        assert_eq!(d.current(), None);
+    }
+
+    #[test]
+    fn detector_boundary_jitter_never_commits() {
+        let mut d = ZoneDetector::new(2);
+        d.observe(Some(0));
+        d.observe(Some(0));
+        assert_eq!(d.current(), Some(0));
+        // Alternating 0/1 observations: the candidate streak restarts on
+        // every flip and agreement with the current zone clears it.
+        for _ in 0..50 {
+            assert_eq!(d.observe(Some(1)), None);
+            assert_eq!(d.observe(Some(0)), None);
+        }
+        assert_eq!(d.current(), Some(0));
+    }
+
+    #[test]
+    fn detector_candidate_switch_restarts_the_window() {
+        let mut d = ZoneDetector::new(3);
+        assert_eq!(d.observe(Some(0)), None);
+        assert_eq!(d.observe(Some(0)), None);
+        // Third observation disagrees: zone 1 starts its own window.
+        assert_eq!(d.observe(Some(1)), None);
+        assert_eq!(d.observe(Some(1)), None);
+        let t = d.observe(Some(1)).unwrap();
+        assert_eq!(t.entered, Some(1));
+    }
+
+    #[test]
+    fn detector_direct_zone_to_zone_transition() {
+        let mut d = ZoneDetector::new(1);
+        assert_eq!(
+            d.observe(Some(0)),
+            Some(ZoneTransition {
+                left: None,
+                entered: Some(0)
+            })
+        );
+        // k = 1: the change commits immediately, carrying both sides.
+        assert_eq!(
+            d.observe(Some(4)),
+            Some(ZoneTransition {
+                left: Some(0),
+                entered: Some(4)
+            })
+        );
+        assert_eq!(d.current(), Some(4));
+    }
+
+    #[test]
+    fn detector_force_leave_closes_membership_once() {
+        let mut d = ZoneDetector::new(2);
+        d.observe(Some(3));
+        d.observe(Some(3));
+        assert_eq!(d.force_leave(), Some(3));
+        assert_eq!(d.current(), None);
+        // Idempotent: nothing left to leave.
+        assert_eq!(d.force_leave(), None);
+        // And a pending candidate is discarded by the forced leave.
+        d.observe(Some(1));
+        assert_eq!(d.force_leave(), None);
+        assert_eq!(d.observe(Some(1)), None);
+        assert_eq!(d.observe(Some(1)).unwrap().entered, Some(1));
+    }
+
+    #[test]
+    fn detector_zero_k_behaves_as_one() {
+        let mut d = ZoneDetector::new(0);
+        assert_eq!(d.stability_k(), 1);
+        assert_eq!(d.observe(Some(7)).unwrap().entered, Some(7));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   Projection baseline and the structure-awareness metrics of Figs. 4–5,
 //! - [`Polyline`] walking paths with resampling and headings for the IMU
 //!   simulator,
+//! - labeled [`Zone`]s with deterministic first-match [`ZoneSet`] lookup —
+//!   the semantic regions the tracking-session layer reports entered/left
+//!   events against,
 //! - a uniform [`Grid`] over a bounding box (shared by the quantizer).
 //!
 //! # Example
@@ -34,6 +37,7 @@ mod path;
 mod point;
 mod polygon;
 mod segment;
+mod zone;
 
 pub use error::GeoError;
 pub use floorplan::{Building, CampusMap, FloorId};
@@ -42,3 +46,4 @@ pub use path::Polyline;
 pub use point::Point;
 pub use polygon::Polygon;
 pub use segment::Segment;
+pub use zone::{Zone, ZoneSet};

@@ -1,0 +1,208 @@
+//! Named zones: the semantic regions tracking sessions report on.
+//!
+//! A fix answers *where* a device is; the tracking layer's room/zone
+//! events answer *what that place means* — "entered building 2",
+//! "left lab 3". A [`Zone`] is a labeled polygon; a [`ZoneSet`] is an
+//! ordered collection answering the one query event detection needs:
+//! which zone (if any) contains this point. Lookup is deterministic —
+//! zones are tested in insertion order and the first containing zone
+//! wins — so a point on a shared boundary always resolves the same way,
+//! which the serving layer's bit-reproducibility contract relies on.
+
+use crate::{CampusMap, GeoError, Point, Polygon};
+
+/// A labeled region of the map (a room, a lab, a whole building).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zone {
+    label: String,
+    polygon: Polygon,
+}
+
+impl Zone {
+    /// Creates a zone from a label and its footprint polygon.
+    pub fn new(label: impl Into<String>, polygon: Polygon) -> Self {
+        Zone {
+            label: label.into(),
+            polygon,
+        }
+    }
+
+    /// The zone's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The zone's footprint.
+    pub fn polygon(&self) -> &Polygon {
+        &self.polygon
+    }
+
+    /// Whether `p` lies in this zone (boundary points count as inside).
+    pub fn contains(&self, p: Point) -> bool {
+        self.polygon.contains(p)
+    }
+}
+
+/// An ordered set of zones with first-match point lookup.
+///
+/// # Example
+///
+/// ```
+/// use noble_geo::{Point, Polygon, Zone, ZoneSet};
+///
+/// let zones = ZoneSet::new(vec![
+///     Zone::new("west", Polygon::rectangle(0.0, 0.0, 5.0, 10.0).unwrap()),
+///     Zone::new("east", Polygon::rectangle(5.0, 0.0, 10.0, 10.0).unwrap()),
+/// ]);
+/// assert_eq!(zones.locate(Point::new(2.0, 2.0)), Some(0));
+/// assert_eq!(zones.locate(Point::new(7.0, 2.0)), Some(1));
+/// assert_eq!(zones.locate(Point::new(20.0, 2.0)), None);
+/// // Shared boundary: the earlier zone wins, deterministically.
+/// assert_eq!(zones.locate(Point::new(5.0, 2.0)), Some(0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ZoneSet {
+    zones: Vec<Zone>,
+}
+
+impl ZoneSet {
+    /// Creates a zone set; an empty set is valid (no fix is ever in a
+    /// zone, so no events fire).
+    pub fn new(zones: Vec<Zone>) -> Self {
+        ZoneSet { zones }
+    }
+
+    /// One zone per building footprint of `map`, labeled `b<i>`.
+    /// Courtyard holes are *included* (the zone is the footprint, not
+    /// the accessible space) — zone semantics are "within this
+    /// building's extent", not "standing on walkable floor".
+    pub fn from_buildings(map: &CampusMap) -> Self {
+        let zones = map
+            .buildings()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Zone::new(format!("b{i}"), b.footprint().clone()))
+            .collect();
+        ZoneSet { zones }
+    }
+
+    /// Subdivides each building's bounding box into a `cols x rows`
+    /// grid of rectangular zones labeled `b<i>/z<r>,<c>` — the quick
+    /// way to get room-sized zones out of a footprint-only map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidGrid`] when `cols` or `rows` is zero.
+    pub fn building_grid(map: &CampusMap, cols: usize, rows: usize) -> Result<Self, GeoError> {
+        if cols == 0 || rows == 0 {
+            return Err(GeoError::InvalidGrid(
+                "zone grid needs at least one column and one row".into(),
+            ));
+        }
+        let mut zones = Vec::with_capacity(map.building_count() * cols * rows);
+        for (i, building) in map.buildings().iter().enumerate() {
+            let (min, max) = building.footprint().bounding_box();
+            let dx = (max.x - min.x) / cols as f64;
+            let dy = (max.y - min.y) / rows as f64;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let x0 = min.x + c as f64 * dx;
+                    let y0 = min.y + r as f64 * dy;
+                    zones.push(Zone::new(
+                        format!("b{i}/z{r},{c}"),
+                        Polygon::rectangle(x0, y0, x0 + dx, y0 + dy)?,
+                    ));
+                }
+            }
+        }
+        Ok(ZoneSet { zones })
+    }
+
+    /// The zones, in lookup order.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Number of zones.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Whether the set holds no zones.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// The zone at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&Zone> {
+        self.zones.get(index)
+    }
+
+    /// Index of the first zone containing `p`, scanning in insertion
+    /// order (deterministic under overlap and on shared boundaries).
+    pub fn locate(&self, p: Point) -> Option<usize> {
+        self.zones.iter().position(|z| z.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Building;
+
+    fn two_room_set() -> ZoneSet {
+        ZoneSet::new(vec![
+            Zone::new("west", Polygon::rectangle(0.0, 0.0, 5.0, 10.0).unwrap()),
+            Zone::new("east", Polygon::rectangle(5.0, 0.0, 10.0, 10.0).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn locate_is_first_match_in_order() {
+        let zones = two_room_set();
+        assert_eq!(zones.locate(Point::new(1.0, 1.0)), Some(0));
+        assert_eq!(zones.locate(Point::new(9.0, 1.0)), Some(1));
+        assert_eq!(zones.locate(Point::new(-1.0, 1.0)), None);
+        // The shared x = 5 boundary belongs to the earlier zone.
+        assert_eq!(zones.locate(Point::new(5.0, 5.0)), Some(0));
+        assert_eq!(zones.get(0).unwrap().label(), "west");
+    }
+
+    #[test]
+    fn empty_set_locates_nothing() {
+        let zones = ZoneSet::default();
+        assert!(zones.is_empty());
+        assert_eq!(zones.locate(Point::ORIGIN), None);
+    }
+
+    fn campus() -> CampusMap {
+        CampusMap::new(vec![
+            Building::new(Polygon::rectangle(0.0, 0.0, 20.0, 10.0).unwrap(), 2).unwrap(),
+            Building::new(Polygon::rectangle(30.0, 0.0, 50.0, 10.0).unwrap(), 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_buildings_covers_each_footprint() {
+        let zones = ZoneSet::from_buildings(&campus());
+        assert_eq!(zones.len(), 2);
+        assert_eq!(zones.locate(Point::new(5.0, 5.0)), Some(0));
+        assert_eq!(zones.locate(Point::new(40.0, 5.0)), Some(1));
+        assert_eq!(zones.locate(Point::new(25.0, 5.0)), None);
+        assert_eq!(zones.get(1).unwrap().label(), "b1");
+    }
+
+    #[test]
+    fn building_grid_tiles_each_building() {
+        let zones = ZoneSet::building_grid(&campus(), 2, 1).unwrap();
+        assert_eq!(zones.len(), 4);
+        // Building 0 splits at x = 10; building 1 at x = 40.
+        assert_eq!(zones.locate(Point::new(2.0, 5.0)), Some(0));
+        assert_eq!(zones.locate(Point::new(18.0, 5.0)), Some(1));
+        assert_eq!(zones.locate(Point::new(32.0, 5.0)), Some(2));
+        assert_eq!(zones.locate(Point::new(48.0, 5.0)), Some(3));
+        assert_eq!(zones.get(3).unwrap().label(), "b1/z0,1");
+        assert!(ZoneSet::building_grid(&campus(), 0, 1).is_err());
+    }
+}

@@ -33,6 +33,15 @@
 //!   shard needs their budget slot, so one process serves strictly more
 //!   shards than fit under the [`CatalogBudget`]
 //!   ([`BatchServer::paged_stats`] counts faults, spin-downs and drains).
+//! - [`TrackingServer`] adds the stateful per-device layer: a
+//!   [`SessionTable`] of independently locked shards holds one session
+//!   per device (trajectory smoother, bounded track buffer, zone
+//!   hysteresis detector), so [`TrackingClient::submit`] turns a raw fix
+//!   into a smoothed [`TrackedFix`] plus committed [`ZoneEvent`]s, with
+//!   away-timeout sweeps retiring silent devices off the serving path.
+//!   Same observation interleaving ⇒ bit-identical tracks and identical
+//!   event sequences at any shard/thread count (pinned by the
+//!   `tracking_sessions` suite).
 //!
 //! Neither batching nor paging changes answers: the linalg substrate
 //! picks its matmul kernel per output row, and snapshot round-trips /
@@ -68,6 +77,7 @@ mod catalog;
 mod error;
 mod registry;
 mod server;
+mod session;
 mod store;
 
 pub use catalog::{CatalogBudget, CatalogStats, ModelCatalog, SharedCatalog, TrainSpec};
@@ -76,4 +86,8 @@ pub use registry::{
     partition_campaign, shard_seed, RegistryConfig, ShardKey, ShardPolicy, ShardedRegistry,
 };
 pub use server::{BatchConfig, BatchServer, PagedStats, PendingFix, ServeClient, ShardStats};
+pub use session::{
+    DeviceId, SessionStats, SessionTable, TrackedFix, TrackingClient, TrackingServer, ZoneEvent,
+    ZoneEventKind,
+};
 pub use store::{FsStore, MemStore, ModelStore};

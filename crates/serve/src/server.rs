@@ -117,6 +117,22 @@ pub struct BatchConfig {
     /// exiting). `None` — the default — means idle shards stay hot and
     /// spin down only under budget pressure (the LRU drain policy).
     pub idle_ttl: Option<Duration>,
+    /// Tracking-session servers only ([`crate::TrackingServer`]): number
+    /// of independently locked shards the per-device session table is
+    /// split across. Plain [`BatchServer`]s ignore it.
+    pub session_shards: usize,
+    /// Tracking-session servers only: how many *consecutive* fixes must
+    /// agree on a device's new zone before the session commits the
+    /// transition and emits entered/left events (the zone-stability
+    /// hysteresis window). Plain [`BatchServer`]s ignore it.
+    pub stability_k: u32,
+    /// Tracking-session servers only: logical-time units (the `at`
+    /// stamps callers submit with) a session may sit without an
+    /// observation before a sweep marks it away (emitting `Left` if it
+    /// was in a zone) and a later sweep evicts it. `None` — the default
+    /// — keeps silent sessions forever. Plain [`BatchServer`]s ignore
+    /// it.
+    pub away_timeout: Option<u64>,
 }
 
 impl Default for BatchConfig {
@@ -125,6 +141,9 @@ impl Default for BatchConfig {
             max_batch: 128,
             latency_budget: Duration::from_micros(500),
             idle_ttl: None,
+            session_shards: 16,
+            stability_k: 3,
+            away_timeout: None,
         }
     }
 }

@@ -278,6 +278,7 @@ fn imu_campaign_serves_through_catalog_and_batch_server() {
             max_batch: 16,
             latency_budget: Duration::from_micros(200),
             idle_ttl: None,
+            ..BatchConfig::default()
         },
     )
     .unwrap();
@@ -393,6 +394,7 @@ fn paged_spin_down_write_through_survives_process_restart() {
                 max_batch: 8,
                 latency_budget: Duration::from_micros(100),
                 idle_ttl: Some(Duration::from_millis(10)),
+                ..BatchConfig::default()
             },
         )
         .unwrap();

@@ -77,6 +77,7 @@ fn served_results_bit_identical_to_direct() {
                 max_batch,
                 latency_budget: Duration::from_micros(budget_us),
                 idle_ttl: None,
+                ..BatchConfig::default()
             },
         )
         .unwrap();
@@ -142,6 +143,7 @@ fn warm_restart_from_store_bit_identical_to_fresh_registry() {
                 max_batch: 64,
                 latency_budget: Duration::from_micros(300),
                 idle_ttl: None,
+                ..BatchConfig::default()
             },
         )
         .unwrap();
@@ -208,6 +210,7 @@ fn oversubscribed_paged_server_bit_identical_to_fully_resident() {
             max_batch: 16,
             latency_budget: Duration::from_micros(200),
             idle_ttl: None,
+            ..BatchConfig::default()
         },
     )
     .unwrap();
@@ -228,6 +231,7 @@ fn oversubscribed_paged_server_bit_identical_to_fully_resident() {
             max_batch: 16,
             latency_budget: Duration::from_micros(200),
             idle_ttl: None,
+            ..BatchConfig::default()
         },
     )
     .unwrap();
@@ -329,6 +333,7 @@ fn idle_shards_spin_down_and_rewarm_bit_identically() {
             max_batch: 8,
             latency_budget: Duration::from_micros(100),
             idle_ttl: Some(Duration::from_millis(15)),
+            ..BatchConfig::default()
         },
     )
     .unwrap();
@@ -439,6 +444,7 @@ fn graceful_shutdown_drains_queued_fixes_then_rejects() {
             max_batch: 8,
             latency_budget: Duration::from_micros(200),
             idle_ttl: None,
+            ..BatchConfig::default()
         },
     )
     .unwrap();
