@@ -403,7 +403,9 @@ impl ImuNoble {
     /// Propagates network and decode failures.
     pub fn predict_one(&mut self, path: &ImuPathSample) -> Result<Point, NobleError> {
         let mut out = self.predict_batch(&[path])?;
-        Ok(out.pop().expect("one path in, one prediction out"))
+        out.pop().ok_or_else(|| {
+            NobleError::InvalidData("predict_batch returned no prediction for one path".into())
+        })
     }
 
     /// Batched prediction: one stacked forward over all paths, then a

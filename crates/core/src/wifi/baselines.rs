@@ -463,8 +463,8 @@ impl KnnFingerprint {
         let mut wx = 0.0;
         let mut wy = 0.0;
         let mut wsum = 0.0;
-        let mut b_votes = std::collections::HashMap::new();
-        let mut f_votes = std::collections::HashMap::new();
+        let mut b_votes = std::collections::BTreeMap::new();
+        let mut f_votes = std::collections::BTreeMap::new();
         for &(idx, d) in &hits {
             let w = 1.0 / (d + 1e-6);
             wx += w * self.positions[idx].x;
@@ -498,12 +498,24 @@ impl KnnFingerprint {
     }
 }
 
-fn best_vote(votes: &std::collections::HashMap<usize, f64>) -> usize {
-    votes
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-        .map(|(&k, _)| k)
-        .unwrap_or(0)
+/// The label with the largest vote weight. Iterating the `BTreeMap` in
+/// key order makes ties land on the smallest label deterministically —
+/// with a `HashMap` here, the winner of an exact tie (common on the
+/// building vote when `k` splits evenly across a boundary) changed from
+/// run to run with the hasher seed. `total_cmp` keeps the comparison
+/// panic-free.
+fn best_vote(votes: &std::collections::BTreeMap<usize, f64>) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    for (&label, &weight) in votes {
+        let better = match best {
+            None => true,
+            Some((_, w)) => weight.total_cmp(&w) == std::cmp::Ordering::Greater,
+        };
+        if better {
+            best = Some((label, weight));
+        }
+    }
+    best.map(|(label, _)| label).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -539,6 +551,22 @@ mod tests {
         let proj_structure = StructureReport::compute(&projected, &campaign.map).unwrap();
         assert!(proj_structure.on_map_fraction >= raw_structure.on_map_fraction);
         assert!(proj_structure.on_map_fraction > 0.99);
+    }
+
+    #[test]
+    fn best_vote_breaks_exact_ties_on_the_smallest_label() {
+        // Regression: with HashMap voting, an exact weight tie was won by
+        // whichever entry the hasher happened to iterate first, so the
+        // kNN building/floor prediction changed from run to run. The
+        // BTreeMap walk must settle ties on the smallest label, every run.
+        let mut votes = std::collections::BTreeMap::new();
+        votes.insert(9, 0.5);
+        votes.insert(3, 0.5);
+        votes.insert(6, 0.5);
+        assert_eq!(best_vote(&votes), 3);
+        votes.insert(6, 0.75);
+        assert_eq!(best_vote(&votes), 6);
+        assert_eq!(best_vote(&std::collections::BTreeMap::new()), 0);
     }
 
     #[test]

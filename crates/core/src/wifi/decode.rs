@@ -49,7 +49,9 @@ impl WifiNoble {
         let features = Matrix::from_vec(1, fingerprint.len(), fingerprint.to_vec())
             .map_err(|e| NobleError::InvalidData(e.to_string()))?;
         let mut preds = self.predict(&features)?;
-        Ok(preds.pop().expect("one row in, one prediction out"))
+        preds.pop().ok_or_else(|| {
+            NobleError::InvalidData("predict returned no prediction for a one-row batch".into())
+        })
     }
 
     /// Localizes a batch of fingerprints with a single stacked forward
@@ -115,7 +117,8 @@ impl WifiNoble {
             let row = probs.row(i);
             // Indices of the k largest probabilities.
             let mut order: Vec<usize> = (0..row.len()).collect();
-            order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probabilities"));
+            // total_cmp: NaN-proof and deterministic (no panic branch).
+            order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
             order.truncate(k);
             let mut mass = 0.0;
             let mut x = 0.0;

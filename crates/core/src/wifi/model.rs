@@ -198,9 +198,14 @@ impl WifiNoble {
             heads.push(HeadSpec::softmax("coarse", c.num_classes()));
         }
         let layout = OutputLayout::new(heads)?;
-        let head_building = layout.head_index("building").expect("declared above");
-        let head_floor = layout.head_index("floor").expect("declared above");
-        let head_fine = layout.head_index("fine").expect("declared above");
+        let head_of = |name: &str| {
+            layout.head_index(name).ok_or_else(|| {
+                NobleError::InvalidConfig(format!("output layout is missing the {name} head"))
+            })
+        };
+        let head_building = head_of("building")?;
+        let head_floor = head_of("floor")?;
+        let head_fine = head_of("fine")?;
 
         let x = campaign.features(&campaign.train);
         let y = Self::targets(

@@ -1,0 +1,11 @@
+//! float-determinism bad fixture: an f32 truncation and a hash-ordered
+//! float reduction in kernel-style code.
+use std::collections::HashMap;
+
+pub fn truncate(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn reduce(weights: &HashMap<u64, f64>) -> f64 {
+    weights.values().sum()
+}

@@ -1,0 +1,16 @@
+//! float-determinism good fixture: f64 end to end, ordered reduction,
+//! and a gated fast path with a reasoned allow — none may fire.
+use std::collections::BTreeMap;
+
+pub fn keep_exact(x: f64) -> f64 {
+    x * 2.0
+}
+
+pub fn reduce(weights: &BTreeMap<u64, f64>) -> f64 {
+    weights.values().sum()
+}
+
+pub fn gated_fast_path(x: f64) -> f32 {
+    // noble-lint: allow(float-determinism, "fixture: explicit accuracy-gated fast path that documents the bits it trades")
+    x as f32
+}

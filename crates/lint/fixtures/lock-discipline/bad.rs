@@ -1,0 +1,45 @@
+//! lock-discipline bad fixture: a channel op under a guard, an inverted
+//! acquisition against the declared order, and a re-entrant lock.
+use std::collections::BTreeMap;
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Engine {
+    pub slots: Mutex<BTreeMap<u64, u64>>,
+    pub stats: Mutex<u64>,
+    pub tx: Sender<u64>,
+}
+
+impl Engine {
+    pub fn send_under_lock(&self) {
+        let slots = match self.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = self.tx.send(slots.len() as u64);
+    }
+
+    pub fn inverted_order(&self) {
+        let stats = match self.stats.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let slots = match self.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = (stats, slots);
+    }
+
+    pub fn reentrant(&self) -> u64 {
+        let stats = match self.stats.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let again = match self.stats.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *stats + *again
+    }
+}

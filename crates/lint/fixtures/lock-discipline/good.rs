@@ -1,0 +1,56 @@
+//! lock-discipline good fixture: scoped guards, declared-order
+//! acquisition, an explicit early drop, and a reasoned allow — none may
+//! fire.
+use std::collections::BTreeMap;
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Engine {
+    pub slots: Mutex<BTreeMap<u64, u64>>,
+    pub stats: Mutex<u64>,
+    pub tx: Sender<u64>,
+}
+
+impl Engine {
+    pub fn scoped_send(&self) {
+        let len = {
+            let slots = match self.slots.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slots.len() as u64
+        };
+        let _ = self.tx.send(len);
+    }
+
+    pub fn declared_order(&self) -> u64 {
+        let slots = match self.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let stats = match self.stats.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slots.len() as u64 + *stats
+    }
+
+    pub fn dropped_before_send(&self) {
+        let slots = match self.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let len = slots.len() as u64;
+        drop(slots);
+        let _ = self.tx.send(len);
+    }
+
+    pub fn marker_send(&self) {
+        let slots = match self.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // noble-lint: allow(lock-discipline, "fixture: unbounded channel send never blocks; sending under the lock is the ordering argument")
+        let _ = self.tx.send(slots.len() as u64);
+    }
+}

@@ -1,0 +1,17 @@
+//! panic-path bad fixture: four distinct panic routes in library code.
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("always set")
+}
+
+pub fn boom() {
+    panic!("library code must not panic");
+}
+
+pub fn later() -> u32 {
+    unimplemented!()
+}

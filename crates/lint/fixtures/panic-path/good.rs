@@ -1,0 +1,19 @@
+//! panic-path good fixture: typed errors, a reasoned allow, and a
+//! test-region unwrap — none may fire.
+
+pub fn first(xs: &[u64]) -> Result<u64, String> {
+    xs.first().copied().ok_or_else(|| "empty input".to_string())
+}
+
+pub fn invariant(x: Option<u32>) -> u32 {
+    // noble-lint: allow(panic-path, "fixture: reviewed invariant with a documented reason")
+    x.expect("reviewed invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

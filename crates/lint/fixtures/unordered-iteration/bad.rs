@@ -1,0 +1,22 @@
+//! unordered-iteration bad fixture: hash order reaching output.
+use std::collections::{HashMap, HashSet};
+
+pub fn render(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn keys(set: &HashSet<u64>) -> Vec<u64> {
+    set.iter().copied().collect()
+}
+
+pub fn tally(map: HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_k, v) in &map {
+        out.push(v + 1);
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! unordered-iteration good fixture: BTree order, lookup-only hash use,
+//! and a sort-before-escape with a reasoned allow — none may fire.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(ordered: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in ordered.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn lookup(table: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    table.get(&key).copied()
+}
+
+pub fn sorted(counts: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    // noble-lint: allow(unordered-iteration, "fixture: collected and sorted on the next line before order can escape")
+    let mut out: Vec<(String, u64)> = counts.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    out.sort();
+    out
+}

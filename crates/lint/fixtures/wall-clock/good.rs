@@ -1,0 +1,19 @@
+//! wall-clock good fixture: logical time, a reasoned allow, and a
+//! test-only clock read — none may fire.
+
+pub fn advance(at: u64) -> u64 {
+    at + 1
+}
+
+pub fn deadline_poll() -> std::time::Instant {
+    // noble-lint: allow(wall-clock, "fixture: batching deadline only; never feeds a result")
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

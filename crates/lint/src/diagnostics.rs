@@ -1,0 +1,81 @@
+//! Findings and their rustc-style rendering.
+
+use crate::source::SourceFile;
+use std::fmt::Write as _;
+
+/// How serious a finding is. Only `Error` findings fail `--check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory (unused allows, style nits); reported but non-fatal.
+    Warning,
+    /// A contract violation; fails `--check` unless suppressed.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label for rendering and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The lint that fired (its registry name), e.g. `wall-clock`.
+    pub lint: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Width of the offending token span, in chars (for the caret run).
+    pub width: u32,
+    /// One-line statement of what is wrong.
+    pub message: String,
+    /// The contract this violates (rendered as `= contract: …`).
+    pub contract: &'static str,
+    /// How to fix or suppress it (rendered as `= help: …`).
+    pub help: String,
+    /// Severity; see [`Severity`].
+    pub severity: Severity,
+}
+
+impl Finding {
+    /// Renders the finding in rustc's two-space-gutter style, with the
+    /// offending source line and a caret run under the span.
+    pub fn render(&self, source: Option<&SourceFile>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.lint,
+            self.message
+        );
+        let _ = writeln!(out, "  --> {}:{}:{}", self.file, self.line, self.col);
+        if let Some(src) = source {
+            let text = src.line_text(self.line);
+            if !text.is_empty() {
+                let gutter = self.line.to_string();
+                let pad = " ".repeat(gutter.len());
+                let _ = writeln!(out, "{pad} |");
+                let _ = writeln!(out, "{gutter} | {text}");
+                let caret_pad: String = text
+                    .chars()
+                    .take(self.col.saturating_sub(1) as usize)
+                    .map(|c| if c == '\t' { '\t' } else { ' ' })
+                    .collect();
+                let carets = "^".repeat(self.width.max(1) as usize);
+                let _ = writeln!(out, "{pad} | {caret_pad}{carets}");
+            }
+        }
+        let _ = writeln!(out, "   = contract: {}", self.contract);
+        let _ = writeln!(out, "   = help: {}", self.help);
+        out
+    }
+}

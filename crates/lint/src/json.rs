@@ -1,0 +1,137 @@
+//! Deterministic JSON rendering of a [`Report`].
+//!
+//! Hand-rolled for the same reason the lexer is: the container is
+//! offline, so no serde. The output is byte-stable across runs —
+//! findings arrive in (file, line, col) order from the driver and no
+//! timestamps or host details are emitted — matching the repo-wide rule
+//! that generated artifacts diff cleanly.
+
+use crate::diagnostics::Finding;
+use crate::Report;
+use std::fmt::Write as _;
+
+/// Renders `report` as the `results/LINT_report.json` document.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"noble-lint/v1\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"errors\": {},", report.error_count());
+    let _ = writeln!(out, "  \"warnings\": {},", report.warning_count());
+    let _ = writeln!(out, "  \"suppressed\": {},", report.suppressed.len());
+    out.push_str("  \"findings\": [");
+    for (i, reported) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        finding_object(&mut out, &reported.finding, None);
+    }
+    if report.findings.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"suppressed_findings\": [");
+    for (i, sup) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        finding_object(&mut out, &sup.finding, Some(&sup.reason));
+    }
+    if report.suppressed.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One finding as a single-line JSON object.
+fn finding_object(out: &mut String, f: &Finding, reason: Option<&str>) {
+    out.push('{');
+    let _ = write!(out, "\"lint\": {}", quote(f.lint));
+    let _ = write!(out, ", \"severity\": {}", quote(f.severity.label()));
+    let _ = write!(out, ", \"file\": {}", quote(&f.file));
+    let _ = write!(out, ", \"line\": {}", f.line);
+    let _ = write!(out, ", \"col\": {}", f.col);
+    let _ = write!(out, ", \"message\": {}", quote(&f.message));
+    if let Some(reason) = reason {
+        let _ = write!(out, ", \"reason\": {}", quote(reason));
+    }
+    out.push('}');
+}
+
+/// JSON string escaping (quotes, backslashes, control chars).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+    use crate::{Reported, Suppressed};
+
+    fn finding(lint: &'static str, line: u32) -> Finding {
+        Finding {
+            lint,
+            file: "crates/serve/src/server.rs".into(),
+            line,
+            col: 3,
+            width: 4,
+            message: "a \"quoted\" message".into(),
+            contract: "c",
+            help: "h".into(),
+            severity: Severity::Error,
+        }
+    }
+
+    #[test]
+    fn report_renders_counts_findings_and_reasons() {
+        let report = Report {
+            files_scanned: 2,
+            findings: vec![Reported {
+                finding: finding("wall-clock", 7),
+                rendered: String::new(),
+            }],
+            suppressed: vec![Suppressed {
+                finding: finding("panic-path", 9),
+                reason: "poisoning recovery".into(),
+            }],
+        };
+        let text = render(&report);
+        assert!(text.contains("\"schema\": \"noble-lint/v1\""));
+        assert!(text.contains("\"errors\": 1"));
+        assert!(text.contains("\"suppressed\": 1"));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\"reason\": \"poisoning recovery\""));
+        // Byte-stable: rendering twice is identical.
+        assert_eq!(text, render(&report));
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_minimal() {
+        let text = render(&Report::default());
+        assert!(text.contains("\"findings\": []"));
+        assert!(text.contains("\"suppressed_findings\": []"));
+    }
+}

@@ -1,0 +1,389 @@
+//! A hand-rolled lexer for the subset of Rust surface syntax the lints
+//! walk.
+//!
+//! The container is offline, so there is no `syn`/`proc-macro2` to lean
+//! on (the same constraint that produced the vendored `rand`/`proptest`
+//! stand-ins). The lints only need a faithful *token stream* — not a
+//! syntax tree — so this lexer handles exactly the parts of the grammar
+//! that would otherwise produce false positives if scanned textually:
+//!
+//! - line comments, block comments (nested) and doc comments, kept as
+//!   tokens so the suppression scanner can read them while the lints
+//!   skip them — a `unwrap()` inside a doctest code block is a comment
+//!   here, not a call;
+//! - string literals (plain, raw `r#"…"#`, byte), char literals, and
+//!   the `'a` lifetime / `'x'` char ambiguity;
+//! - numeric literals with underscores, type suffixes and exponents,
+//!   without swallowing the `..` of a range expression.
+//!
+//! Everything else is an identifier or a single-character punct token.
+//! Every token carries its line and column (both 1-based) for
+//! rustc-style diagnostics.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lints treat keywords as idents).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// String literal of any flavor (plain, raw, byte), quotes included.
+    Str,
+    /// Char literal, quotes included.
+    Char,
+    /// Numeric literal, suffix included.
+    Num,
+    /// Lifetime (`'a`), the leading quote stripped.
+    Lifetime,
+    /// `//`-comment (doc or plain), leading slashes included.
+    LineComment,
+    /// `/* … */` comment (doc or plain), delimiters included.
+    BlockComment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw text (see [`TokenKind`] for what each kind includes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars, not bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `text` into a full token stream, comments included.
+///
+/// The lexer never fails: malformed input (an unterminated string, a
+/// stray control character) degrades to best-effort tokens, which is
+/// the right trade for a linter — the compiler owns rejecting the file.
+pub fn lex(text: &str) -> Vec<Token> {
+    Lexer {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(line, col, String::new()),
+                'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_alphanumeric() || c == '_' => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    /// Plain (or byte) string bodies: consume to the closing quote,
+    /// honoring `\"` and `\\` escapes.
+    fn string(&mut self, line: u32, col: u32, prefix: String) {
+        let mut text = prefix;
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`. Returns false when
+    /// the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let mut ahead = 0;
+        let mut prefix = String::new();
+        if self.peek(0) == Some('b') {
+            prefix.push('b');
+            ahead += 1;
+        }
+        if self.peek(ahead) == Some('r') {
+            prefix.push('r');
+            ahead += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false;
+        }
+        if !prefix.contains('r') && hashes > 0 {
+            return false;
+        }
+        // Consume prefix and hashes.
+        for _ in 0..(ahead + hashes) {
+            self.bump();
+        }
+        if !prefix.contains('r') {
+            // b"…" — ordinary escapes apply.
+            self.string(line, col, prefix);
+            return true;
+        }
+        let mut text = prefix;
+        text.push_str(&"#".repeat(hashes));
+        text.push('"');
+        self.bump();
+        let closer: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        let mut tail = String::new();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            tail.push(c);
+            if tail.len() > closer.len() {
+                tail.remove(0);
+            }
+            if tail == closer {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+        true
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // A lifetime is `'` + ident-start NOT followed by a closing `'`.
+        if let Some(first) = self.peek(1) {
+            if (first.is_alphabetic() || first == '_') && self.peek(2) != Some('\'') {
+                self.bump(); // '
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, name, line, col);
+                return;
+            }
+        }
+        let mut text = String::from("'");
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Leading digits (incl. 0x/0b/0o bodies and underscores).
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // `1.0e-3` / `0x1p+2`: a sign directly after an exponent
+                // marker belongs to the literal.
+                text.push(c);
+                self.bump();
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+            } else if c == '.' {
+                // `0..10` must lex as Num(0) Punct(.) Punct(.) Num(10).
+                if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_separated() {
+        let toks = kinds("let x = \"a // not comment\"; // real");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not comment")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("real")));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let toks = kinds("for i in 0..10 {}");
+        let dots = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Punct && t == ".")
+            .count();
+        assert_eq!(dots, 2);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "10"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'y'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'y'"));
+    }
+
+    #[test]
+    fn raw_strings_and_positions() {
+        let toks = lex("a\nr#\"x \" y\"#");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Str);
+        assert_eq!(toks[1].line, 2);
+        assert!(toks[1].text.contains("x \" y"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_once() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn float_exponents_stay_one_token() {
+        let toks = kinds("1.5e-3 + 2_000u64");
+        assert_eq!(toks[0], (TokenKind::Num, "1.5e-3".into()));
+        assert_eq!(toks[2], (TokenKind::Num, "2_000u64".into()));
+    }
+}

@@ -1,0 +1,230 @@
+//! `noble-lint` — contract-enforcing static analysis for the NObLe
+//! serving stack.
+//!
+//! The repo's correctness story rests on contracts that `rustc` cannot
+//! see: logical time only on result paths, hash-iteration order never
+//! reaching output, typed errors instead of panics on the serving path,
+//! a declared lock order, bit-exact f64 kernels. This crate is a
+//! self-contained checker for those contracts — a hand-rolled lexer
+//! ([`lexer`]), a per-file analysis model ([`source`]), a pluggable
+//! [`lints::Lint`] registry, path-scoped [`policy`], and a reasoned
+//! suppression syntax ([`suppress`]). It depends on nothing outside
+//! `std` (the build container is offline), which is also why the lints
+//! walk token streams rather than a borrowed syntax tree.
+//!
+//! The driver here glues those layers: [`check_file`] runs every
+//! in-scope lint on one parsed file and applies suppressions;
+//! [`run`] walks the repo and aggregates a [`Report`] the CLI renders
+//! as rustc-style text, a `--check` exit code, or `--json`.
+
+pub mod diagnostics;
+pub mod json;
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod source;
+pub mod suppress;
+
+use diagnostics::{Finding, Severity};
+use lints::Lint;
+use policy::Policy;
+use source::SourceFile;
+use std::path::Path;
+
+/// A kept finding plus its rendered (rustc-style) text.
+pub struct Reported {
+    /// The structured finding (drives JSON and exit codes).
+    pub finding: Finding,
+    /// The human rendering, snippet and caret run included.
+    pub rendered: String,
+}
+
+/// A finding silenced by a reasoned allow.
+pub struct Suppressed {
+    /// The finding that would otherwise have been reported.
+    pub finding: Finding,
+    /// The reason string from the allow annotation.
+    pub reason: String,
+}
+
+/// Everything one run produced.
+#[derive(Default)]
+pub struct Report {
+    /// Number of `.rs` files parsed and walked.
+    pub files_scanned: usize,
+    /// Kept findings (errors and warnings), in (file, line, col) order.
+    pub findings: Vec<Reported>,
+    /// Findings silenced by reasoned allows, same order.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// Kept findings at [`Severity::Error`] — what fails `--check`.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|r| r.finding.severity == Severity::Error)
+            .count()
+    }
+
+    /// Kept findings at [`Severity::Warning`].
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
+    }
+}
+
+/// Runs every lint whose policy scope covers `file`, applies the file's
+/// allow annotations, and returns (kept, suppressed). Returns `None`
+/// when no lint is in scope — such files are not parsed for
+/// suppressions either, so an allow in an out-of-scope file is simply
+/// inert rather than "unused".
+pub fn check_file(
+    file: &SourceFile,
+    policy: &Policy,
+    registry: &[Box<dyn Lint>],
+    names: &[&'static str],
+) -> Option<(Vec<Finding>, Vec<Suppressed>)> {
+    let in_scope: Vec<&Box<dyn Lint>> = registry
+        .iter()
+        .filter(|l| policy.scope(l.name()).covers(&file.path))
+        .collect();
+    if in_scope.is_empty() {
+        return None;
+    }
+    let mut raw = Vec::new();
+    for lint in in_scope {
+        raw.extend(lint.check(file, policy));
+    }
+    let sup = suppress::scan(file, names);
+    let (mut kept, silenced) = suppress::apply(file, raw, &sup.allows);
+    // Malformed allows are findings in their own right and cannot be
+    // suppressed — an allow must never be able to excuse itself.
+    kept.extend(sup.errors);
+    kept.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+    let suppressed = silenced
+        .into_iter()
+        .map(|finding| {
+            let reason = sup
+                .allows
+                .iter()
+                .find(|a| a.lint == finding.lint && a.target_line == finding.line)
+                .map(|a| a.reason.clone())
+                .unwrap_or_default();
+            Suppressed { finding, reason }
+        })
+        .collect();
+    Some((kept, suppressed))
+}
+
+/// Walks the repo at `root` and checks every `.rs` file under it.
+///
+/// Skipped subtrees: `target` and `.git` (build/VCS state), `fixtures`
+/// (the lint crate's deliberately-violating test corpus), `results`
+/// (generated artifacts).
+///
+/// # Errors
+///
+/// A string diagnostic when the walk itself fails (unreadable
+/// directory). Unreadable or non-UTF-8 individual files are skipped.
+pub fn run(root: &Path, policy: &Policy) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let registry = lints::registry();
+    let names = lints::lint_names();
+    let mut report = Report::default();
+    for rel in files {
+        let Ok(text) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let file = SourceFile::parse(&rel, &text);
+        report.files_scanned += 1;
+        let Some((kept, suppressed)) = check_file(&file, policy, &registry, &names) else {
+            continue;
+        };
+        for finding in kept {
+            let rendered = finding.render(Some(&file));
+            report.findings.push(Reported { finding, rendered });
+        }
+        report.suppressed.extend(suppressed);
+    }
+    Ok(report)
+}
+
+/// Recursively collects repo-relative `.rs` paths (with `/` separators).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | "results") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_file_runs_only_in_scope_lints_and_keeps_bad_allows() {
+        let src = "fn f() { let t = Instant::now(); x.unwrap(); }\n\
+                   // noble-lint: allow(wall-clock)\n";
+        let file = SourceFile::parse("crates/serve/src/server.rs", src);
+        let mut policy = Policy::default_policy();
+        // Narrow panic-path away from serve so only wall-clock runs.
+        policy.scopes.remove("panic-path");
+        let registry = lints::registry();
+        let names = lints::lint_names();
+        let (kept, suppressed) = check_file(&file, &policy, &registry, &names).unwrap();
+        assert!(suppressed.is_empty());
+        let lints_hit: Vec<&str> = kept.iter().map(|f| f.lint).collect();
+        assert!(lints_hit.contains(&"wall-clock"));
+        assert!(lints_hit.contains(&"bad-allow"));
+        assert!(!lints_hit.contains(&"panic-path"));
+    }
+
+    #[test]
+    fn suppressed_findings_carry_their_reason() {
+        let src = "fn f() {\n\
+                   // noble-lint: allow(wall-clock, \"deadline only\")\n\
+                   let t = Instant::now();\n\
+                   }\n";
+        let file = SourceFile::parse("crates/serve/src/server.rs", src);
+        let policy = Policy::default_policy();
+        let registry = lints::registry();
+        let names = lints::lint_names();
+        let (kept, suppressed) = check_file(&file, &policy, &registry, &names).unwrap();
+        assert!(kept.iter().all(|f| f.lint != "wall-clock"));
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].reason, "deadline only");
+    }
+
+    #[test]
+    fn out_of_scope_file_is_skipped_entirely() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let file = SourceFile::parse("crates/bench/src/main.rs", src);
+        let mut policy = Policy::default_policy();
+        policy.scopes.remove("unordered-iteration");
+        let registry = lints::registry();
+        let names = lints::lint_names();
+        assert!(check_file(&file, &policy, &registry, &names).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! `float-determinism`: exact-by-construction kernels stay exact.
+
+use super::{is_method_call, receiver_of, Lint};
+use crate::diagnostics::{Finding, Severity};
+use crate::policy::Policy;
+use crate::source::SourceFile;
+
+use super::unordered_iteration::ITER_METHODS;
+
+const REDUCERS: [&str; 3] = ["sum", "fold", "product"];
+
+/// Flags `as f32` narrowing casts and float reductions over unordered
+/// iterators in kernel/decode code.
+///
+/// The matmul kernels and decode paths are the *bit-exact reference*
+/// every serving-parity and snapshot-roundtrip test pins against
+/// (f64 end to end, shape/thread-invariant dispatch). Two silent ways
+/// to lose that: truncating through `f32` mid-pipeline, and reducing
+/// floats in a container-defined order (float addition does not
+/// reassociate). The planned f32/quantized fast path (ROADMAP) must
+/// land behind explicit accuracy gates — with reasoned allows where it
+/// intentionally trades bits — not leak into the reference kernels.
+pub struct FloatDeterminism;
+
+impl Lint for FloatDeterminism {
+    fn name(&self) -> &'static str {
+        "float-determinism"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no f32-truncating casts or hash-ordered float reductions in kernel/decode code"
+    }
+
+    fn contract(&self) -> &'static str {
+        "kernels and decode paths are exact-by-construction f64 — the reference the \
+         parity suites pin bit-identity against (ARCHITECTURE.md, determinism contracts)"
+    }
+
+    fn check(&self, file: &SourceFile, _policy: &Policy) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            if file.in_test[ci] {
+                continue;
+            }
+            // `<expr> as f32` — a truncation the f64 reference never does.
+            if file.is_ident(ci, "as") && ci + 1 < file.code.len() && file.is_ident(ci + 1, "f32") {
+                let tok = file.tok(ci);
+                findings.push(Finding {
+                    lint: self.name(),
+                    file: file.path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    width: 6,
+                    message: "`as f32` narrowing cast in exact-kernel code".into(),
+                    contract: self.contract(),
+                    help: "keep the reference path f64; an intentional f32 fast path \
+                           belongs behind an accuracy gate with a reasoned allow"
+                        .into(),
+                    severity: Severity::Error,
+                });
+                continue;
+            }
+            // `hash.iter()…sum()/fold()/product()` — a reduction whose
+            // operand order the hasher picks.
+            if ITER_METHODS.iter().any(|m| is_method_call(file, ci, m)) {
+                let Some(receiver) = receiver_of(file, ci) else {
+                    continue;
+                };
+                if !file.hash_names.contains(&receiver) {
+                    continue;
+                }
+                // Scan the rest of the method chain (until the statement
+                // ends) for a reduction.
+                let mut depth = 0i32;
+                let mut k = ci + 1;
+                while k < file.code.len() {
+                    let t = file.tok(k);
+                    if t.kind == crate::lexer::TokenKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => {
+                                depth -= 1;
+                                if depth < 0 {
+                                    break;
+                                }
+                            }
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                    } else if depth == 0 && REDUCERS.iter().any(|r| is_method_call(file, k, r)) {
+                        let tok = file.tok(k);
+                        findings.push(Finding {
+                            lint: self.name(),
+                            file: file.path.clone(),
+                            line: tok.line,
+                            col: tok.col,
+                            width: tok.text.chars().count() as u32,
+                            message: format!(
+                                "float reduction `.{}()` over hash-ordered `{receiver}` — \
+                                 addition order is hasher-defined",
+                                tok.text
+                            ),
+                            contract: self.contract(),
+                            help: "iterate a BTree container (or sort into a Vec) so the \
+                                   reduction order is fixed"
+                                .into(),
+                            severity: Severity::Error,
+                        });
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        findings
+    }
+}

@@ -1,0 +1,92 @@
+//! The pluggable lint registry.
+//!
+//! Each lint guards one contract from ARCHITECTURE.md's determinism /
+//! robustness tables. A lint is a token-stream walker over a
+//! [`SourceFile`]; it never sees a syntax tree (see [`crate::lexer`]),
+//! so each one documents the token patterns it matches and the
+//! heuristics' known edges. New lints implement [`Lint`] and join
+//! [`registry`].
+
+use crate::diagnostics::Finding;
+use crate::policy::Policy;
+use crate::source::SourceFile;
+
+mod float_determinism;
+mod lock_discipline;
+mod panic_path;
+mod unordered_iteration;
+mod wall_clock;
+
+pub use float_determinism::FloatDeterminism;
+pub use lock_discipline::LockDiscipline;
+pub use panic_path::PanicPath;
+pub use unordered_iteration::UnorderedIteration;
+pub use wall_clock::WallClock;
+
+/// One contract-enforcing lint.
+pub trait Lint {
+    /// Registry name (what `allow(...)` and the policy file use).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn summary(&self) -> &'static str;
+    /// The repo contract the lint enforces (rendered under findings).
+    fn contract(&self) -> &'static str;
+    /// Walks one in-scope file and returns raw findings (suppression is
+    /// applied by the driver).
+    fn check(&self, file: &SourceFile, policy: &Policy) -> Vec<Finding>;
+}
+
+/// Every shipped lint, in stable order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(WallClock),
+        Box::new(UnorderedIteration),
+        Box::new(PanicPath),
+        Box::new(LockDiscipline),
+        Box::new(FloatDeterminism),
+    ]
+}
+
+/// Registry names, for the suppression scanner.
+pub fn lint_names() -> Vec<&'static str> {
+    registry().iter().map(|l| l.name()).collect()
+}
+
+/// Shared walker helper: whether the code token at `ci` is a method
+/// call `.name(` — i.e. preceded by `.` and followed by `(`.
+pub(crate) fn is_method_call(file: &SourceFile, ci: usize, name: &str) -> bool {
+    file.is_ident(ci, name)
+        && ci > 0
+        && file.is_punct(ci - 1, '.')
+        && ci + 1 < file.code.len()
+        && file.is_punct(ci + 1, '(')
+}
+
+/// Shared walker helper: the receiver identifier of the method call at
+/// `ci` (the ident before the dot), skipping one balanced index
+/// expression — `self.shards[i].lock()` resolves to `shards`.
+pub(crate) fn receiver_of(file: &SourceFile, ci: usize) -> Option<String> {
+    // ci is the method ident; ci - 1 is the dot.
+    let mut j = ci.checked_sub(2)?;
+    if file.is_punct(j, ']') {
+        let mut depth = 0i32;
+        loop {
+            if file.is_punct(j, ']') {
+                depth += 1;
+            } else if file.is_punct(j, '[') {
+                depth -= 1;
+                if depth == 0 {
+                    j = j.checked_sub(1)?;
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+    }
+    let t = file.tok(j);
+    if t.kind == crate::lexer::TokenKind::Ident {
+        Some(t.text.clone())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,77 @@
+//! `panic-path`: no panics in serving-stack library code.
+
+use super::{is_method_call, Lint};
+use crate::diagnostics::{Finding, Severity};
+use crate::policy::Policy;
+use crate::source::SourceFile;
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unimplemented", "todo", "unreachable"];
+
+/// Flags `.unwrap()`, `.expect(…)` and panic-family macros outside test
+/// code.
+///
+/// The serving stack's error contract is typed end to end: a bad
+/// request gets a `ServeError`-shaped reply, a corrupt snapshot a
+/// typed `BadSnapshot` — never a worker panic that takes a shard (and
+/// every request parked behind it) down with it. Library code converts
+/// failures into `ServeError`/`NobleError`; invariant `expect`s that
+/// survive review carry a reasoned allow, and lock-poisoning unwraps
+/// were replaced wholesale by the `relock` recovery path.
+pub struct PanicPath;
+
+impl Lint for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap()/expect()/panic-family macros forbidden in library code"
+    }
+
+    fn contract(&self) -> &'static str {
+        "serving and core library code returns typed ServeError/NobleError, never panics \
+         (ARCHITECTURE.md, robustness contracts)"
+    }
+
+    fn check(&self, file: &SourceFile, _policy: &Policy) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            if file.in_test[ci] {
+                continue;
+            }
+            let tok = file.tok(ci);
+            let (what, help): (String, &str) =
+                if PANIC_METHODS.iter().any(|m| is_method_call(file, ci, m)) {
+                    (
+                        format!(".{}()", tok.text),
+                        "convert to a typed error (`ok_or_else`/`map_err` + `?`), recover \
+                         (`unwrap_or_else`, the `relock` poisoning path), or justify the \
+                         invariant with a reasoned allow",
+                    )
+                } else if PANIC_MACROS.iter().any(|m| file.is_ident(ci, m))
+                    && ci + 1 < file.code.len()
+                    && file.is_punct(ci + 1, '!')
+                {
+                    (
+                        format!("{}!", tok.text),
+                        "return a typed ServeError/NobleError instead of panicking",
+                    )
+                } else {
+                    continue;
+                };
+            findings.push(Finding {
+                lint: self.name(),
+                file: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                width: tok.text.chars().count() as u32,
+                message: format!("`{what}` on a library path can panic a shard worker"),
+                contract: self.contract(),
+                help: help.into(),
+                severity: Severity::Error,
+            });
+        }
+        findings
+    }
+}

@@ -1,0 +1,169 @@
+//! `unordered-iteration`: no hash-ordered iteration on output paths.
+
+use super::{is_method_call, receiver_of, Lint};
+use crate::diagnostics::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::policy::Policy;
+use crate::source::SourceFile;
+
+/// Iteration methods whose order reaches the caller.
+pub(crate) const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Flags iteration over `HashMap`/`HashSet` bindings in code whose
+/// output is contract-bound to be deterministic.
+///
+/// `RandomState` hashing makes iteration order differ run to run, so a
+/// hash-ordered loop feeding responses, zone events, snapshot bytes or
+/// bench JSON silently breaks the bit-identical / sorted-output
+/// contracts. The walker is type-blind, so it tracks identifiers bound
+/// to hash types inside the file (annotations, params, fields,
+/// `HashMap::new()` constructions) and flags `.iter()`-family calls and
+/// `for … in` loops over them. Lookup-only tables (`.get`, `.entry`,
+/// `.contains_key`) never fire.
+pub struct UnorderedIteration;
+
+impl Lint for UnorderedIteration {
+    fn name(&self) -> &'static str {
+        "unordered-iteration"
+    }
+
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet iteration forbidden where output order must be deterministic"
+    }
+
+    fn contract(&self) -> &'static str {
+        "responses, events, snapshots and bench JSON are bit-stable across runs — use \
+         BTreeMap/BTreeSet or sort explicitly before order escapes (ARCHITECTURE.md, \
+         determinism contracts)"
+    }
+
+    fn check(&self, file: &SourceFile, _policy: &Policy) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if file.hash_names.is_empty() {
+            return findings;
+        }
+        for ci in 0..file.code.len() {
+            if file.in_test[ci] {
+                continue;
+            }
+            // `name.iter()`-family calls on a hash-typed binding.
+            if ITER_METHODS.iter().any(|m| is_method_call(file, ci, m)) {
+                if let Some(receiver) = receiver_of(file, ci) {
+                    if file.hash_names.contains(&receiver) {
+                        let tok = file.tok(ci);
+                        findings.push(self.finding(
+                            file,
+                            tok.line,
+                            tok.col,
+                            tok.text.chars().count() as u32,
+                            format!(
+                                "iteration over hash-ordered `{receiver}` via `.{}()`",
+                                tok.text
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            }
+            // `for pat in <expr>` where the expr is a bare (possibly
+            // referenced/indexed) hash binding. Method-call iterables
+            // (`m.keys()`) are covered by the rule above, so any `(` in
+            // the iterable expression opts out here.
+            if file.is_ident(ci, "for") {
+                if let Some(f) = self.check_for_loop(file, ci) {
+                    findings.push(f);
+                }
+            }
+        }
+        findings
+    }
+}
+
+impl UnorderedIteration {
+    fn finding(
+        &self,
+        file: &SourceFile,
+        line: u32,
+        col: u32,
+        width: u32,
+        message: String,
+    ) -> Finding {
+        Finding {
+            lint: self.name(),
+            file: file.path.clone(),
+            line,
+            col,
+            width,
+            message,
+            contract: self.contract(),
+            help: "switch the container to BTreeMap/BTreeSet, or collect and sort before \
+                   the order can reach output"
+                .into(),
+            severity: Severity::Error,
+        }
+    }
+
+    /// Scans `for <pat> in <expr> {` starting at the `for` token.
+    fn check_for_loop(&self, file: &SourceFile, ci: usize) -> Option<Finding> {
+        // Find the `in` keyword at bracket depth 0 (patterns may nest
+        // tuples: `for (k, v) in …`).
+        let mut j = ci + 1;
+        let mut depth = 0i32;
+        loop {
+            if j >= file.code.len() || j > ci + 64 {
+                return None;
+            }
+            let t = file.tok(j);
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" => return None,
+                    _ => {}
+                }
+            } else if depth == 0 && t.kind == TokenKind::Ident && t.text == "in" {
+                break;
+            }
+            j += 1;
+        }
+        // Iterable expression: tokens up to the body `{` at depth 0.
+        let mut hash_hit: Option<usize> = None;
+        let mut k = j + 1;
+        depth = 0;
+        while k < file.code.len() {
+            let t = file.tok(k);
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => return None, // method-call iterable: other rule's job
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    ";" => return None,
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident && file.hash_names.contains(&t.text) {
+                hash_hit = Some(k);
+            }
+            k += 1;
+        }
+        let hit = hash_hit?;
+        let tok = file.tok(hit);
+        Some(self.finding(
+            file,
+            tok.line,
+            tok.col,
+            tok.text.chars().count() as u32,
+            format!("`for` loop iterates hash-ordered `{}`", tok.text),
+        ))
+    }
+}

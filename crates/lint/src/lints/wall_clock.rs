@@ -1,0 +1,72 @@
+//! `wall-clock`: no wall-clock reads in result-affecting code.
+
+use super::Lint;
+use crate::diagnostics::{Finding, Severity};
+use crate::policy::Policy;
+use crate::source::SourceFile;
+
+/// Flags `Instant::now()` and `SystemTime::now()` in scoped paths.
+///
+/// The tracking-session determinism contract (ARCHITECTURE.md) is built
+/// on *logical time*: callers submit `at` stamps, and replaying the same
+/// stamps reproduces bit-identical tracks and event sequences. One
+/// wall-clock read on a result path silently breaks replayability. The
+/// batch server's *batching deadlines* and latency statistics are
+/// legitimate wall-clock users — batch boundaries never change answers
+/// (shape-invariant kernels) — and carry reasoned allows.
+pub struct WallClock;
+
+impl Lint for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Instant::now()/SystemTime::now() forbidden in result-affecting code"
+    }
+
+    fn contract(&self) -> &'static str {
+        "logical time only on result paths — same submitted `at` stamps must replay to \
+         bit-identical tracks and events (ARCHITECTURE.md, determinism contracts)"
+    }
+
+    fn check(&self, file: &SourceFile, _policy: &Policy) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for ci in 0..file.code.len() {
+            if file.in_test[ci] {
+                continue;
+            }
+            let clock = if file.is_ident(ci, "Instant") {
+                "Instant"
+            } else if file.is_ident(ci, "SystemTime") {
+                "SystemTime"
+            } else {
+                continue;
+            };
+            let call = ci + 4 < file.code.len()
+                && file.is_punct(ci + 1, ':')
+                && file.is_punct(ci + 2, ':')
+                && file.is_ident(ci + 3, "now")
+                && file.is_punct(ci + 4, '(');
+            if !call {
+                continue;
+            }
+            let tok = file.tok(ci);
+            findings.push(Finding {
+                lint: self.name(),
+                file: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                width: clock.chars().count() as u32 + 5,
+                message: format!("wall-clock read `{clock}::now()` in result-affecting code"),
+                contract: self.contract(),
+                help: "thread a caller-supplied logical timestamp through instead; if this \
+                       read only shapes batching deadlines or latency metrics (never \
+                       results), suppress it with a reasoned allow"
+                    .into(),
+                severity: Severity::Error,
+            });
+        }
+        findings
+    }
+}

@@ -1,0 +1,130 @@
+//! The `noble-lint` CLI.
+//!
+//! ```text
+//! cargo run -p noble-lint -- --check            # gate: nonzero exit on errors
+//! cargo run -p noble-lint --                    # advisory: report, exit 0
+//! cargo run -p noble-lint -- --json             # also write results/LINT_report.json
+//! cargo run -p noble-lint -- --list             # registered lints + contracts
+//! ```
+//!
+//! The policy comes from `noble-lint.toml` at the repo root (compiled-in
+//! default when absent). `--root <path>` overrides the repo root; the
+//! default is the current directory, which is the workspace root under
+//! `cargo run`.
+
+use noble_lint::policy::Policy;
+use noble_lint::{json, lints, run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    check: bool,
+    json: Option<PathBuf>,
+    list: bool,
+    root: PathBuf,
+}
+
+const USAGE: &str = "usage: noble-lint [--check] [--json[=PATH]] [--root PATH] [--list]
+  --check        exit nonzero when any unsuppressed error-level finding exists
+  --json[=PATH]  write a JSON report (default results/LINT_report.json under the root)
+  --root PATH    repo root to scan (default: current directory)
+  --list         print the registered lints and the contracts they enforce";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        json: None,
+        list: false,
+        root: PathBuf::from("."),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = Some(PathBuf::from("results/LINT_report.json")),
+            "--list" => opts.list = true,
+            "--root" => {
+                let path = args.next().ok_or("--root needs a path")?;
+                opts.root = PathBuf::from(path);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => {
+                if let Some(path) = other.strip_prefix("--json=") {
+                    opts.json = Some(PathBuf::from(path));
+                } else {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("noble-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for lint in lints::registry() {
+            println!("{:<22} {}", lint.name(), lint.summary());
+            println!("{:<22} contract: {}", "", lint.contract());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let policy = match Policy::load(&opts.root) {
+        Ok(policy) => policy,
+        Err(msg) => {
+            eprintln!("noble-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&opts.root, &policy) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("noble-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    for reported in &report.findings {
+        print!("{}", reported.rendered);
+        println!();
+    }
+    let errors = report.error_count();
+    println!(
+        "noble-lint: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed by reasoned allows",
+        report.files_scanned,
+        errors,
+        report.warning_count(),
+        report.suppressed.len()
+    );
+    if let Some(json_path) = &opts.json {
+        let path = if json_path.is_absolute() {
+            json_path.clone()
+        } else {
+            opts.root.join(json_path)
+        };
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("noble-lint: cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, json::render(&report)) {
+            eprintln!("noble-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("noble-lint: wrote {}", path.display());
+    }
+    if opts.check && errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

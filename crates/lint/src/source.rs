@@ -1,0 +1,331 @@
+//! The per-file analysis model the lints walk.
+//!
+//! A [`SourceFile`] owns the token stream plus two derived views every
+//! lint needs:
+//!
+//! - `code`: indices of the non-comment tokens (lints scan these);
+//! - `in_test`: whether each code token sits inside a `#[cfg(test)]`
+//!   item or a `#[test]` function — contract lints police *shipping*
+//!   code, and test bodies are free to `unwrap()` or build `HashMap`s.
+//!
+//! Test-region detection is structural, not textual: an attribute whose
+//! content names `test` marks the *next item body* (the brace-matched
+//! block after the attribute), so a `#[cfg(test)] mod tests { … }` is
+//! skipped wholesale while the `fn` right after it is not.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// One lexed file plus derived lint views.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (diagnostics + policy).
+    pub path: String,
+    /// Source lines, for diagnostic snippets.
+    pub lines: Vec<String>,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of every non-comment token.
+    pub code: Vec<usize>,
+    /// Parallel to `code`: whether the token is inside a test region.
+    pub in_test: Vec<bool>,
+    /// Identifiers bound (anywhere in the file) to a `HashMap`/`HashSet`
+    /// type: let bindings, fn params and struct fields alike.
+    pub hash_names: BTreeSet<String>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let in_test = mark_test_regions(&tokens, &code);
+        let hash_names = collect_hash_names(&tokens, &code);
+        SourceFile {
+            path: path.to_string(),
+            lines: text.lines().map(|l| l.to_string()).collect(),
+            tokens,
+            code,
+            in_test,
+            hash_names,
+        }
+    }
+
+    /// The code token at code-index `ci`.
+    pub fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether the code token at code-index `ci` is the identifier `s`.
+    pub fn is_ident(&self, ci: usize, s: &str) -> bool {
+        let t = self.tok(ci);
+        t.kind == TokenKind::Ident && t.text == s
+    }
+
+    /// Whether the code token at code-index `ci` is the punct `c`.
+    pub fn is_punct(&self, ci: usize, c: char) -> bool {
+        let t = self.tok(ci);
+        t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(c)
+    }
+
+    /// The source line `line` (1-based), or empty when out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Lines that carry at least one code (non-comment) token.
+    pub fn code_lines(&self) -> BTreeSet<u32> {
+        self.code.iter().map(|&i| self.tokens[i].line).collect()
+    }
+}
+
+/// Marks the body of every item under a test attribute.
+fn mark_test_regions(tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut ci = 0;
+    while ci < code.len() {
+        if !is_test_attribute(tokens, code, &mut ci) {
+            ci += 1;
+            continue;
+        }
+        // `ci` now sits just past the attribute's closing `]`. Skip any
+        // further attributes, then find the item body: the first `{` at
+        // paren/bracket depth 0 (so `fn f(x: [u8; 2])` skips its groups),
+        // or a `;` first for a body-less item.
+        while is_test_attribute(tokens, code, &mut ci) || skip_attribute(tokens, code, &mut ci) {}
+        let mut depth = 0i32;
+        let mut body_start = None;
+        let mut j = ci;
+        while j < code.len() {
+            let t = &tokens[code[j]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            ci = j + 1;
+            continue;
+        };
+        // Brace-match the body and mark it (attribute and header too —
+        // a `#[test]` fn's signature is also test code).
+        let mut braces = 0i32;
+        let mut end = start;
+        for (k, &idx) in code.iter().enumerate().skip(start) {
+            let t = &tokens[idx];
+            if t.kind == TokenKind::Punct {
+                if t.text == "{" {
+                    braces += 1;
+                } else if t.text == "}" {
+                    braces -= 1;
+                    if braces == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+            end = k;
+        }
+        for flag in in_test.iter_mut().take(end + 1).skip(ci) {
+            *flag = true;
+        }
+        ci = end + 1;
+    }
+    in_test
+}
+
+/// If code-index `*ci` starts an attribute whose content mentions
+/// `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`), advances
+/// `*ci` past its closing `]` and returns true.
+fn is_test_attribute(tokens: &[Token], code: &[usize], ci: &mut usize) -> bool {
+    let start = *ci;
+    if !matches_punct(tokens, code, start, '#') {
+        return false;
+    }
+    let mut j = start + 1;
+    // Outer attributes only; `#![…]` is a crate attribute (ignored).
+    if matches_punct(tokens, code, j, '!') {
+        return false;
+    }
+    if !matches_punct(tokens, code, j, '[') {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if t.kind == TokenKind::Punct {
+            if t.text == "[" {
+                depth += 1;
+            } else if t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        } else if t.kind == TokenKind::Ident && t.text == "test" {
+            saw_test = true;
+        } else if t.kind == TokenKind::Ident && t.text == "not" {
+            // `#[cfg(not(test))]` marks *shipping* code — the exact
+            // opposite of a test region.
+            saw_not = true;
+        }
+        j += 1;
+    }
+    if saw_test && !saw_not {
+        *ci = j + 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// If code-index `*ci` starts any attribute, advances past it.
+fn skip_attribute(tokens: &[Token], code: &[usize], ci: &mut usize) -> bool {
+    let start = *ci;
+    if !matches_punct(tokens, code, start, '#') || !matches_punct(tokens, code, start + 1, '[') {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = start + 1;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if t.kind == TokenKind::Punct {
+            if t.text == "[" {
+                depth += 1;
+            } else if t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        j += 1;
+    }
+    *ci = j + 1;
+    true
+}
+
+fn matches_punct(tokens: &[Token], code: &[usize], ci: usize, c: char) -> bool {
+    code.get(ci).is_some_and(|&idx| {
+        let t = &tokens[idx];
+        t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(c)
+    })
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` types anywhere in
+/// the file: `name: HashMap<…>` (params, fields, annotated lets) and
+/// `let name = HashMap::new()`-style constructions.
+fn collect_hash_names(tokens: &[Token], code: &[usize]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for ci in 0..code.len() {
+        let t = &tokens[code[ci]];
+        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over the path prefix (`std :: collections ::`) and
+        // reference sigils to the introducing `:` or `=`.
+        let mut j = ci;
+        while j > 0 {
+            let p = &tokens[code[j - 1]];
+            let is_path_piece = (p.kind == TokenKind::Ident
+                && (p.text == "std" || p.text == "collections"))
+                || (p.kind == TokenKind::Punct && matches!(p.text.as_str(), ":" | "&" | "<"));
+            // A single `:` may be the annotation itself, so stop walking
+            // when the `:` is not half of a `::`.
+            if p.kind == TokenKind::Punct && p.text == ":" {
+                let double = j >= 2 && {
+                    let q = &tokens[code[j - 2]];
+                    q.kind == TokenKind::Punct && q.text == ":"
+                };
+                if double {
+                    j -= 2;
+                    continue;
+                }
+                break;
+            }
+            if is_path_piece {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &tokens[code[j - 1]];
+        if before.kind == TokenKind::Punct && before.text == ":" && j >= 2 {
+            // `name : [&] [std::collections::] HashMap`
+            let name = &tokens[code[j - 2]];
+            if name.kind == TokenKind::Ident {
+                names.insert(name.text.clone());
+            }
+        } else if before.kind == TokenKind::Punct && before.text == "=" && j >= 2 {
+            // `let [mut] name = HashMap::…` (or a reassignment).
+            let name = &tokens[code[j - 2]];
+            if name.kind == TokenKind::Ident && name.text != "=" {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod_but_not_neighbors() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n\
+                   fn also_live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let flags: Vec<(String, bool)> = f
+            .code
+            .iter()
+            .zip(&f.in_test)
+            .map(|(&i, &t)| (f.tokens[i].text.clone(), t))
+            .collect();
+        assert!(flags.iter().any(|(s, t)| s == "x" && !t));
+        assert!(flags.iter().any(|(s, t)| s == "y" && *t));
+        assert!(flags.iter().any(|(s, t)| s == "also_live" && !t));
+    }
+
+    #[test]
+    fn hash_names_found_for_annotations_params_and_constructions() {
+        let src = "struct S { table: HashMap<u32, u8> }\n\
+                   fn f(votes: &std::collections::HashMap<usize, f64>) {\n\
+                     let mut seen = std::collections::HashSet::new();\n\
+                     let plain: Vec<u8> = Vec::new();\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.hash_names.contains("table"));
+        assert!(f.hash_names.contains("votes"));
+        assert!(f.hash_names.contains("seen"));
+        assert!(!f.hash_names.contains("plain"));
+    }
+
+    #[test]
+    fn attribute_with_test_in_string_is_not_a_region() {
+        let src = "#[doc = \"test\"]\nfn live() { x.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        // The word `test` only appears inside a string literal, so the
+        // attribute is not a test marker.
+        assert!(f.in_test.iter().all(|&t| !t));
+    }
+}

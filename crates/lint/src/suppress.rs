@@ -1,0 +1,234 @@
+//! The `// noble-lint: allow(<lint>, "<reason>")` suppression syntax.
+//!
+//! An allow comment suppresses findings of the named lint on the first
+//! *code* line at or after the comment: a trailing allow covers its own
+//! line, an allow on a line of its own covers the next line that carries
+//! code (blank lines and further comments in between are skipped, so a
+//! short justification block above the site works too).
+//!
+//! Two rules keep the escape hatch honest:
+//!
+//! - **every allow must carry a reason** — `allow(wall-clock)` without a
+//!   quoted reason string is itself an error (`bad-allow`), because an
+//!   unexplained suppression is indistinguishable from a silenced bug;
+//! - **allows must be live** — an allow that suppresses nothing is
+//!   reported as a warning (`unused-allow`) so stale annotations are
+//!   weeded out instead of accumulating.
+
+use crate::diagnostics::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Lint name being suppressed.
+    pub lint: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// The code line this allow covers.
+    pub target_line: u32,
+}
+
+/// Everything the suppression scan produced for one file.
+pub struct Suppressions {
+    /// Well-formed allows, in file order.
+    pub allows: Vec<Allow>,
+    /// Malformed allow comments (missing reason, unknown lint, bad
+    /// syntax) — these are error findings in their own right.
+    pub errors: Vec<Finding>,
+}
+
+/// Scans `file`'s comments for allow annotations. `known_lints` is the
+/// registry's name list; an allow naming an unknown lint is an error
+/// (likely a typo that would otherwise silently suppress nothing).
+pub fn scan(file: &SourceFile, known_lints: &[&'static str]) -> Suppressions {
+    let code_lines = file.code_lines();
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for token in &file.tokens {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(at) = token.text.find("noble-lint:") else {
+            continue;
+        };
+        let rest = token.text[at + "noble-lint:".len()..].trim();
+        let mut bad = |message: String| {
+            errors.push(Finding {
+                lint: "bad-allow",
+                file: file.path.clone(),
+                line: token.line,
+                col: token.col,
+                width: token.text.chars().count() as u32,
+                message,
+                contract: "every suppression names a registered lint and carries a reason \
+                           (README \u{201c}Static analysis\u{201d})",
+                help: "write `// noble-lint: allow(<lint>, \"<reason>\")`".into(),
+                severity: Severity::Error,
+            });
+        };
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.trim_end().strip_suffix(')'))
+        else {
+            bad(format!(
+                "malformed noble-lint annotation: expected `allow(<lint>, \"<reason>\")`, \
+                 found `{rest}`"
+            ));
+            continue;
+        };
+        let Some((name, reason_part)) = inner.split_once(',') else {
+            bad(format!(
+                "allow for `{}` is missing its reason string",
+                inner.trim()
+            ));
+            continue;
+        };
+        let name = name.trim().to_string();
+        let reason_part = reason_part.trim();
+        let reason = reason_part
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .map(|r| r.trim().to_string());
+        let Some(reason) = reason.filter(|r| !r.is_empty()) else {
+            bad(format!("allow for `{name}` is missing its reason string"));
+            continue;
+        };
+        if !known_lints.contains(&name.as_str()) {
+            bad(format!(
+                "allow names unknown lint `{name}` (known: {})",
+                known_lints.join(", ")
+            ));
+            continue;
+        }
+        // Target: this line if it carries code (trailing allow), else
+        // the next line that does.
+        let target_line = if code_lines.contains(&token.line) {
+            token.line
+        } else {
+            code_lines
+                .range(token.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(token.line)
+        };
+        allows.push(Allow {
+            lint: name,
+            reason,
+            comment_line: token.line,
+            target_line,
+        });
+    }
+    Suppressions { allows, errors }
+}
+
+/// Splits `findings` into (kept, suppressed) under `allows`, and appends
+/// an `unused-allow` warning for every allow that caught nothing.
+pub fn apply(
+    file: &SourceFile,
+    findings: Vec<Finding>,
+    allows: &[Allow],
+) -> (Vec<Finding>, Vec<Finding>) {
+    let mut used = vec![false; allows.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for finding in findings {
+        let hit = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.lint == finding.lint && a.target_line == finding.line);
+        if let Some((i, _)) = hit {
+            used[i] = true;
+            suppressed.push(finding);
+        } else {
+            kept.push(finding);
+        }
+    }
+    for (allow, used) in allows.iter().zip(used) {
+        if !used {
+            kept.push(Finding {
+                lint: "unused-allow",
+                file: file.path.clone(),
+                line: allow.comment_line,
+                col: 1,
+                width: 1,
+                message: format!(
+                    "allow({}) suppresses nothing on line {}",
+                    allow.lint, allow.target_line
+                ),
+                contract: "suppressions must be live; stale allows hide future regressions",
+                help: "remove the annotation (or move it next to the violation it excuses)".into(),
+                severity: Severity::Warning,
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src)
+    }
+
+    #[test]
+    fn trailing_and_preceding_allows_pick_the_right_target() {
+        let f = file(
+            "let a = now(); // noble-lint: allow(wall-clock, \"trailing\")\n\
+             // noble-lint: allow(panic-path, \"next line\")\n\
+             \n\
+             let b = x.unwrap();\n",
+        );
+        let s = scan(&f, &["wall-clock", "panic-path"]);
+        assert!(s.errors.is_empty());
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].target_line, 1);
+        assert_eq!(s.allows[1].target_line, 4);
+    }
+
+    #[test]
+    fn reasonless_and_unknown_allows_are_errors() {
+        let f = file(
+            "// noble-lint: allow(wall-clock)\n\
+             // noble-lint: allow(wall-clock, \"\")\n\
+             // noble-lint: allow(no-such-lint, \"reason\")\n\
+             // noble-lint: disallow(x)\n",
+        );
+        let s = scan(&f, &["wall-clock"]);
+        assert_eq!(s.allows.len(), 0);
+        assert_eq!(s.errors.len(), 4);
+        assert!(s.errors.iter().all(|e| e.lint == "bad-allow"));
+    }
+
+    #[test]
+    fn unused_allow_warns_and_used_allow_suppresses() {
+        let f = file(
+            "// noble-lint: allow(wall-clock, \"deadline only\")\n\
+             let t = Instant::now();\n\
+             // noble-lint: allow(wall-clock, \"stale\")\n\
+             let x = 1;\n",
+        );
+        let s = scan(&f, &["wall-clock"]);
+        let finding = Finding {
+            lint: "wall-clock",
+            file: "x.rs".into(),
+            line: 2,
+            col: 9,
+            width: 12,
+            message: "m".into(),
+            contract: "c",
+            help: "h".into(),
+            severity: Severity::Error,
+        };
+        let (kept, suppressed) = apply(&f, vec![finding], &s.allows);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].lint, "unused-allow");
+        assert_eq!(kept[0].line, 3);
+    }
+}

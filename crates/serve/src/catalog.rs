@@ -64,6 +64,7 @@
 //! ```
 
 use crate::registry::partition_campaign;
+use crate::sync::{relock, rewait};
 use crate::{shard_seed, MemStore, ModelStore, RegistryConfig, ServeError, ShardKey};
 use noble::imu::{ImuNoble, ImuNobleConfig};
 use noble::wifi::{WifiNoble, WifiNobleConfig};
@@ -458,7 +459,9 @@ impl ModelCatalog {
     pub fn get_mut(&mut self, key: ShardKey) -> Result<&mut (dyn Localizer + '_), ServeError> {
         self.ensure_resident(key)?;
         self.clock += 1;
-        let entry = self.resident.get_mut(&key).expect("ensured resident");
+        let Some(entry) = self.resident.get_mut(&key) else {
+            return Err(ServeError::UnknownShard(key));
+        };
         entry.last_used = self.clock;
         Ok(entry.model.as_mut())
     }
@@ -637,7 +640,9 @@ impl ModelCatalog {
         key: ShardKey,
         snapshot: Option<ModelSnapshot>,
     ) -> Result<(), ServeError> {
-        let resident = self.resident.remove(&key).expect("victim is resident");
+        let Some(resident) = self.resident.remove(&key) else {
+            return Ok(());
+        };
         if !self.stored.contains(&key) {
             match snapshot {
                 Some(snapshot) => {
@@ -716,7 +721,7 @@ pub struct SharedCatalog {
 
 impl fmt::Debug for SharedCatalog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.state.lock().expect("catalog state");
+        let state = relock(&self.state);
         f.debug_struct("SharedCatalog")
             .field("budget", &self.budget)
             .field("parked", &state.parked.keys().collect::<Vec<_>>())
@@ -737,13 +742,13 @@ impl SharedCatalog {
 
     /// Lifecycle counters so far.
     pub fn stats(&self) -> CatalogStats {
-        self.state.lock().expect("catalog state").stats
+        relock(&self.state).stats
     }
 
     /// Every key the catalog can serve (parked ∪ leased ∪ stored ∪
     /// specs), sorted.
     pub fn keys(&self) -> Vec<ShardKey> {
-        let state = self.state.lock().expect("catalog state");
+        let state = relock(&self.state);
         let mut keys: BTreeSet<ShardKey> = state.parked.keys().copied().collect();
         keys.extend(state.leased.iter().copied());
         keys.extend(state.stored.iter().copied());
@@ -753,7 +758,7 @@ impl SharedCatalog {
 
     /// Number of models currently leased to shard workers.
     pub fn leased_len(&self) -> usize {
-        self.state.lock().expect("catalog state").leased.len()
+        relock(&self.state).leased.len()
     }
 
     /// Checks `key`'s model out of the catalog for exclusive use by one
@@ -771,9 +776,9 @@ impl SharedCatalog {
     /// error).
     pub(crate) fn lease(&self, key: ShardKey) -> Result<(Box<dyn Localizer>, usize), ServeError> {
         let source = {
-            let mut state = self.state.lock().expect("catalog state");
+            let mut state = relock(&self.state);
             while state.leased.contains(&key) {
-                state = self.released.wait(state).expect("catalog state");
+                state = rewait(&self.released, state);
             }
             if let Some(parked) = state.parked.remove(&key) {
                 state.stats.hits += 1;
@@ -834,7 +839,7 @@ impl SharedCatalog {
                 ))
             }),
         };
-        let mut state = self.state.lock().expect("catalog state");
+        let mut state = relock(&self.state);
         match outcome {
             Ok((model, cost, retrained)) => {
                 if retrained {
@@ -861,18 +866,16 @@ impl SharedCatalog {
     /// parked instead of dropped — never lost — and the
     /// [`CatalogStats::pinned`] warning counter ticks.
     pub(crate) fn release_cold(&self, key: ShardKey, model: Box<dyn Localizer>, cost: usize) {
-        let needs_write = !self
-            .state
-            .lock()
-            .expect("catalog state")
-            .stored
-            .contains(&key);
+        let needs_write = {
+            let state = relock(&self.state);
+            !state.stored.contains(&key)
+        };
         if needs_write {
             // Serialization and the store write run outside the lock.
             match model.try_snapshot() {
                 Some(snapshot) => match self.store.put(key, &snapshot) {
                     Ok(()) => {
-                        self.state.lock().expect("catalog state").stored.insert(key);
+                        relock(&self.state).stored.insert(key);
                     }
                     Err(e) => {
                         // Failing the write-through must not lose the
@@ -887,13 +890,13 @@ impl SharedCatalog {
                 // Retrainable from its spec: dropping is safe.
                 None if self.specs.contains_key(&key) => {}
                 None => {
-                    self.state.lock().expect("catalog state").stats.pinned += 1;
+                    relock(&self.state).stats.pinned += 1;
                     return self.release_parked(key, model, cost);
                 }
             }
         }
         drop(model);
-        let mut state = self.state.lock().expect("catalog state");
+        let mut state = relock(&self.state);
         state.stats.evictions += 1;
         state.leased.remove(&key);
         self.released.notify_all();
@@ -903,7 +906,7 @@ impl SharedCatalog {
     /// resident tier for the next lease (the server-shutdown path, so
     /// converting back to a [`ModelCatalog`] hands warm models back).
     pub(crate) fn release_parked(&self, key: ShardKey, model: Box<dyn Localizer>, cost: usize) {
-        let mut state = self.state.lock().expect("catalog state");
+        let mut state = relock(&self.state);
         state.clock += 1;
         let last_used = state.clock;
         state.parked.insert(
@@ -923,7 +926,7 @@ impl SharedCatalog {
     /// themselves, not a budget-enforced resident tier). Stored
     /// snapshots and specs stay behind and are dropped with `self`.
     pub(crate) fn take_parked(&self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
-        let mut state = self.state.lock().expect("catalog state");
+        let mut state = relock(&self.state);
         std::mem::take(&mut state.parked)
             .into_iter()
             .map(|(key, resident)| (key, resident.model))
@@ -941,7 +944,7 @@ impl SharedCatalog {
     ///
     /// Propagates write-through failures while trimming to the budget.
     pub(crate) fn drain_into_catalog(&self) -> Result<ModelCatalog, ServeError> {
-        let mut state = self.state.lock().expect("catalog state");
+        let mut state = relock(&self.state);
         debug_assert!(
             state.leased.is_empty(),
             "draining a SharedCatalog with live leases loses models"

@@ -41,6 +41,10 @@ pub enum ServeError {
     /// The shard's resident model cannot be serialized and has no
     /// registered training spec, so evicting it would lose it.
     NotSnapshotable(ShardKey),
+    /// A serving-stack invariant failed (worker spawn, batch assembly).
+    /// Replaces what used to be worker panics: the request gets this
+    /// typed reply and the shard keeps serving.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -64,6 +68,7 @@ impl fmt::Display for ServeError {
             ServeError::NotSnapshotable(key) => {
                 write!(f, "shard {key}'s model cannot be snapshotted")
             }
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }
     }
 }

@@ -79,6 +79,7 @@ mod registry;
 mod server;
 mod session;
 mod store;
+mod sync;
 
 pub use catalog::{CatalogBudget, CatalogStats, ModelCatalog, SharedCatalog, TrainSpec};
 pub use error::ServeError;

@@ -182,6 +182,7 @@ impl Default for ShardedRegistry {
     fn default() -> Self {
         ShardedRegistry {
             catalog: ModelCatalog::new(CatalogBudget::Unbounded)
+                // noble-lint: allow(panic-path, "CatalogBudget::Unbounded is a unit variant ModelCatalog::new always accepts; Default cannot return Result")
                 .expect("an unbounded budget is always valid"),
         }
     }
@@ -275,6 +276,7 @@ impl ShardedRegistry {
     pub fn insert(&mut self, key: ShardKey, localizer: Box<dyn Localizer>) {
         self.catalog
             .insert(key, localizer)
+            // noble-lint: allow(panic-path, "insert only fails on write-through eviction, which an unbounded catalog never performs; the facade's public signature predates ServeError")
             .expect("an unbounded catalog never evicts, so insert cannot fail");
     }
 
@@ -360,6 +362,7 @@ impl ShardedRegistry {
             registry
                 .catalog
                 .insert_sited(key, model)
+                // noble-lint: allow(panic-path, "insert only fails on write-through eviction, which an unbounded catalog never performs; restore rebuilds a registry that held these models")
                 .expect("an unbounded catalog never evicts, so insert cannot fail");
         }
         registry

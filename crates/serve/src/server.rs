@@ -89,6 +89,7 @@
 //! ```
 
 use crate::catalog::SharedCatalog;
+use crate::sync::{relock, rewait_timeout};
 use crate::{
     CatalogBudget, CatalogStats, ModelCatalog, ModelStore, ServeError, ShardKey, ShardedRegistry,
 };
@@ -287,6 +288,7 @@ impl ServeClient {
                 sender
                     .send(Job::Fix {
                         fingerprint,
+                        // noble-lint: allow(wall-clock, "enqueue stamp feeds latency metrics only; results never read it")
                         enqueued: Instant::now(),
                         reply: tx,
                     })
@@ -378,7 +380,7 @@ impl PagedEngine {
             return Err(ServeError::UnknownShard(key));
         }
         let (reply_tx, reply_rx) = mpsc::channel();
-        let mut slots = self.slots.lock().expect("slots lock");
+        let mut slots = relock(&self.slots);
         // Checked under the lock: shutdown sets the flag and sweeps the
         // slot map while holding it, so a submit that sees the flag clear
         // here cannot enqueue onto a swept shard.
@@ -396,7 +398,7 @@ impl PagedEngine {
             }
             Some(Slot::Warming { tx }) => (tx.clone(), true),
             None => {
-                let tx = self.spawn_worker(&mut slots, key);
+                let tx = self.spawn_worker(&mut slots, key)?;
                 (tx, true)
             }
         };
@@ -404,21 +406,32 @@ impl PagedEngine {
         // markers (Drain/Shutdown are also sent under it): a fix is
         // either ahead of the marker — served by the retiring worker —
         // or routed to a fresh successor. Never dropped.
+        // noble-lint: allow(lock-discipline, "unbounded channel: send never blocks, and sending under the slots lock is the fix-vs-marker ordering argument above")
         tx.send(Job::Fix {
             fingerprint,
+            // noble-lint: allow(wall-clock, "enqueue stamp feeds latency metrics only; results never read it")
             enqueued: Instant::now(),
             reply: reply_tx,
         })
         .map_err(|_| ServeError::ShuttingDown)?;
         if cold {
-            self.paged.lock().expect("paged stats").parked_requests += 1;
+            relock(&self.paged).parked_requests += 1;
         }
         Ok(PendingFix { rx: reply_rx, cold })
     }
 
     /// Spawns a shard worker in the WARMING state and returns its sender.
     /// Caller holds the slots lock.
-    fn spawn_worker(self: &Arc<Self>, slots: &mut Slots, key: ShardKey) -> Sender<Job> {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when the OS refuses the thread — the slot
+    /// map is untouched on failure, so a later submit simply retries.
+    fn spawn_worker(
+        self: &Arc<Self>,
+        slots: &mut Slots,
+        key: ShardKey,
+    ) -> Result<Sender<Job>, ServeError> {
         // Reap handles of workers that already spun down so a long-lived
         // server does not accumulate one handle per spin cycle.
         let mut i = 0;
@@ -430,16 +443,20 @@ impl PagedEngine {
             }
         }
         let (tx, rx) = mpsc::channel::<Job>();
-        slots.map.insert(key, Slot::Warming { tx: tx.clone() });
         let engine = Arc::clone(self);
         let shard_stats = Arc::clone(&self.stats[&key]);
+        // Spawn before publishing the slot: a spawn failure must not
+        // leave a WARMING entry whose worker never existed.
         let handle = std::thread::Builder::new()
             .name(format!("noble-page-{key}"))
             .spawn(move || paged_worker(engine, key, rx, shard_stats))
-            .expect("spawn paged worker");
+            .map_err(|e| {
+                ServeError::Internal(format!("cannot spawn worker for shard {key}: {e}"))
+            })?;
+        slots.map.insert(key, Slot::Warming { tx: tx.clone() });
         slots.workers.push(handle);
-        self.paged.lock().expect("paged stats").faults += 1;
-        tx
+        relock(&self.paged).faults += 1;
+        Ok(tx)
     }
 
     /// Whether a warming worker may claim an occupancy slot now.
@@ -479,7 +496,7 @@ impl PagedEngine {
             let _ = tx.send(Job::Drain);
             slots.draining += 1;
             slots.draining_bytes += cost;
-            self.paged.lock().expect("paged stats").drains += 1;
+            relock(&self.paged).drains += 1;
             true
         } else {
             false
@@ -528,7 +545,7 @@ fn paged_worker(
 ) {
     // ---- WARMING: claim an occupancy slot under the budget. ----
     {
-        let mut slots = engine.slots.lock().expect("slots lock");
+        let mut slots = relock(&engine.slots);
         loop {
             if engine.admit(&slots) {
                 slots.occupancy += 1;
@@ -543,10 +560,7 @@ fn paged_worker(
             // Re-poll on a short timeout: the victim this round may still
             // be WARMING (undrainable) — once it turns HOT a later pass
             // drains it, so waiting must not be notification-only.
-            let (guard, _) = engine
-                .room
-                .wait_timeout(slots, Duration::from_millis(5))
-                .expect("slots lock");
+            let (guard, _) = rewait_timeout(&engine.room, slots, Duration::from_millis(5));
             slots = guard;
         }
     }
@@ -560,7 +574,7 @@ fn paged_worker(
         }
     };
     {
-        let mut slots = engine.slots.lock().expect("slots lock");
+        let mut slots = relock(&engine.slots);
         slots.occupied_bytes += cost;
         slots.clock += 1;
         let now = slots.clock;
@@ -597,13 +611,14 @@ fn paged_worker(
                     // Submits send while holding the slots lock, so the
                     // emptiness check below is atomic with removing the
                     // slot.
-                    let mut slots = engine.slots.lock().expect("slots lock");
+                    let mut slots = relock(&engine.slots);
+                    // noble-lint: allow(lock-discipline, "non-blocking try_recv, deliberately under the slots lock: the emptiness check must be atomic with removing the slot or a racing submit is dropped")
                     match rx.try_recv() {
                         Ok(job) => job,
                         Err(_) => {
                             slots.map.remove(&key);
                             drop(slots);
-                            engine.paged.lock().expect("paged stats").idle_spin_downs += 1;
+                            relock(&engine.paged).idle_spin_downs += 1;
                             break 'serve Retire::Cold { requested: false };
                         }
                     }
@@ -629,8 +644,10 @@ fn paged_worker(
         let mut batch = vec![first];
         let mut retire_after = None;
         if engine.cfg.max_batch > 1 {
+            // noble-lint: allow(wall-clock, "batching deadline only: batch boundaries never change answers (shape-invariant kernels)")
             let deadline = Instant::now() + engine.cfg.latency_budget;
             while batch.len() < engine.cfg.max_batch {
+                // noble-lint: allow(wall-clock, "remaining-budget poll for the coalescing wait; never feeds a result")
                 let wait = deadline.saturating_duration_since(Instant::now());
                 match rx.recv_timeout(wait) {
                     Ok(Job::Fix {
@@ -665,7 +682,7 @@ fn paged_worker(
         Retire::Cold { .. } => engine.catalog.release_cold(key, model, cost),
         Retire::Park => engine.catalog.release_parked(key, model, cost),
     }
-    let mut slots = engine.slots.lock().expect("slots lock");
+    let mut slots = relock(&engine.slots);
     slots.occupancy -= 1;
     slots.occupied_bytes -= cost;
     if let Retire::Cold { requested: true } = retire {
@@ -685,26 +702,30 @@ fn fail_cold(
     stats: &Mutex<ShardStats>,
 ) {
     {
-        let mut slots = engine.slots.lock().expect("slots lock");
+        let mut slots = relock(&engine.slots);
         slots.map.remove(&key);
         slots.occupancy -= 1;
         engine.room.notify_all();
     }
     // Everything parked before the slot was removed is in the queue;
     // nothing new can arrive (the sender in the map was the last route).
-    let mut tally = stats.lock().expect("stats lock");
+    // Drain and reply lock-free, then fold the tallies in at the end.
+    let mut failed: Vec<u128> = Vec::new();
     while let Ok(job) = rx.try_recv() {
         if let Job::Fix {
             enqueued, reply, ..
         } = job
         {
-            tally.requests += 1;
-            tally.errors += 1;
-            let waited = enqueued.elapsed().as_micros();
-            tally.total_latency_us += waited;
-            tally.max_latency_us = tally.max_latency_us.max(waited);
             let _ = reply.send(Err(err.clone()));
+            failed.push(enqueued.elapsed().as_micros());
         }
+    }
+    let mut tally = relock(stats);
+    for waited in failed {
+        tally.requests += 1;
+        tally.errors += 1;
+        tally.total_latency_us += waited;
+        tally.max_latency_us = tally.max_latency_us.max(waited);
     }
 }
 
@@ -746,10 +767,14 @@ impl BatchServer {
             let (tx, rx) = mpsc::channel::<Job>();
             let shard_stats = Arc::new(Mutex::new(ShardStats::default()));
             let worker_stats = Arc::clone(&shard_stats);
+            // Workers spawned before a failure wind down on their own:
+            // dropping `senders` disconnects their channels.
             let handle = std::thread::Builder::new()
                 .name(format!("noble-serve-{key}"))
                 .spawn(move || shard_worker(localizer, key, rx, cfg, &worker_stats))
-                .expect("spawn shard worker");
+                .map_err(|e| {
+                    ServeError::Internal(format!("cannot spawn worker for shard {key}: {e}"))
+                })?;
             senders.insert(key, tx);
             stats.insert(key, shard_stats);
             workers.push((key, handle));
@@ -869,9 +894,7 @@ impl BatchServer {
             Engine::Static { stats, .. } => stats,
             Engine::Paged(engine) => &engine.stats,
         };
-        map.iter()
-            .map(|(k, s)| (*k, s.lock().expect("stats lock").clone()))
-            .collect()
+        map.iter().map(|(k, s)| (*k, relock(s).clone())).collect()
     }
 
     /// Demand-paging lifecycle counters; `None` on a fully-resident
@@ -880,8 +903,16 @@ impl BatchServer {
         match &self.engine {
             Engine::Static { .. } => None,
             Engine::Paged(engine) => {
-                let mut paged = *engine.paged.lock().expect("paged stats");
-                paged.hot_shards = engine.slots.lock().expect("slots lock").occupancy;
+                // Declared lock order: slots strictly before paged.
+                let hot_shards = {
+                    let slots = relock(&engine.slots);
+                    slots.occupancy
+                };
+                let mut paged = {
+                    let counters = relock(&engine.paged);
+                    *counters
+                };
+                paged.hot_shards = hot_shards;
                 paged.catalog = engine.catalog.stats();
                 Some(paged)
             }
@@ -980,13 +1011,14 @@ impl BatchServer {
             Engine::Paged(engine) => {
                 engine.shutting_down.store(true, Ordering::Release);
                 let handles = {
-                    let mut slots = engine.slots.lock().expect("slots lock");
+                    let mut slots = relock(&engine.slots);
                     let keys: Vec<ShardKey> = slots.map.keys().copied().collect();
                     for key in keys {
                         if let Some(slot) = slots.map.remove(&key) {
                             let tx = match slot {
                                 Slot::Warming { tx } | Slot::Hot { tx, .. } => tx,
                             };
+                            // noble-lint: allow(lock-discipline, "unbounded channel: send never blocks; sweeping the map and sending markers under one lock guarantees no fix lands behind a shutdown marker")
                             let _ = tx.send(Job::Shutdown);
                         }
                     }
@@ -1030,8 +1062,10 @@ fn shard_worker(
         let mut batch = vec![first];
         let mut saw_shutdown = false;
         if cfg.max_batch > 1 {
+            // noble-lint: allow(wall-clock, "batching deadline only: batch boundaries never change answers (shape-invariant kernels)")
             let deadline = Instant::now() + cfg.latency_budget;
             while batch.len() < cfg.max_batch {
+                // noble-lint: allow(wall-clock, "remaining-budget poll for the coalescing wait; never feeds a result")
                 let now = Instant::now();
                 let wait = deadline.saturating_duration_since(now);
                 // recv_timeout(ZERO) still drains already-queued jobs, so
@@ -1099,10 +1133,19 @@ fn serve_batch(
         for &i in &valid {
             data.extend_from_slice(&batch[i].0);
         }
-        let features = Matrix::from_vec(valid.len(), feature_dim, data).expect("widths checked");
-        let started = Instant::now();
-        let result = localizer.localize_batch(&features);
-        busy = started.elapsed();
+        // Every width was checked above, so a length mismatch here (or a
+        // model answering with the wrong row count below) is an internal
+        // invariant failure — fail the riders, not the worker.
+        let result = Matrix::from_vec(valid.len(), feature_dim, data)
+            .map_err(|e| ServeError::from(noble::NobleError::from(e)))
+            .and_then(|features| {
+                let started = Instant::now(); // noble-lint: allow(wall-clock, "busy-time metric only; never feeds a result")
+                let result = localizer
+                    .localize_batch(&features)
+                    .map_err(ServeError::from);
+                busy = started.elapsed();
+                result
+            });
         match result {
             Ok(points) => {
                 for (&i, point) in valid.iter().zip(points) {
@@ -1110,28 +1153,42 @@ fn serve_batch(
                 }
             }
             Err(e) => {
-                let shared = ServeError::from(e);
                 for &i in &valid {
-                    replies[i] = Some(Err(shared.clone()));
+                    replies[i] = Some(Err(e.clone()));
                 }
             }
         }
     }
 
-    let mut tally = stats.lock().expect("stats lock");
-    tally.batches += 1;
-    tally.max_batch = tally.max_batch.max(batch.len());
-    tally.busy_us += busy.as_micros();
+    // Reply first, without the stats lock: a slow reply send must never
+    // extend a critical section that stats readers also take.
+    let batch_len = batch.len();
+    let mut requests: u64 = 0;
+    let mut errors: u64 = 0;
+    let mut total_latency_us: u128 = 0;
+    let mut max_latency_us: u128 = 0;
     for ((_, enqueued, reply), outcome) in batch.into_iter().zip(replies) {
-        let outcome = outcome.expect("every rider answered");
-        tally.requests += 1;
+        let outcome = outcome.unwrap_or_else(|| {
+            Err(ServeError::Internal(format!(
+                "shard {key} answered with too few predictions for its batch"
+            )))
+        });
+        requests += 1;
         if outcome.is_err() {
-            tally.errors += 1;
+            errors += 1;
         }
         // A dropped PendingFix just means nobody is waiting; not an error.
         let _ = reply.send(outcome);
         let waited = enqueued.elapsed().as_micros();
-        tally.total_latency_us += waited;
-        tally.max_latency_us = tally.max_latency_us.max(waited);
+        total_latency_us += waited;
+        max_latency_us = max_latency_us.max(waited);
     }
+    let mut tally = relock(stats);
+    tally.batches += 1;
+    tally.max_batch = tally.max_batch.max(batch_len);
+    tally.busy_us += busy.as_micros();
+    tally.requests += requests;
+    tally.errors += errors;
+    tally.total_latency_us += total_latency_us;
+    tally.max_latency_us = tally.max_latency_us.max(max_latency_us);
 }

@@ -96,6 +96,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::sync::relock;
 use crate::{
     BatchConfig, BatchServer, ModelCatalog, PagedStats, ServeClient, ServeError, ShardKey,
     ShardStats, ShardedRegistry,
@@ -277,9 +278,7 @@ impl SessionTable {
         at: u64,
         fix: Point,
     ) -> (Point, Option<usize>, Vec<ZoneEvent>) {
-        let mut shard = self.shards[self.shard_of(device)]
-            .lock()
-            .expect("session shard lock");
+        let mut shard = relock(&self.shards[self.shard_of(device)]);
         let session = shard.entry(device).or_insert_with(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             Session {
@@ -341,14 +340,16 @@ impl SessionTable {
         };
         let mut events = Vec::new();
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("session shard lock");
+            let mut shard = relock(shard);
             let stale: Vec<DeviceId> = shard
                 .iter()
                 .filter(|(_, s)| now.saturating_sub(s.last_seen) > timeout)
                 .map(|(d, _)| *d)
                 .collect();
             for device in stale {
-                let session = shard.get_mut(&device).expect("stale key present");
+                let Some(session) = shard.get_mut(&device) else {
+                    continue;
+                };
                 if let Some(zone) = session.detector.force_leave() {
                     self.left.fetch_add(1, Ordering::Relaxed);
                     events.push(ZoneEvent {
@@ -370,9 +371,7 @@ impl SessionTable {
     /// The recent smoothed track of `device` (oldest first), if its
     /// session is held.
     pub fn track(&self, device: DeviceId) -> Option<Vec<(u64, Point)>> {
-        let shard = self.shards[self.shard_of(device)]
-            .lock()
-            .expect("session shard lock");
+        let shard = relock(&self.shards[self.shard_of(device)]);
         shard
             .get(&device)
             .map(|s| s.track.iter().copied().collect())
@@ -382,11 +381,7 @@ impl SessionTable {
     /// off hot paths).
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            live: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("session shard lock").len())
-                .sum(),
+            live: self.shards.iter().map(|s| relock(s).len()).sum(),
             created: self.created.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
             observations: self.observations.load(Ordering::Relaxed),

@@ -58,6 +58,7 @@
 //! # Ok::<(), noble_serve::ServeError>(())
 //! ```
 
+use crate::sync::relock;
 use crate::{ServeError, ShardKey};
 use noble::ModelSnapshot;
 use std::collections::BTreeMap;
@@ -118,39 +119,20 @@ impl MemStore {
 
 impl ModelStore for MemStore {
     fn put(&self, key: ShardKey, snapshot: &ModelSnapshot) -> Result<(), ServeError> {
-        self.snapshots
-            .lock()
-            .expect("store lock")
-            .insert(key, snapshot.clone());
+        relock(&self.snapshots).insert(key, snapshot.clone());
         Ok(())
     }
 
     fn get(&self, key: ShardKey) -> Result<Option<ModelSnapshot>, ServeError> {
-        Ok(self
-            .snapshots
-            .lock()
-            .expect("store lock")
-            .get(&key)
-            .cloned())
+        Ok(relock(&self.snapshots).get(&key).cloned())
     }
 
     fn list(&self) -> Result<Vec<ShardKey>, ServeError> {
-        Ok(self
-            .snapshots
-            .lock()
-            .expect("store lock")
-            .keys()
-            .copied()
-            .collect())
+        Ok(relock(&self.snapshots).keys().copied().collect())
     }
 
     fn evict(&self, key: ShardKey) -> Result<bool, ServeError> {
-        Ok(self
-            .snapshots
-            .lock()
-            .expect("store lock")
-            .remove(&key)
-            .is_some())
+        Ok(relock(&self.snapshots).remove(&key).is_some())
     }
 }
 
@@ -225,14 +207,14 @@ impl FsStore {
         if &bytes[..4] != FS_MAGIC {
             return Err(corrupt("bad magic: not a NObLe snapshot file"));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
         if version != FS_VERSION {
             return Err(corrupt(&format!(
                 "unsupported snapshot file version {version}"
             )));
         }
-        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let len = read_u64_le(bytes, 8) as usize;
+        let checksum = read_u64_le(bytes, 16);
         let payload = &bytes[FS_HEADER_LEN..];
         if payload.len() != len {
             return Err(corrupt(&format!(
@@ -307,6 +289,21 @@ impl ModelStore for FsStore {
             Err(e) => Err(ServeError::Store(format!("evict {}: {e}", path.display()))),
         }
     }
+}
+
+/// Little-endian `u64` at `bytes[at..at + 8]`; callers bounds-check the
+/// slice length up front (decode validates `FS_HEADER_LEN` first).
+fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+        bytes[at + 4],
+        bytes[at + 5],
+        bytes[at + 6],
+        bytes[at + 7],
+    ])
 }
 
 /// FNV-1a 64-bit — tiny, dependency-free corruption detector for
