@@ -12,6 +12,11 @@
 //!   the trained model, so this is pure speedup),
 //! - **resident hit** — the model is already in memory.
 //!
+//! Each shard also saves under the compact
+//! [`noble::ParamEncoding::F32`] snapshot encoding; the row records the
+//! shrink factor and the runner aborts unless the compact round trip
+//! stays within the 1e-4 position gate.
+//!
 //! Plus the failure mode budgets must be sized against: **eviction
 //! thrash**, a [`noble_serve::ModelCatalog`] with budget 1 serving
 //! round-robin traffic over N shards (every request faults), compared
@@ -24,7 +29,7 @@ use crate::runners::RunnerResult;
 use crate::{write_artifact, Scale};
 use noble::report::TextTable;
 use noble::wifi::{WifiNoble, WifiNobleConfig};
-use noble::{hydrate, Localizer, SnapshotLocalizer};
+use noble::{hydrate, Localizer, ParamEncoding, SnapshotLocalizer};
 use noble_datasets::uji_campaign;
 use noble_serve::{
     partition_campaign, shard_seed, CatalogBudget, FsStore, ModelCatalog, ModelStore,
@@ -38,6 +43,10 @@ struct ShardMeasurement {
     train_ms: f64,
     save_ms: f64,
     snapshot_bytes: usize,
+    /// Same model under [`ParamEncoding::F32`] (compact parameter
+    /// blobs); gated to round-trip within 1e-4 position error.
+    compact_bytes: usize,
+    compact_max_delta: f64,
     hydrate_ms: f64,
     resident_localize_us: f64,
 }
@@ -106,6 +115,27 @@ pub fn run(scale: Scale) -> RunnerResult {
         let b = twin.localize_batch(&probe)?;
         assert_eq!(a, b, "hydrated shard {key} diverged from trained model");
 
+        // Compact f32 parameter encoding: the snapshot shrinks to
+        // roughly half (parameter blobs dominate the payload) and the
+        // round trip must stay inside the f32 position gate — a
+        // violation aborts the runner, so the CI smoke enforces it.
+        let compact = model.snapshot_with(ParamEncoding::F32);
+        let compact_bytes = compact.encoded_len();
+        let mut compact_twin = hydrate(&compact)?;
+        let c = compact_twin.localize_batch(&probe)?;
+        let compact_max_delta = a
+            .iter()
+            .zip(&c)
+            .map(|(x, y)| x.distance(*y))
+            .fold(0.0, f64::max);
+        if compact_max_delta > 1e-4 {
+            return Err(format!(
+                "shard {key}: compact f32 snapshot round trip drifted \
+                 {compact_max_delta} m (> 1e-4 gate)"
+            )
+            .into());
+        }
+
         let t0 = Instant::now();
         let reps = 20;
         for _ in 0..reps {
@@ -118,6 +148,8 @@ pub fn run(scale: Scale) -> RunnerResult {
             train_ms,
             save_ms,
             snapshot_bytes: snapshot.encoded_len(),
+            compact_bytes,
+            compact_max_delta,
             hydrate_ms,
             resident_localize_us,
         });
@@ -182,6 +214,8 @@ pub fn run(scale: Scale) -> RunnerResult {
         "TRAIN_MS".into(),
         "SAVE_MS".into(),
         "SNAP_KB".into(),
+        "F32_KB".into(),
+        "SHRINK".into(),
         "HYDRATE_MS".into(),
         "SPEEDUP".into(),
         "LOCALIZE_US".into(),
@@ -192,6 +226,11 @@ pub fn run(scale: Scale) -> RunnerResult {
             format!("{:.1}", m.train_ms),
             format!("{:.2}", m.save_ms),
             format!("{:.1}", m.snapshot_bytes as f64 / 1024.0),
+            format!("{:.1}", m.compact_bytes as f64 / 1024.0),
+            format!(
+                "{:.2}x",
+                m.snapshot_bytes as f64 / m.compact_bytes.max(1) as f64
+            ),
             format!("{:.2}", m.hydrate_ms),
             format!("{:.0}x", m.train_ms / m.hydrate_ms.max(1e-9)),
             format!("{:.0}", m.resident_localize_us),
@@ -225,12 +264,15 @@ pub fn run(scale: Scale) -> RunnerResult {
         .map(|m| {
             format!(
                 "    {{\"shard\": \"{}\", \"train_ms\": {:.3}, \"save_ms\": {:.3}, \
-                 \"snapshot_bytes\": {}, \"hydrate_ms\": {:.3}, \
+                 \"snapshot_bytes\": {}, \"compact_f32_bytes\": {}, \
+                 \"compact_f32_max_position_delta\": {:.6e}, \"hydrate_ms\": {:.3}, \
                  \"hydrate_speedup\": {:.1}, \"resident_localize_us\": {:.1}}}",
                 m.key,
                 m.train_ms,
                 m.save_ms,
                 m.snapshot_bytes,
+                m.compact_bytes,
+                m.compact_max_delta,
                 m.hydrate_ms,
                 m.train_ms / m.hydrate_ms.max(1e-9),
                 m.resident_localize_us

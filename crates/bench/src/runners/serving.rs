@@ -16,6 +16,13 @@
 //!   at several latency budgets, so the backlog rides stacked
 //!   `localize_batch` calls.
 //!
+//! A precision family rides the same batched discipline with
+//! [`noble_serve::BatchConfig::precision`] set to each tier — workers
+//! serve f32/int8 lowered twins — and gates every tier's answers
+//! against the exact tier inline (exact bit-identical across reps, f32
+//! within 1e-4 position error, int8 within its calibrated decode
+//! bound). A gate failure aborts the runner.
+//!
 //! A second measurement family covers **demand-paged** serving
 //! ([`noble_serve::BatchServer::start_paged`]): an oversubscribed
 //! catalog (16 shards under a budget of 4 resident models at full
@@ -48,6 +55,7 @@ use std::time::{Duration, Instant};
 /// One serving measurement.
 struct Measurement {
     mode: &'static str,
+    precision: &'static str,
     shards: usize,
     max_batch: usize,
     budget_us: u64,
@@ -77,8 +85,8 @@ impl Measurement {
             .collect();
         format!
             (
-            "    {{\"mode\": \"{}\", \"shards\": {}, \"max_batch\": {}, \"budget_us\": {}, \"fixes_per_sec\": {:.1}, \"shard_stats\": [{}]}}",
-            self.mode, self.shards, self.max_batch, self.budget_us, self.fixes_per_sec, shards.join(", ")
+            "    {{\"mode\": \"{}\", \"precision\": \"{}\", \"shards\": {}, \"max_batch\": {}, \"budget_us\": {}, \"fixes_per_sec\": {:.1}, \"shard_stats\": [{}]}}",
+            self.mode, self.precision, self.shards, self.max_batch, self.budget_us, self.fixes_per_sec, shards.join(", ")
         )
     }
 }
@@ -425,6 +433,7 @@ pub fn run(scale: Scale) -> RunnerResult {
             }
             measurements.push(Measurement {
                 mode,
+                precision: "exact",
                 shards,
                 max_batch,
                 budget_us,
@@ -535,12 +544,131 @@ pub fn run(scale: Scale) -> RunnerResult {
         drop(pin);
         measurements.push(Measurement {
             mode: "mixed-wifi-imu",
+            precision: "exact",
             shards: wifi_shards + 1,
             max_batch,
             budget_us,
             fixes_per_sec: best,
             shard_stats: stats,
         });
+    }
+
+    // --- Reduced-precision serving (`BatchConfig::precision`): the same
+    // streaming-batched discipline with the workers serving lowered
+    // twins. Every tier's answers are gated against the exact tier
+    // inline — exact must be bit-identical across reps, f32 within the
+    // 1e-4 position gate, int8 within its calibrated decode bound — so
+    // the `NOBLE_QUICK=1` CI smoke enforces the accuracy deltas on every
+    // push, not just the throughput story. ---
+    let mut f32_serving_delta = 0.0f64;
+    let mut i8_serving_matches = 1.0f64;
+    let mut i8_serving_mean = 0.0f64;
+    {
+        use noble::InferencePrecision;
+        let mut registry =
+            ShardedRegistry::train_wifi(&campaign, &model_cfg, &RegistryConfig::default())?;
+        let precision_shards = registry.len();
+        let wifi_features = campaign.features(&campaign.test);
+        let fixes: Vec<(ShardKey, Vec<f64>)> = (0..total_fixes)
+            .map(|i| {
+                let j = i % wifi_features.rows();
+                (
+                    ShardPolicy::PerBuilding.key_of(&campaign.test[j]),
+                    wifi_features.row(j).to_vec(),
+                )
+            })
+            .collect();
+
+        let pin = ThreadPin::pin_to_one();
+        let max_batch = *max_batches.last().unwrap_or(&256);
+        let budget_us = *budgets_us.last().unwrap_or(&200);
+        let mut exact_answers: Vec<Point> = Vec::new();
+        for (precision, label) in [
+            (InferencePrecision::Exact, "exact"),
+            (InferencePrecision::F32, "f32"),
+            (InferencePrecision::Int8, "int8"),
+        ] {
+            let mut best = 0.0f64;
+            let mut stats = Vec::new();
+            for _ in 0..reps {
+                let server = BatchServer::start(
+                    registry,
+                    BatchConfig {
+                        max_batch,
+                        latency_budget: Duration::from_micros(budget_us),
+                        idle_ttl: None,
+                        precision,
+                        ..BatchConfig::default()
+                    },
+                )?;
+                let (answers, _, rate) = drive_collect(&server, &fixes, clients)?;
+                let (s, recovered) = server.shutdown_with_registry();
+                // stop() hands back the exact progenitors, so each tier
+                // lowers fresh from f64 state — twins never re-lower.
+                registry = recovered;
+                match precision {
+                    InferencePrecision::Exact => {
+                        if exact_answers.is_empty() {
+                            exact_answers = answers;
+                        } else if answers != exact_answers {
+                            return Err("exact serving answers diverged between repetitions".into());
+                        }
+                    }
+                    InferencePrecision::F32 => {
+                        let delta = answers
+                            .iter()
+                            .zip(&exact_answers)
+                            .map(|(a, b)| a.distance(*b))
+                            .fold(0.0, f64::max);
+                        f32_serving_delta = f32_serving_delta.max(delta);
+                        if delta > 1e-4 {
+                            return Err(format!(
+                                "f32 serving gate failed: max position delta {delta} > 1e-4"
+                            )
+                            .into());
+                        }
+                    }
+                    InferencePrecision::Int8 => {
+                        let hits = answers
+                            .iter()
+                            .zip(&exact_answers)
+                            .filter(|(a, b)| a == b)
+                            .count();
+                        let matches = hits as f64 / answers.len().max(1) as f64;
+                        let mean = answers
+                            .iter()
+                            .zip(&exact_answers)
+                            .map(|(a, b)| a.distance(*b))
+                            .sum::<f64>()
+                            / answers.len().max(1) as f64;
+                        i8_serving_matches = i8_serving_matches.min(matches);
+                        i8_serving_mean = i8_serving_mean.max(mean);
+                        if matches < 0.9 || mean > 0.5 {
+                            return Err(format!(
+                                "int8 serving gate failed: match fraction {matches:.3} \
+                                 (need >= 0.9), mean position delta {mean:.3} m (need <= 0.5)"
+                            )
+                            .into());
+                        }
+                    }
+                }
+                if rate > best {
+                    best = rate;
+                    stats = s;
+                }
+            }
+            measurements.push(Measurement {
+                mode: "batched",
+                precision: label,
+                shards: precision_shards,
+                max_batch,
+                budget_us,
+                fixes_per_sec: best,
+                shard_stats: stats,
+            });
+        }
+        drop(pin);
+        drop(registry);
     }
 
     // --- Demand-paged oversubscribed serving (ROADMAP "store-aware
@@ -699,6 +827,7 @@ pub fn run(scale: Scale) -> RunnerResult {
     ));
     let mut table = TextTable::new(vec![
         "MODE".into(),
+        "PRECISION".into(),
         "SHARDS".into(),
         "MAX_BATCH".into(),
         "BUDGET_US".into(),
@@ -717,6 +846,7 @@ pub fn run(scale: Scale) -> RunnerResult {
         };
         table.add_row(vec![
             m.mode.to_uppercase(),
+            m.precision.to_string(),
             m.shards.to_string(),
             m.max_batch.to_string(),
             m.budget_us.to_string(),
@@ -730,6 +860,11 @@ pub fn run(scale: Scale) -> RunnerResult {
          single-request serving ({:.0} vs {:.0} fixes/sec)\n",
         speedup_at_reference * single_at_reference,
         single_at_reference,
+    ));
+    out.push_str(&format!(
+        "precision gates: exact bit-identical across reps, f32 max delta \
+         {f32_serving_delta:.2e} m (<= 1e-4), int8 match {i8_serving_matches:.3} (>= 0.9) \
+         mean delta {i8_serving_mean:.3} m (<= 0.5)\n"
     ));
     if let Some(first) = paged_rows.first() {
         out.push_str(&format!(
@@ -763,6 +898,9 @@ pub fn run(scale: Scale) -> RunnerResult {
          \"num_waps\": {},\n  \"clients\": {clients},\n  \"total_fixes\": {total_fixes},\n  \
          \"reference_shards\": {reference_shards},\n  \
          \"speedup_batched_vs_single\": {speedup_at_reference:.3},\n  \
+         \"precision_gates\": {{\"f32_max_position_delta\": {f32_serving_delta:.6e}, \
+         \"int8_match_fraction\": {i8_serving_matches:.4}, \
+         \"int8_mean_position_delta\": {i8_serving_mean:.4}}},\n  \
          \"measurements\": [\n{}\n  ],\n  \
          \"paged_budget\": {paged_budget},\n  \
          \"paged\": [\n{}\n  ]\n}}\n",

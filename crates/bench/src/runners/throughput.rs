@@ -13,6 +13,15 @@
 //! - **batched_threaded** — the same batched call with the blocked matmul
 //!   kernel fanning out over scoped threads.
 //!
+//! Each batched mode additionally runs at every precision tier: `exact`
+//! (the f64 model), `f32`, and `int8` (lowered twins built once via
+//! [`noble::Localizer::try_lower`], off the timed path, exactly as the
+//! serving layer does). Before any timing, the lowered twins pass an
+//! **accuracy gate** against the exact outputs — f32 within 1e-4
+//! position error, int8 within its calibrated decode bound — and the
+//! runner errors out if a gate fails, so the `NOBLE_QUICK=1` CI smoke
+//! enforces it on every push.
+//!
 //! Results go to stdout as a table and to
 //! `results/BENCH_throughput.json` for the perf trajectory. In
 //! [`Scale::Quick`] (smoke) mode the sweep shrinks to two batch sizes and
@@ -24,7 +33,9 @@ use crate::runners::RunnerResult;
 use crate::{write_artifact, Scale};
 use noble::report::TextTable;
 use noble::wifi::{WifiNoble, WifiNobleConfig};
+use noble::{InferencePrecision, Localizer};
 use noble_datasets::uji_campaign;
+use noble_geo::Point;
 use noble_linalg::{num_threads, set_num_threads};
 use std::time::Instant;
 
@@ -32,6 +43,7 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 struct Measurement {
     mode: &'static str,
+    precision: &'static str,
     batch: usize,
     threads: usize,
     fixes_per_sec: f64,
@@ -40,14 +52,37 @@ struct Measurement {
 impl Measurement {
     fn json(&self) -> String {
         format!(
-            "    {{\"mode\": \"{}\", \"batch\": {}, \"threads\": {}, \"fixes_per_sec\": {:.1}, \"us_per_fix\": {:.3}}}",
+            "    {{\"mode\": \"{}\", \"precision\": \"{}\", \"batch\": {}, \"threads\": {}, \"fixes_per_sec\": {:.1}, \"us_per_fix\": {:.3}}}",
             self.mode,
+            self.precision,
             self.batch,
             self.threads,
             self.fixes_per_sec,
             1e6 / self.fixes_per_sec.max(f64::MIN_POSITIVE)
         )
     }
+}
+
+fn max_delta(a: &[Point], b: &[Point]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.distance(*y))
+        .fold(0.0, f64::max)
+}
+
+fn mean_delta(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| x.distance(*y)).sum::<f64>() / a.len() as f64
+}
+
+fn match_fraction(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let hits = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    hits as f64 / a.len() as f64
 }
 
 /// Times `f` over `reps` repetitions of `fixes` fixes each and returns
@@ -69,10 +104,12 @@ fn best_rate(fixes: usize, reps: usize, mut f: impl FnMut()) -> f64 {
 ///
 /// Propagates dataset, training and artifact-I/O failures.
 pub fn run(scale: Scale) -> RunnerResult {
-    // Model quality is irrelevant here; train briefly on the quick
-    // campaign but keep the paper's hidden width so the per-fix compute
-    // is representative.
-    let campaign = uji_campaign(&uji_config(Scale::Quick))?;
+    // Model quality is irrelevant here, but matrix shape is the whole
+    // story: Full keeps the paper-scaled campaign (192 WAPs, the full
+    // class grid) so per-fix compute is serving-representative, while
+    // Quick shrinks the campaign for CI. Both keep the paper's hidden
+    // width.
+    let campaign = uji_campaign(&uji_config(scale))?;
     let cfg = WifiNobleConfig {
         hidden_dim: 128,
         epochs: if scale == Scale::Quick { 2 } else { 5 },
@@ -80,6 +117,37 @@ pub fn run(scale: Scale) -> RunnerResult {
         ..WifiNobleConfig::small()
     };
     let mut model = WifiNoble::train(&campaign, &cfg)?;
+
+    // Lower the reduced-precision twins once, off the timed path — the
+    // same lifecycle the serving layer uses (lower at hydrate/train
+    // time, serve from the immutable twin).
+    let mut f32_twin = Localizer::try_lower(&model, InferencePrecision::F32)
+        .ok_or("WifiNoble failed to lower to f32")?;
+    let mut i8_twin = Localizer::try_lower(&model, InferencePrecision::Int8)
+        .ok_or("WifiNoble failed to lower to int8")?;
+
+    // Accuracy gate: the speedup numbers below are meaningless if the
+    // fast tiers decode to different positions, so refuse to report
+    // them. Runs at Quick scale too — this is the CI smoke's teeth.
+    let probe = campaign.features(&campaign.test);
+    let exact_fixes = Localizer::localize_batch(&mut model, &probe)?;
+    let f32_fixes = f32_twin.localize_batch(&probe)?;
+    let f32_delta = max_delta(&f32_fixes, &exact_fixes);
+    if f32_delta > 1e-4 {
+        return Err(
+            format!("f32 accuracy gate failed: max position delta {f32_delta} > 1e-4").into(),
+        );
+    }
+    let i8_fixes = i8_twin.localize_batch(&probe)?;
+    let i8_matches = match_fraction(&i8_fixes, &exact_fixes);
+    let i8_mean = mean_delta(&i8_fixes, &exact_fixes);
+    if i8_matches < 0.9 || i8_mean > 0.5 {
+        return Err(format!(
+            "int8 accuracy gate failed: match fraction {i8_matches:.3} (need >= 0.9), \
+             mean position delta {i8_mean:.3} m (need <= 0.5)"
+        )
+        .into());
+    }
 
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (batch_sizes, reps): (Vec<usize>, usize) = match scale {
@@ -122,6 +190,7 @@ pub fn run(scale: Scale) -> RunnerResult {
         });
         measurements.push(Measurement {
             mode: "single",
+            precision: "exact",
             batch,
             threads: 1,
             fixes_per_sec: single,
@@ -132,6 +201,7 @@ pub fn run(scale: Scale) -> RunnerResult {
         });
         measurements.push(Measurement {
             mode: "batched",
+            precision: "exact",
             batch,
             threads: 1,
             fixes_per_sec: batched,
@@ -147,10 +217,45 @@ pub fn run(scale: Scale) -> RunnerResult {
             });
             measurements.push(Measurement {
                 mode: "batched_threaded",
+                precision: "exact",
                 batch,
                 threads,
                 fixes_per_sec: rate,
             });
+        }
+
+        // Reduced-precision tiers over the very same rows. The twins
+        // take the identical slice-of-rows interface, so the only
+        // difference against the exact `batched` rows above is the
+        // kernel tier.
+        for (precision, twin) in [("f32", &mut f32_twin), ("int8", &mut i8_twin)] {
+            set_num_threads(1);
+            let rate = best_rate(batch, reps, || {
+                twin.localize_rows(slice).expect("localize_rows");
+            });
+            measurements.push(Measurement {
+                mode: "batched",
+                precision,
+                batch,
+                threads: 1,
+                fixes_per_sec: rate,
+            });
+            for &threads in &thread_counts {
+                if threads <= 1 {
+                    continue;
+                }
+                set_num_threads(threads);
+                let rate = best_rate(batch, reps, || {
+                    twin.localize_rows(slice).expect("localize_rows");
+                });
+                measurements.push(Measurement {
+                    mode: "batched_threaded",
+                    precision,
+                    batch,
+                    threads,
+                    fixes_per_sec: rate,
+                });
+            }
         }
         set_num_threads(0);
     }
@@ -168,28 +273,39 @@ pub fn run(scale: Scale) -> RunnerResult {
     } else {
         max_batch
     };
-    let rate_of = |mode: &str| {
+    let rate_of = |mode: &str, precision: &str| {
         measurements
             .iter()
-            .filter(|m| m.mode == mode && m.batch == reference_batch)
+            .filter(|m| m.mode == mode && m.precision == precision && m.batch == reference_batch)
             .map(|m| m.fixes_per_sec)
             .fold(0.0f64, f64::max)
     };
-    let single_ref = rate_of("single");
-    let batched_ref = rate_of("batched");
-    let threaded_ref = rate_of("batched_threaded").max(batched_ref);
+    let single_ref = rate_of("single", "exact");
+    let batched_ref = rate_of("batched", "exact");
+    let threaded_ref = rate_of("batched_threaded", "exact").max(batched_ref);
     let speedup_batched = batched_ref / single_ref.max(f64::MIN_POSITIVE);
     let speedup_threaded = threaded_ref / single_ref.max(f64::MIN_POSITIVE);
+    // Precision speedups compare best-against-best at the reference
+    // batch (each tier free to use its best thread count).
+    let best_of =
+        |precision: &str| rate_of("batched", precision).max(rate_of("batched_threaded", precision));
+    let speedup_f32 = best_of("f32") / threaded_ref.max(f64::MIN_POSITIVE);
+    let speedup_i8 = best_of("int8") / threaded_ref.max(f64::MIN_POSITIVE);
 
     let mut out = String::new();
     out.push_str("THROUGHPUT: WiFi fixes/sec, single vs batched vs batched+threaded\n");
     out.push_str(&format!(
-        "(hidden_dim={}, waps={}, available_parallelism={available})\n\n",
+        "(hidden_dim={}, waps={}, available_parallelism={available})\n",
         cfg.hidden_dim,
         campaign.num_waps()
     ));
+    out.push_str(&format!(
+        "accuracy gates: f32 max delta {f32_delta:.2e} m (<= 1e-4), \
+         int8 match {i8_matches:.3} (>= 0.9) mean delta {i8_mean:.3} m (<= 0.5)\n\n"
+    ));
     let mut table = TextTable::new(vec![
         "MODE".into(),
+        "PRECISION".into(),
         "BATCH".into(),
         "THREADS".into(),
         "FIXES/SEC".into(),
@@ -197,6 +313,7 @@ pub fn run(scale: Scale) -> RunnerResult {
     for m in &measurements {
         table.add_row(vec![
             m.mode.to_uppercase(),
+            m.precision.to_string(),
             m.batch.to_string(),
             m.threads.to_string(),
             format!("{:.0}", m.fixes_per_sec),
@@ -205,7 +322,8 @@ pub fn run(scale: Scale) -> RunnerResult {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nat batch {reference_batch}: batched = {speedup_batched:.2}x single, \
-         batched+threaded = {speedup_threaded:.2}x single\n"
+         batched+threaded = {speedup_threaded:.2}x single\n\
+         f32 = {speedup_f32:.2}x exact, int8 = {speedup_i8:.2}x exact (best vs best)\n"
     ));
 
     let json = format!(
@@ -213,6 +331,11 @@ pub fn run(scale: Scale) -> RunnerResult {
          \"num_waps\": {},\n  \"reference_batch\": {reference_batch},\n  \
          \"speedup_batched_vs_single\": {speedup_batched:.3},\n  \
          \"speedup_batched_threaded_vs_single\": {speedup_threaded:.3},\n  \
+         \"speedup_f32_vs_exact\": {speedup_f32:.3},\n  \
+         \"speedup_int8_vs_exact\": {speedup_i8:.3},\n  \
+         \"accuracy_gates\": {{\"f32_max_position_delta\": {f32_delta:.6e}, \
+         \"int8_match_fraction\": {i8_matches:.4}, \
+         \"int8_mean_position_delta\": {i8_mean:.4}}},\n  \
          \"measurements\": [\n{}\n  ]\n}}\n",
         cfg.hidden_dim,
         campaign.num_waps(),

@@ -30,7 +30,9 @@
 use crate::{Localizer, NobleError};
 use noble_geo::{Grid, Point};
 use noble_linalg::Matrix;
-use noble_nn::{Activation, Dense, HeadKind, HeadSpec, Mlp, MlpLayerSpec, OutputLayout};
+use noble_nn::{
+    Activation, Dense, HeadKind, HeadSpec, Mlp, MlpLayerSpec, OutputLayout, ParamEncoding,
+};
 use noble_quantize::{DecodePolicy, GridQuantizer};
 
 const MAGIC: &[u8; 4] = b"NOBS";
@@ -147,6 +149,17 @@ impl ModelSnapshot {
 pub trait SnapshotLocalizer: Localizer {
     /// Serializes the full inference state of the model.
     fn snapshot(&self) -> ModelSnapshot;
+
+    /// [`SnapshotLocalizer::snapshot`] with an explicit parameter
+    /// encoding: [`ParamEncoding::F64`] is exact,
+    /// [`ParamEncoding::F32`] produces a ~2x smaller *compact* snapshot
+    /// whose hydrated twin reproduces inference to f32 accuracy instead
+    /// of bit-identically (the accuracy-delta gate in `exp_model_store`
+    /// pins the drift). Models without network parameters ignore the
+    /// flag — the default forwards to the exact writer.
+    fn snapshot_with(&self, _encoding: ParamEncoding) -> ModelSnapshot {
+        self.snapshot()
+    }
 }
 
 /// Rebuilds a servable model from a snapshot, dispatching on the kind
@@ -387,9 +400,13 @@ fn activation_from_tag(tag: u8) -> Result<Activation, NobleError> {
 }
 
 /// Writes a network: architecture specs, then the versioned parameter
-/// blob ([`noble_nn::save_parameters`], which carries batch-norm running
-/// statistics so inference is bit-identical after reload).
-pub(crate) fn write_mlp(w: &mut SnapWriter, mlp: &Mlp) {
+/// blob ([`noble_nn::save_parameters_with`], which carries batch-norm
+/// running statistics so inference is bit-identical after reload).
+/// `ParamEncoding::F64` is the exact default (byte-identical to
+/// historical snapshots); `F32` narrows every parameter scalar for ~2x
+/// smaller edge stores at f32-accuracy round trips (the compact-snapshot
+/// gate in `exp_model_store` pins the accuracy delta).
+pub(crate) fn write_mlp_with(w: &mut SnapWriter, mlp: &Mlp, encoding: ParamEncoding) {
     w.u64(mlp.in_dim() as u64);
     let specs = mlp.layer_specs();
     w.u32(specs.len() as u32);
@@ -410,10 +427,11 @@ pub(crate) fn write_mlp(w: &mut SnapWriter, mlp: &Mlp) {
             }
         }
     }
-    w.bytes(&noble_nn::save_parameters(mlp));
+    w.bytes(&noble_nn::save_parameters_with(mlp, encoding));
 }
 
-/// Reads a network written by [`write_mlp`].
+/// Reads a network written by [`write_mlp_with`] (the nested parameter
+/// blob self-describes its scalar encoding).
 pub(crate) fn read_mlp(r: &mut SnapReader<'_>) -> Result<Mlp, NobleError> {
     let in_dim = r.usize()?;
     let spec_count = r.u32()? as usize;
@@ -431,6 +449,13 @@ pub(crate) fn read_mlp(r: &mut SnapReader<'_>) -> Result<Mlp, NobleError> {
         specs.push(spec);
     }
     let blob = r.bytes()?;
+    // The scalar width depends on the nested blob's own header (8 for
+    // the exact f64 encoding, 4 for compact f32).
+    let unit =
+        match noble_nn::blob_encoding(blob).map_err(|e| bad(format!("bad parameters: {e}")))? {
+            ParamEncoding::F64 => 8usize,
+            ParamEncoding::F32 => 4usize,
+        };
     // The specs' dimensions are untrusted: before from_specs allocates
     // weight matrices, require every tensor to fit inside the parameter
     // blob that claims to fill it (checked arithmetic — corrupt dims
@@ -445,7 +470,7 @@ pub(crate) fn read_mlp(r: &mut SnapReader<'_>) -> Result<Mlp, NobleError> {
             MlpLayerSpec::Activation(_) => Some(0),
         };
         param_bytes = scalars
-            .and_then(|s| s.checked_mul(8))
+            .and_then(|s| s.checked_mul(unit))
             .and_then(|b| param_bytes.checked_add(b))
             .ok_or_else(|| bad("architecture spec dimensions overflow".to_string()))?;
     }
@@ -643,7 +668,7 @@ mod tests {
         mlp.forward(&warm, true).unwrap();
 
         let mut w = SnapWriter::new();
-        write_mlp(&mut w, &mlp);
+        write_mlp_with(&mut w, &mlp, ParamEncoding::F64);
         let mut r = SnapReader::new(&w.buf);
         let mut back = read_mlp(&mut r).unwrap();
         r.finish().unwrap();

@@ -9,8 +9,11 @@
 //! The crate exists because the NObLe reproduction needs linear algebra in
 //! three places: the neural-network substrate (`noble-nn`), the manifold
 //! learning baselines (`noble-manifold`, which needs eigendecompositions for
-//! MDS/Isomap/LLE), and the evaluation metrics. All routines operate on
-//! `f64`.
+//! MDS/Isomap/LLE), and the evaluation metrics. All exact routines operate
+//! on `f64`; the accuracy-gated serving fast path additionally ships an
+//! f32 gemm family ([`MatrixF32`], [`matmul_f32`]) and an int8 row-quantized
+//! matmul ([`QuantizedMatrixI8`], [`matmul_i8`]) with the same
+//! thread/batch-shape bit-stability contract as the f64 kernels.
 //!
 //! # Example
 //!
@@ -26,6 +29,7 @@ mod centering;
 mod eigen;
 mod error;
 mod gemm;
+mod lowp;
 mod matrix;
 mod qr;
 mod solve;
@@ -40,6 +44,10 @@ pub use eigen::{
 };
 pub use error::LinalgError;
 pub use gemm::{matmul_blocked, matmul_naive, matmul_parallel, matmul_transposed};
+pub use lowp::{
+    matmul_f32, matmul_f32_blocked, matmul_f32_naive, matmul_f32_parallel, matmul_i8,
+    matmul_i8_parallel, tanh_f32_fast, MatrixF32, QuantizedMatrixI8,
+};
 pub use matrix::Matrix;
 pub use qr::{least_squares, qr_decompose, QrFactors};
 pub use solve::{cholesky, lu_decompose, lu_solve, solve, solve_cholesky, LuFactors};

@@ -2,8 +2,14 @@
 //! threaded paths must agree with the naive reference across arbitrary
 //! shapes and values, and batched products must agree with row-at-a-time
 //! products (the invariant the batched inference engine rests on).
+//! The reduced-precision kernels (f32 family, int8 quantized) are held
+//! to the same structure at their tier's tolerance.
 
-use noble_linalg::{matmul_blocked, matmul_naive, matmul_parallel, matmul_transposed, Matrix};
+use noble_linalg::{
+    matmul_blocked, matmul_f32, matmul_f32_blocked, matmul_f32_naive, matmul_f32_parallel,
+    matmul_i8, matmul_i8_parallel, matmul_naive, matmul_parallel, matmul_transposed, Matrix,
+    MatrixF32, QuantizedMatrixI8,
+};
 use proptest::prelude::*;
 
 fn matrix_strategy(
@@ -55,6 +61,90 @@ proptest! {
         for threads in [2usize, 4] {
             let par = matmul_parallel(&a, &b, threads).unwrap();
             prop_assert_eq!(&par, &blocked);
+        }
+    }
+
+    /// The f32 family tracks the f64 naive reference within the f32
+    /// accumulation tolerance across arbitrary shapes, the f32 kernels
+    /// agree with each other **bitwise** at any thread count, and the
+    /// dispatcher returns the same bits as the blocked kernel.
+    #[test]
+    fn f32_kernels_track_f64_and_agree_bitwise(
+        dims in (1usize..48, 1usize..48, 1usize..48, 0u64..1 << 16),
+    ) {
+        let (m, k, n, salt) = dims;
+        let a = matrix_strategy(m..m + 1, k..k + 1)
+            .generate(&mut proptest::test_runner::TestRng::new(salt));
+        let b = matrix_strategy(k..k + 1, n..n + 1)
+            .generate(&mut proptest::test_runner::TestRng::new(salt ^ 0xABCD));
+        let reference = matmul_naive(&a, &b).unwrap();
+        let scale = reference
+            .as_slice()
+            .iter()
+            .fold(1.0f64, |acc, v| acc.max(v.abs()));
+
+        let a32 = MatrixF32::from_f64(&a);
+        let b32 = MatrixF32::from_f64(&b);
+        let naive32 = matmul_f32_naive(&a32, &b32).unwrap();
+        let widened = naive32.to_f64();
+        prop_assert!(
+            reference.max_abs_diff(&widened).unwrap() <= 1e-5 * k as f64 * scale,
+            "f32 naive kernel drifts past the f32 tolerance for {m}x{k}x{n}"
+        );
+
+        // Bitwise structural agreement inside the tier: blocked matches
+        // naive only at tolerance (it reassociates), but every threaded
+        // run and the dispatcher must match blocked exactly.
+        let blocked32 = matmul_f32_blocked(&a32, &b32).unwrap();
+        prop_assert!(
+            widened.max_abs_diff(&blocked32.to_f64()).unwrap() <= 1e-5 * k as f64 * scale,
+            "f32 blocked kernel diverges for {m}x{k}x{n}"
+        );
+        for threads in [1usize, 2, 4] {
+            let par = matmul_f32_parallel(&a32, &b32, threads).unwrap();
+            prop_assert_eq!(par.as_slice(), blocked32.as_slice());
+        }
+        // The dispatcher picks a kernel class per *row* (small rows run
+        // naive, big rows run blocked), so its contract is batch-shape
+        // invariance: stacking rows never changes any row's bits.
+        let dispatched = matmul_f32(&a32, &b32).unwrap();
+        for i in 0..m {
+            let single = MatrixF32::from_vec(1, k, a32.row(i).to_vec()).unwrap();
+            let got = matmul_f32(&single, &b32).unwrap();
+            prop_assert_eq!(got.as_slice(), dispatched.row(i));
+        }
+    }
+
+    /// The int8 quantized product stays inside the affine-grid error
+    /// bound versus the f64 reference across arbitrary shapes, and the
+    /// threaded path is bit-identical at any thread count.
+    #[test]
+    fn i8_kernel_is_bounded_and_thread_stable(
+        dims in (1usize..32, 1usize..48, 1usize..32, 0u64..1 << 16),
+    ) {
+        let (m, k, n, salt) = dims;
+        let a = matrix_strategy(m..m + 1, k..k + 1)
+            .generate(&mut proptest::test_runner::TestRng::new(salt));
+        let b = matrix_strategy(k..k + 1, n..n + 1)
+            .generate(&mut proptest::test_runner::TestRng::new(salt ^ 0xABCD));
+        let reference = matmul_naive(&a, &b).unwrap();
+
+        let qa = QuantizedMatrixI8::quantize_f64(&a);
+        // The weight side quantizes the transpose (row-major over the
+        // contraction axis), as the lowered network stages do.
+        let qb = QuantizedMatrixI8::quantize_f64(&b.transpose());
+        let got = matmul_i8(&qa, &qb).unwrap();
+        // One affine step is ~(range/255); values here span ~12.9, and
+        // both operands contribute, so k * 0.5 comfortably bounds the
+        // accumulated grid error while still catching real defects.
+        let bound = k as f64 * 0.5;
+        prop_assert!(
+            reference.max_abs_diff(&got.to_f64()).unwrap() <= bound,
+            "int8 product drifts past the calibrated bound for {m}x{k}x{n}"
+        );
+        for threads in [1usize, 2, 4] {
+            let par = matmul_i8_parallel(&qa, &qb, threads).unwrap();
+            prop_assert_eq!(par.as_slice(), got.as_slice());
         }
     }
 

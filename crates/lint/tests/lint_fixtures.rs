@@ -141,6 +141,37 @@ fn the_real_tree_is_clean_under_the_checked_in_policy() {
 }
 
 #[test]
+fn lowered_precision_modules_are_sanctioned_by_path_scope() {
+    // The reduced-precision tier (f32/int8 kernels, lowered models) is
+    // carved out of `float-determinism` as a *policy* decision — one
+    // scoped exclude per module — rather than line allows scattered
+    // through the narrowing code. The exact kernels around those
+    // modules must stay covered.
+    let policy = Policy::load(&repo_root()).expect("noble-lint.toml parses");
+    let scope = policy.scope("float-determinism");
+    for guarded in [
+        "crates/linalg/src/gemm.rs",
+        "crates/linalg/src/matrix.rs",
+        "crates/nn/src/network.rs",
+        "crates/nn/src/serialize.rs",
+        "crates/core/src/wifi/decode.rs",
+    ] {
+        assert!(scope.covers(guarded), "{guarded} must stay lint-guarded");
+    }
+    for sanctioned in [
+        "crates/linalg/src/lowp.rs",
+        "crates/nn/src/lowered.rs",
+        "crates/core/src/lowered.rs",
+    ] {
+        assert!(
+            !scope.covers(sanctioned),
+            "{sanctioned} is a lowered-precision module and must be \
+             excluded by path scope, not by line allows"
+        );
+    }
+}
+
+#[test]
 fn checked_in_policy_matches_the_builtin_default() {
     // `Policy::load` falls back to `default_policy()` when the file is
     // missing; the two must agree or that fallback silently changes the

@@ -13,46 +13,125 @@
 //! them an inference pass through a restored network would not be
 //! bit-identical to the saved one. Version 1 (no statistics section) is
 //! no longer readable; loading it is a typed error, never a panic.
+//!
+//! Version 3 is the **compact encoding** ([`ParamEncoding::F32`]): the
+//! identical layout with every scalar stored as f32 little-endian
+//! (4 bytes), halving edge-store footprints. Narrowing is lossy, so a
+//! v3 round trip reproduces inference only to f32 accuracy — the same
+//! accuracy-gated contract as the lowered serving tier, checked by the
+//! round-trip tests here and the accuracy-delta gate in
+//! `exp_model_store`. [`load_parameters`] reads both versions; the
+//! default writer [`save_parameters`] still emits byte-identical v2.
 
 use crate::{Mlp, NnError};
 
 const MAGIC: &[u8; 4] = b"NOBL";
-const VERSION: u32 = 2;
+const VERSION_F64: u32 = 2;
+const VERSION_F32: u32 = 3;
+
+/// Scalar encoding of a parameter blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParamEncoding {
+    /// Exact f64 scalars (format version 2) — the default; round trips
+    /// are bit-identical.
+    #[default]
+    F64,
+    /// Compact f32 scalars (format version 3) — ~2x smaller, round
+    /// trips reproduce inference to f32 accuracy.
+    F32,
+}
+
+impl ParamEncoding {
+    /// Bytes per stored scalar.
+    fn unit(self) -> usize {
+        match self {
+            ParamEncoding::F64 => 8,
+            ParamEncoding::F32 => 4,
+        }
+    }
+
+    fn version(self) -> u32 {
+        match self {
+            ParamEncoding::F64 => VERSION_F64,
+            ParamEncoding::F32 => VERSION_F32,
+        }
+    }
+}
 
 /// Serializes every trainable parameter of `mlp`, plus its batch-norm
-/// running statistics, into a byte buffer.
+/// running statistics, into a byte buffer (exact f64 encoding).
 pub fn save_parameters(mlp: &Mlp) -> Vec<u8> {
+    save_parameters_with(mlp, ParamEncoding::F64)
+}
+
+/// [`save_parameters`] with an explicit scalar encoding.
+pub fn save_parameters_with(mlp: &Mlp, encoding: ParamEncoding) -> Vec<u8> {
     let params = mlp.params();
     let stats = mlp.running_stats();
-    let tensor_bytes: usize = params.iter().map(|p| 8 + p.len() * 8).sum();
-    let stat_bytes: usize = stats.iter().map(|(m, v)| 8 + (m.len() + v.len()) * 8).sum();
+    let unit = encoding.unit();
+    let tensor_bytes: usize = params.iter().map(|p| 8 + p.len() * unit).sum();
+    let stat_bytes: usize = stats
+        .iter()
+        .map(|(m, v)| 8 + (m.len() + v.len()) * unit)
+        .sum();
     let mut out = Vec::with_capacity(16 + tensor_bytes + 4 + stat_bytes);
+    let push_scalar = |out: &mut Vec<u8>, v: f64| match encoding {
+        ParamEncoding::F64 => out.extend_from_slice(&v.to_le_bytes()),
+        ParamEncoding::F32 => out.extend_from_slice(&crate::lowered::narrow(v).to_le_bytes()),
+    };
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&encoding.version().to_le_bytes());
     out.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for p in params {
         let (r, c) = p.value.shape();
         out.extend_from_slice(&(r as u32).to_le_bytes());
         out.extend_from_slice(&(c as u32).to_le_bytes());
-        for v in p.value.as_slice() {
-            out.extend_from_slice(&v.to_le_bytes());
+        for &v in p.value.as_slice() {
+            push_scalar(&mut out, v);
         }
     }
     out.extend_from_slice(&(2 * stats.len() as u32).to_le_bytes());
     for (mean, var) in stats {
         for vector in [mean, var] {
             out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
-            for v in vector {
-                out.extend_from_slice(&v.to_le_bytes());
+            for &v in vector {
+                push_scalar(&mut out, v);
             }
         }
     }
     out
 }
 
+/// The scalar encoding of a parameter blob, sniffed from its header.
+///
+/// # Errors
+///
+/// [`NnError::InvalidConfig`] when the header is truncated, has the
+/// wrong magic, or names an unknown version.
+pub fn blob_encoding(bytes: &[u8]) -> Result<ParamEncoding, NnError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    if cursor.take(4)? != MAGIC {
+        return Err(NnError::InvalidConfig(
+            "bad magic: not a NObLe parameter blob".into(),
+        ));
+    }
+    match cursor.u32()? {
+        VERSION_F64 => Ok(ParamEncoding::F64),
+        VERSION_F32 => Ok(ParamEncoding::F32),
+        v => Err(NnError::InvalidConfig(format!(
+            "unsupported parameter format version {v} (this build reads {VERSION_F64} and {VERSION_F32})"
+        ))),
+    }
+}
+
 /// Restores parameters and running statistics previously produced by
-/// [`save_parameters`] into a *structurally identical* network (same
-/// builder calls, or [`Mlp::from_specs`] on the saved architecture).
+/// [`save_parameters`] / [`save_parameters_with`] into a *structurally
+/// identical* network (same builder calls, or [`Mlp::from_specs`] on
+/// the saved architecture).
+///
+/// Both encodings load: f64 blobs restore exactly; f32 blobs widen each
+/// scalar to f64 (the widening itself is exact — the loss happened at
+/// save time).
 ///
 /// # Errors
 ///
@@ -60,19 +139,9 @@ pub fn save_parameters(mlp: &Mlp) -> Vec<u8> {
 /// truncated, the version is unsupported, or tensor shapes do not match
 /// the target network.
 pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
-    let mut cursor = Cursor { bytes, pos: 0 };
-    let magic = cursor.take(4)?;
-    if magic != MAGIC {
-        return Err(NnError::InvalidConfig(
-            "bad magic: not a NObLe parameter blob".into(),
-        ));
-    }
-    let version = cursor.u32()?;
-    if version != VERSION {
-        return Err(NnError::InvalidConfig(format!(
-            "unsupported parameter format version {version} (this build reads {VERSION})"
-        )));
-    }
+    let encoding = blob_encoding(bytes)?;
+    let unit = encoding.unit();
+    let mut cursor = Cursor { bytes, pos: 8 };
     let count = cursor.u32()? as usize;
     {
         let mut params = mlp.params_mut();
@@ -93,7 +162,7 @@ pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
                 )));
             }
             for v in p.value.as_mut_slice() {
-                *v = cursor.f64()?;
+                *v = cursor.scalar(encoding)?;
             }
         }
     }
@@ -110,10 +179,10 @@ pub fn load_parameters(mlp: &mut Mlp, bytes: &[u8]) -> Result<(), NnError> {
     for _ in 0..stat_count / 2 {
         let mut pair = Vec::with_capacity(2);
         for _ in 0..2 {
-            let len = cursor.checked_len(8)?;
+            let len = cursor.checked_len(unit)?;
             let mut v = Vec::with_capacity(len);
             for _ in 0..len {
-                v.push(cursor.f64()?);
+                v.push(cursor.scalar(encoding)?);
             }
             pair.push(v);
         }
@@ -169,6 +238,17 @@ impl<'a> Cursor<'a> {
         Ok(f64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
+    }
+
+    /// Reads one scalar in the blob's encoding, widened to f64.
+    fn scalar(&mut self, encoding: ParamEncoding) -> Result<f64, NnError> {
+        match encoding {
+            ParamEncoding::F64 => self.f64(),
+            ParamEncoding::F32 => {
+                let b = self.take(4)?;
+                Ok(f64::from(f32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+            }
+        }
     }
 }
 
@@ -265,5 +345,50 @@ mod tests {
         let b1 = save_parameters(&a);
         let b2 = save_parameters(&a);
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn compact_f32_blob_halves_scalar_bytes_and_round_trips_closely() {
+        let mut a = network(1);
+        let warm = Matrix::from_fn(16, 3, |i, j| ((i * 3 + j) % 7) as f64 / 3.0 - 1.0);
+        a.forward(&warm, true).unwrap();
+        let exact = save_parameters_with(&a, ParamEncoding::F64);
+        let compact = save_parameters_with(&a, ParamEncoding::F32);
+        assert_eq!(blob_encoding(&exact).unwrap(), ParamEncoding::F64);
+        assert_eq!(blob_encoding(&compact).unwrap(), ParamEncoding::F32);
+        // Scalar payloads halve; only the fixed headers stay 8/4-byte.
+        let scalars = a.parameter_count()
+            + a.running_stats()
+                .iter()
+                .map(|(m, v)| m.len() + v.len())
+                .sum::<usize>();
+        assert_eq!(exact.len() - compact.len(), scalars * 4);
+
+        let mut b = network(99);
+        load_parameters(&mut b, &compact).unwrap();
+        let x = Matrix::from_rows(&[vec![0.4, -1.0, 2.0]]).unwrap();
+        let ya = a.predict(&x).unwrap();
+        let yb = b.predict(&x).unwrap();
+        let drift = ya.max_abs_diff(&yb).unwrap();
+        assert!(drift > 0.0, "narrowing should be lossy on trained weights");
+        assert!(drift < 1e-4, "f32 round trip drifted {drift}");
+    }
+
+    #[test]
+    fn default_writer_is_still_byte_identical_v2() {
+        // The compact encoding must not perturb the default format:
+        // existing snapshots in stores hydrate against these exact bytes.
+        let a = network(4);
+        let blob = save_parameters(&a);
+        assert_eq!(&blob[..4], b"NOBL");
+        assert_eq!(u32::from_le_bytes([blob[4], blob[5], blob[6], blob[7]]), 2);
+        assert_eq!(blob, save_parameters_with(&a, ParamEncoding::F64));
+    }
+
+    #[test]
+    fn blob_encoding_rejects_garbage() {
+        assert!(blob_encoding(b"NOB").is_err());
+        assert!(blob_encoding(b"XOBL\x02\x00\x00\x00").is_err());
+        assert!(blob_encoding(b"NOBL\x07\x00\x00\x00").is_err());
     }
 }

@@ -93,7 +93,7 @@ use crate::sync::{relock, rewait_timeout};
 use crate::{
     CatalogBudget, CatalogStats, ModelCatalog, ModelStore, ServeError, ShardKey, ShardedRegistry,
 };
-use noble::Localizer;
+use noble::{InferencePrecision, Localizer};
 use noble_geo::Point;
 use noble_linalg::Matrix;
 use std::collections::{BTreeMap, BTreeSet};
@@ -134,6 +134,15 @@ pub struct BatchConfig {
     /// — keeps silent sessions forever. Plain [`BatchServer`]s ignore
     /// it.
     pub away_timeout: Option<u64>,
+    /// Inference tier shards serve in. `Exact` — the default — serves
+    /// the f64 models untouched (bit-identical to every earlier
+    /// release). `F32` / `Int8` lower each model once, off the hot path
+    /// (at resident startup, or right after a paged fault-in), via
+    /// [`Localizer::try_lower`]; models that cannot lower (e.g. the kNN
+    /// radio map) keep serving exact. Lowered shards stay within the
+    /// tier's accuracy gate, and persistence write-through always
+    /// carries the exact f64 snapshot.
+    pub precision: InferencePrecision,
 }
 
 impl Default for BatchConfig {
@@ -145,7 +154,29 @@ impl Default for BatchConfig {
             session_shards: 16,
             stability_k: 3,
             away_timeout: None,
+            precision: InferencePrecision::Exact,
         }
+    }
+}
+
+/// Lowers a leased model into `precision` when requested and possible,
+/// *discarding* the exact progenitor; models that cannot lower (or an
+/// `Exact` config) serve unchanged. Paged workers use this at fault-in —
+/// dropping the f64 model is the point (only the lowered twin stays
+/// resident), and persistence is safe because the twin's snapshot is the
+/// progenitor's exact state. The fully-resident server stashes the
+/// progenitor instead (see [`BatchServer::start`]) so shutdown hands
+/// exact models back.
+fn lower_for_serving(
+    model: Box<dyn Localizer>,
+    precision: InferencePrecision,
+) -> Box<dyn Localizer> {
+    if precision == InferencePrecision::Exact {
+        return model;
+    }
+    match model.try_lower(precision) {
+        Some(lowered) => lowered,
+        None => model,
     }
 }
 
@@ -566,13 +597,17 @@ fn paged_worker(
     }
 
     // ---- WARMING: fault the model in (no engine lock held). ----
-    let (mut model, cost) = match engine.catalog.lease(key) {
+    let (model, cost) = match engine.catalog.lease(key) {
         Ok(leased) => leased,
         Err(e) => {
             fail_cold(&engine, key, &rx, e, &stats);
             return;
         }
     };
+    // Lowering happens here, once per fault, still off the hot path. The
+    // lowered twin's snapshot is the progenitor's exact f64 state, so
+    // drain write-through and shutdown parking stay full-precision.
+    let mut model = lower_for_serving(model, engine.cfg.precision);
     {
         let mut slots = relock(&engine.slots);
         slots.occupied_bytes += cost;
@@ -680,6 +715,13 @@ fn paged_worker(
     // ---- DRAINING: hand the model back, release the budget slot. ----
     match retire {
         Retire::Cold { .. } => engine.catalog.release_cold(key, model, cost),
+        // A lowered twin never parks: parking would leave reduced-precision
+        // state in the catalog's resident tier. Write it back through the
+        // store instead (its snapshot is the progenitor's exact f64 state),
+        // so the catalog only ever holds exact models.
+        Retire::Park if engine.cfg.precision != InferencePrecision::Exact => {
+            engine.catalog.release_cold(key, model, cost)
+        }
         Retire::Park => engine.catalog.release_parked(key, model, cost),
     }
     let mut slots = relock(&engine.slots);
@@ -735,6 +777,9 @@ enum Engine {
         senders: BTreeMap<ShardKey, Sender<Job>>,
         stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
         workers: Vec<(ShardKey, JoinHandle<Box<dyn Localizer>>)>,
+        /// Exact progenitors of shards serving a lowered twin: held so
+        /// shutdown hands back full-precision models, not the twins.
+        exact: BTreeMap<ShardKey, Box<dyn Localizer>>,
     },
     Paged(Arc<PagedEngine>),
 }
@@ -763,7 +808,23 @@ impl BatchServer {
         let mut senders = BTreeMap::new();
         let mut stats = BTreeMap::new();
         let mut workers = Vec::new();
+        let mut exact = BTreeMap::new();
         for (key, localizer) in registry.into_shards() {
+            // A lowered tier serves the twin but keeps the exact
+            // progenitor parked: shutdown_with_registry must hand back
+            // full-precision models (and a restart may pick a different
+            // tier). Models that cannot lower keep serving exact.
+            let localizer = if cfg.precision == InferencePrecision::Exact {
+                localizer
+            } else {
+                match localizer.try_lower(cfg.precision) {
+                    Some(twin) => {
+                        exact.insert(key, localizer);
+                        twin
+                    }
+                    None => localizer,
+                }
+            };
             let (tx, rx) = mpsc::channel::<Job>();
             let shard_stats = Arc::new(Mutex::new(ShardStats::default()));
             let worker_stats = Arc::clone(&shard_stats);
@@ -784,6 +845,7 @@ impl BatchServer {
                 senders,
                 stats,
                 workers,
+                exact,
             },
         })
     }
@@ -982,7 +1044,10 @@ impl BatchServer {
     fn stop(&mut self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
         match &mut self.engine {
             Engine::Static {
-                senders, workers, ..
+                senders,
+                workers,
+                exact,
+                ..
             } => {
                 for sender in senders.values() {
                     // A worker that already exited has dropped its
@@ -992,7 +1057,9 @@ impl BatchServer {
                 workers
                     .drain(..)
                     .filter_map(|(key, handle)| match handle.join() {
-                        Ok(localizer) => Some((key, localizer)),
+                        // A shard serving a lowered twin hands back its
+                        // exact progenitor; the twin is dropped.
+                        Ok(localizer) => Some((key, exact.remove(&key).unwrap_or(localizer))),
                         Err(panic) => {
                             // A panicked worker's model is gone; surface
                             // the cause instead of silently dropping the

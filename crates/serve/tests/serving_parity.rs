@@ -381,6 +381,126 @@ fn idle_shards_spin_down_and_rewarm_bit_identically() {
     server.shutdown();
 }
 
+/// Reduced-precision serving: lowered shards stay inside their tier's
+/// accuracy gate, the default config still serves the exact tier
+/// bit-identically, and demand-paged write-through persists the exact
+/// f64 state even while shards serve lowered. CI greps for this test by
+/// name — do not rename it casually.
+#[test]
+fn lowered_precision_serving_is_gated_and_writes_back_exact() {
+    let campaign = quick_campaign();
+    let reference = direct_reference(&campaign);
+
+    // Resident sweep over the tiers, re-using the same trained shards.
+    let mut registry =
+        ShardedRegistry::train_wifi(&campaign, &fast_model_cfg(), &registry_cfg()).unwrap();
+    for precision in [
+        noble::InferencePrecision::Exact,
+        noble::InferencePrecision::F32,
+        noble::InferencePrecision::Int8,
+    ] {
+        let server = BatchServer::start(
+            registry,
+            BatchConfig {
+                max_batch: 32,
+                latency_budget: Duration::from_micros(200),
+                precision,
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+        let client = server.client();
+        for (key, rows, expected) in &reference {
+            let got: Vec<Point> = rows
+                .iter()
+                .map(|row| client.localize(*key, row.clone()).unwrap())
+                .collect();
+            match precision {
+                noble::InferencePrecision::Exact => {
+                    assert_eq!(&got, expected, "{key}: exact tier must stay bit-identical");
+                }
+                noble::InferencePrecision::F32 => {
+                    for (g, e) in got.iter().zip(expected) {
+                        assert!(
+                            g.distance(*e) <= 1e-4,
+                            "{key}: f32 served fix {g} drifted from exact {e}"
+                        );
+                    }
+                }
+                noble::InferencePrecision::Int8 => {
+                    let hits = got.iter().zip(expected).filter(|(g, e)| g == e).count();
+                    assert!(
+                        hits as f64 >= 0.9 * expected.len() as f64,
+                        "{key}: int8 matched only {hits}/{} exact fixes",
+                        expected.len()
+                    );
+                }
+            }
+        }
+        let (_, recovered) = server.shutdown_with_registry();
+        registry = recovered;
+    }
+
+    // Demand-paged under heavy eviction pressure while serving int8:
+    // drains write models back through the store, and that write-through
+    // must carry the exact f64 state (the lowered twin's snapshot is its
+    // progenitor's), so a later exact hydrate is bit-identical.
+    let model_cfg = fast_model_cfg();
+    let shards = partition_campaign(&campaign, |s| ShardPolicy::PerBuilding.key_of(s), None);
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(1)).unwrap();
+    for (key, _, _) in &reference {
+        let mut cfg = model_cfg.clone();
+        cfg.seed = shard_seed(model_cfg.seed, *key);
+        let model = WifiNoble::train(&shards[key], &cfg).unwrap();
+        catalog.insert(*key, Box::new(model)).unwrap();
+    }
+    let paged = BatchServer::start_paged(
+        catalog,
+        BatchConfig {
+            max_batch: 32,
+            latency_budget: Duration::from_micros(200),
+            precision: noble::InferencePrecision::Int8,
+            ..BatchConfig::default()
+        },
+    )
+    .unwrap();
+    let client = paged.client();
+    for round in 0..2 {
+        for (key, rows, expected) in &reference {
+            let got: Vec<Point> = rows
+                .iter()
+                .map(|row| client.localize(*key, row.clone()).unwrap())
+                .collect();
+            let hits = got.iter().zip(expected).filter(|(g, e)| g == e).count();
+            assert!(
+                hits as f64 >= 0.9 * expected.len() as f64,
+                "{key}: paged int8 matched only {hits}/{} (round {round})",
+                expected.len()
+            );
+        }
+    }
+    let stats = paged.paged_stats().expect("paged server");
+    assert!(stats.drains > 0, "budget 1 over many shards must drain");
+
+    // Lowered twins never park: every model went back through the store
+    // as an exact f64 snapshot, so the handed-back catalog hydrates and
+    // serves the exact tier bit-identically.
+    let (_, mut catalog) = paged.shutdown_with_catalog().unwrap();
+    assert_eq!(
+        catalog.resident_len(),
+        0,
+        "lowered twins must not stay resident in the returned catalog"
+    );
+    for (key, rows, expected) in &reference {
+        let features = Matrix::from_rows(rows).unwrap();
+        let got = catalog.localize(*key, &features).unwrap();
+        assert_eq!(
+            &got, expected,
+            "{key}: write-through lost exact f64 state while serving int8"
+        );
+    }
+}
+
 #[test]
 fn unknown_shard_is_typed_error_not_panic() {
     let campaign = quick_campaign();
