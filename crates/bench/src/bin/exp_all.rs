@@ -21,6 +21,7 @@ fn main() {
         ("serving", noble_bench::runners::serving::run),
         ("model_store", noble_bench::runners::model_store::run),
         ("tracking", noble_bench::runners::tracking::run),
+        ("net", noble_bench::runners::net::run),
         (
             "ablation_tau",
             noble_bench::runners::ablation::run_tau_sweep,

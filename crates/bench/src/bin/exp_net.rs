@@ -1,0 +1,9 @@
+//! Network-edge open-loop overload sweep (`results/BENCH_net.json`).
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::net::run(scale) {
+        eprintln!("exp_net failed: {e}");
+        std::process::exit(1);
+    }
+}

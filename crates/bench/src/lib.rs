@@ -18,6 +18,7 @@
 //! | [`runners::serving`] | sharded serving — micro-batching pipeline over 1/2/4 shards |
 //! | [`runners::model_store`] | model lifecycle — cold-train vs hydrate vs resident-hit, eviction thrash |
 //! | [`runners::tracking`] | tracking sessions — concurrent per-device session capacity and zone-event latency |
+//! | [`runners::net`] | network edge — open-loop overload sweep, goodput/shed curves, fairness (SLO-gated) |
 //!
 //! Each runner honors [`Scale`]: `Scale::Quick` (set `NOBLE_QUICK=1`)
 //! shrinks datasets and epochs so the whole suite runs in seconds; the

@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod ipin;
 pub mod model_store;
+pub mod net;
 pub mod serving;
 pub mod table1;
 pub mod table2;

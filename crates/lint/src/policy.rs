@@ -60,9 +60,12 @@ impl Policy {
                 include: {
                     let mut v = serve_core.clone();
                     v.push("crates/geo/src".into());
+                    v.push("crates/net/src".into());
                     v
                 },
-                exclude: Vec::new(),
+                // The open-loop load generator's whole job is pacing
+                // arrivals and stamping latencies off the wall clock.
+                exclude: vec!["crates/net/src/loadgen.rs".into()],
             },
         );
         scopes.insert(
@@ -78,6 +81,7 @@ impl Policy {
                     "crates/quantize/src".into(),
                     "crates/datasets/src".into(),
                     "crates/bench/src".into(),
+                    "crates/net/src".into(),
                 ],
                 exclude: Vec::new(),
             },
@@ -85,7 +89,11 @@ impl Policy {
         scopes.insert(
             "panic-path".into(),
             Scope {
-                include: serve_core.clone(),
+                include: {
+                    let mut v = serve_core.clone();
+                    v.push("crates/net/src".into());
+                    v
+                },
                 exclude: Vec::new(),
             },
         );

@@ -1,0 +1,139 @@
+//! Blocking wire-protocol client.
+//!
+//! [`NetClient`] is the simple RPC surface: one request in flight,
+//! reply correlated by id. For open-loop pipelined traffic (many
+//! requests outstanding, replies consumed concurrently) use
+//! [`NetClient::split`], which hands the two socket halves to separate
+//! threads — that is what the load generator does.
+
+use crate::frame::{read_frame, write_frame, Body, Frame, WireShard};
+use crate::server::{Endpoint, Stream};
+use crate::NetError;
+use std::io::BufReader;
+
+/// A blocking connection to a [`crate::NetServer`].
+pub struct NetClient {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to `endpoint` (TCP or Unix).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the connect or socket split fails.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, NetError> {
+        let stream = endpoint.connect()?;
+        let writer = stream.try_clone()?;
+        Ok(NetClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request body and blocks for its reply (correlated by
+    /// id, so a stray frame for another id is skipped rather than
+    /// misattributed).
+    ///
+    /// # Errors
+    ///
+    /// Encode/transport/decode [`NetError`]s. A typed rejection or
+    /// serve error from the server is a *successful* call — it comes
+    /// back as the reply's [`Body`].
+    pub fn call(&mut self, body: Body) -> Result<Body, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &Frame { id, body })?;
+        loop {
+            let reply = read_frame(&mut self.reader)?;
+            // id 0 is the server's "no trustworthy request id" marker
+            // on a bad-frame rejection: surface it to whoever is
+            // waiting rather than looping forever on a closing stream.
+            if reply.id == id || reply.id == 0 {
+                return Ok(reply.body);
+            }
+        }
+    }
+
+    /// Convenience: localize one fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::call`].
+    pub fn localize(
+        &mut self,
+        tenant: &str,
+        shard: WireShard,
+        fingerprint: Vec<f64>,
+    ) -> Result<Body, NetError> {
+        self.call(Body::Localize(crate::frame::LocalizeRequest {
+            tenant: tenant.to_string(),
+            shard,
+            fingerprint,
+        }))
+    }
+
+    /// Convenience: read the server's stats frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::call`].
+    pub fn stats(&mut self) -> Result<Body, NetError> {
+        self.call(Body::StatsRequest)
+    }
+
+    /// Splits into independent send/receive halves for pipelined use:
+    /// the sender stamps ids, the receiver reads replies in whatever
+    /// order the server finishes them.
+    pub fn split(self) -> (NetSender, NetReceiver) {
+        (
+            NetSender {
+                writer: self.writer,
+                next_id: self.next_id,
+            },
+            NetReceiver {
+                reader: self.reader,
+            },
+        )
+    }
+}
+
+/// The write half of a pipelined connection.
+pub struct NetSender {
+    writer: Stream,
+    next_id: u64,
+}
+
+impl NetSender {
+    /// Sends one request without waiting; returns the id its reply will
+    /// carry.
+    ///
+    /// # Errors
+    ///
+    /// Encode/transport [`NetError`]s.
+    pub fn send(&mut self, body: Body) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &Frame { id, body })?;
+        Ok(id)
+    }
+}
+
+/// The read half of a pipelined connection.
+pub struct NetReceiver {
+    reader: BufReader<Stream>,
+}
+
+impl NetReceiver {
+    /// Blocks for the next reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode [`NetError`]s (EOF once the server closes).
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        read_frame(&mut self.reader)
+    }
+}

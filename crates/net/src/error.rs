@@ -1,0 +1,99 @@
+//! Typed network-edge errors.
+//!
+//! The decoder's contract is that **every** malformed input — truncated,
+//! corrupted, oversized, wrong version, trailing garbage — maps to a
+//! variant here, never a panic (pinned by the `frame_codec` fuzz suite).
+
+use std::fmt;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum NetError {
+    /// The frame did not start with the `NB` magic — the peer is not
+    /// speaking this protocol (or the stream lost sync).
+    BadMagic([u8; 2]),
+    /// The peer speaks a protocol version this build does not.
+    Version(u8),
+    /// Unknown frame kind byte.
+    Kind(u8),
+    /// Declared payload length exceeds [`crate::MAX_PAYLOAD`] — refused
+    /// before allocating, so a hostile header cannot balloon memory.
+    Oversized { len: u32, cap: u32 },
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Bytes the next field needed.
+        need: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// The payload decoded cleanly but bytes were left over — a framing
+    /// bug on the peer, not silently ignorable.
+    TrailingBytes(usize),
+    /// A string field held invalid UTF-8.
+    Utf8 { field: &'static str },
+    /// An enum tag byte held an undefined value.
+    Tag { field: &'static str, value: u8 },
+    /// A declared element count is impossible for the bytes present
+    /// (refused before allocating `count * size`).
+    Count { field: &'static str, count: u32 },
+    /// Transport failure (socket read/write/connect).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (expected \"NB\")"),
+            NetError::Version(v) => write!(f, "unsupported protocol version {v}"),
+            NetError::Kind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            NetError::Oversized { len, cap } => {
+                write!(f, "payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+            NetError::Truncated { need, have } => {
+                write!(
+                    f,
+                    "payload truncated: next field needs {need} bytes, {have} left"
+                )
+            }
+            NetError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after a complete payload")
+            }
+            NetError::Utf8 { field } => write!(f, "field `{field}` is not valid UTF-8"),
+            NetError::Tag { field, value } => {
+                write!(f, "field `{field}` has undefined tag 0x{value:02x}")
+            }
+            NetError::Count { field, count } => {
+                write!(
+                    f,
+                    "field `{field}` declares {count} elements, more than the payload holds"
+                )
+            }
+            NetError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl NetError {
+    /// Whether this is a malformed-frame error (versus a transport
+    /// failure): the class the server answers with a typed
+    /// [`crate::RejectReason::BadFrame`] rejection before closing the
+    /// stream (framing cannot resynchronize after corruption).
+    pub fn is_bad_frame(&self) -> bool {
+        !matches!(self, NetError::Io(_))
+    }
+}

@@ -1,0 +1,21 @@
+//! Poisoning-tolerant lock helpers (same contract as `noble-serve`'s:
+//! a panic stays contained, the edge keeps serving; sound because every
+//! critical section here leaves its state consistent at every unwind
+//! point — single assignments and collection ops only).
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard from a poisoned lock instead of
+/// propagating the panic to this thread.
+pub fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poisoning recovery as [`relock`].
+pub fn rewait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -86,7 +86,9 @@ pub use error::ServeError;
 pub use registry::{
     partition_campaign, shard_seed, RegistryConfig, ShardKey, ShardPolicy, ShardedRegistry,
 };
-pub use server::{BatchConfig, BatchServer, PagedStats, PendingFix, ServeClient, ShardStats};
+pub use server::{
+    BatchConfig, BatchServer, PagedStats, PendingFix, ServeClient, ServerStats, ShardStats,
+};
 pub use session::{
     DeviceId, SessionStats, SessionTable, TrackedFix, TrackingClient, TrackingServer, ZoneEvent,
     ZoneEventKind,

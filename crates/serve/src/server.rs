@@ -97,7 +97,7 @@ use noble::{InferencePrecision, Localizer};
 use noble_geo::Point;
 use noble_linalg::Matrix;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -180,6 +180,45 @@ fn lower_for_serving(
     }
 }
 
+/// Live per-shard queue gauges, shared between the submit paths and the
+/// shard worker. Unlike the cumulative [`ShardStats`] counters these go
+/// *down* again — they are the admission-control watermark inputs the
+/// network front end (`noble-net`) reads on its shedding path, so they
+/// are plain atomics rather than another mutex.
+#[derive(Debug, Default)]
+struct ShardGauges {
+    /// Requests submitted but not yet picked into an inference batch.
+    queued: AtomicU64,
+    /// Requests submitted but not yet replied to (queued + in service).
+    in_flight: AtomicU64,
+}
+
+impl ShardGauges {
+    /// Balanced decrement: every submit's increment is matched by exactly
+    /// one decrement on the dequeue/reply path, but a server tearing down
+    /// mid-submit can retire a job the worker never saw — saturate rather
+    /// than wrap so a shutdown race can only under-report, never poison
+    /// the gauge.
+    fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+    }
+}
+
+/// Whole-server queue gauge snapshot ([`BatchServer::server_stats`] /
+/// [`ServeClient::server_stats`]): the load picture an admission layer
+/// needs — how much work is waiting and how much is in flight right now.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests submitted but not yet picked into an inference batch,
+    /// summed over every shard.
+    pub queue_depth: u64,
+    /// Requests submitted but not yet replied to, summed over every
+    /// shard.
+    pub in_flight: u64,
+    /// Shards being served.
+    pub shards: usize,
+}
+
 /// Per-shard serving counters, readable live via [`BatchServer::stats`]
 /// and returned at [`BatchServer::shutdown`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -198,6 +237,13 @@ pub struct ShardStats {
     pub max_latency_us: u128,
     /// Time spent inside the model's `localize_batch` in microseconds.
     pub busy_us: u128,
+    /// Gauge snapshot: requests queued (submitted, not yet batched) at
+    /// the moment the stats were read. Always `0` in the final stats a
+    /// graceful shutdown returns.
+    pub queue_depth: u64,
+    /// Gauge snapshot: requests in flight (submitted, not yet replied)
+    /// at the moment the stats were read.
+    pub in_flight: u64,
 }
 
 impl ShardStats {
@@ -285,11 +331,19 @@ impl PendingFix {
     }
 }
 
+/// One fully-resident shard's submission route: its worker's sender plus
+/// the gauges the submit path ticks.
+#[derive(Clone)]
+struct StaticRoute {
+    tx: Sender<Job>,
+    gauges: Arc<ShardGauges>,
+}
+
 /// Routing table behind a [`ServeClient`] (and the server itself).
 #[derive(Clone)]
 enum Router {
     /// Fixed sender per shard, workers alive for the server's lifetime.
-    Static(BTreeMap<ShardKey, Sender<Job>>),
+    Static(BTreeMap<ShardKey, StaticRoute>),
     /// Dynamic: senders appear and disappear as shards spin up and down.
     Paged(Arc<PagedEngine>),
 }
@@ -313,17 +367,27 @@ impl ServeClient {
     /// [`ServeError::ShuttingDown`] when the server is stopping.
     pub fn submit(&self, key: ShardKey, fingerprint: Vec<f64>) -> Result<PendingFix, ServeError> {
         match &self.router {
-            Router::Static(senders) => {
-                let sender = senders.get(&key).ok_or(ServeError::UnknownShard(key))?;
+            Router::Static(routes) => {
+                let route = routes.get(&key).ok_or(ServeError::UnknownShard(key))?;
                 let (tx, rx) = mpsc::channel();
-                sender
+                // Gauges tick up *before* the send so the worker's
+                // matching decrement can never land first; a failed send
+                // takes them back down.
+                route.gauges.queued.fetch_add(1, Ordering::AcqRel);
+                route.gauges.in_flight.fetch_add(1, Ordering::AcqRel);
+                route
+                    .tx
                     .send(Job::Fix {
                         fingerprint,
                         // noble-lint: allow(wall-clock, "enqueue stamp feeds latency metrics only; results never read it")
                         enqueued: Instant::now(),
                         reply: tx,
                     })
-                    .map_err(|_| ServeError::ShuttingDown)?;
+                    .map_err(|_| {
+                        ShardGauges::dec(&route.gauges.queued);
+                        ShardGauges::dec(&route.gauges.in_flight);
+                        ServeError::ShuttingDown
+                    })?;
                 Ok(PendingFix { rx, cold: false })
             }
             Router::Paged(engine) => engine.submit(key, fingerprint),
@@ -342,10 +406,32 @@ impl ServeClient {
     /// Keys this client can route to.
     pub fn keys(&self) -> Vec<ShardKey> {
         match &self.router {
-            Router::Static(senders) => senders.keys().copied().collect(),
+            Router::Static(routes) => routes.keys().copied().collect(),
             Router::Paged(engine) => engine.keys.iter().copied().collect(),
         }
     }
+
+    /// Whole-server queue gauge snapshot (see
+    /// [`BatchServer::server_stats`]). Exposed on the client handle so an
+    /// admission layer holding only a [`ServeClient`] can read its
+    /// watermarks without a reference to the server.
+    pub fn server_stats(&self) -> ServerStats {
+        match &self.router {
+            Router::Static(routes) => sum_gauges(routes.values().map(|r| r.gauges.as_ref())),
+            Router::Paged(engine) => sum_gauges(engine.gauges.values().map(Arc::as_ref)),
+        }
+    }
+}
+
+/// Sums per-shard gauges into a [`ServerStats`] snapshot.
+fn sum_gauges<'a>(gauges: impl Iterator<Item = &'a ShardGauges>) -> ServerStats {
+    let mut out = ServerStats::default();
+    for g in gauges {
+        out.queue_depth += g.queued.load(Ordering::Acquire);
+        out.in_flight += g.in_flight.load(Ordering::Acquire);
+        out.shards += 1;
+    }
+    out
 }
 
 /// A shard's routing slot. Absent from the map = COLD (no worker).
@@ -398,6 +484,7 @@ struct PagedEngine {
     room: Condvar,
     shutting_down: AtomicBool,
     stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
+    gauges: BTreeMap<ShardKey, Arc<ShardGauges>>,
     paged: Mutex<PagedStats>,
 }
 
@@ -433,6 +520,9 @@ impl PagedEngine {
                 (tx, true)
             }
         };
+        let gauges = &self.gauges[&key];
+        gauges.queued.fetch_add(1, Ordering::AcqRel);
+        gauges.in_flight.fetch_add(1, Ordering::AcqRel);
         // Sending under the lock orders every fix against the lifecycle
         // markers (Drain/Shutdown are also sent under it): a fix is
         // either ahead of the marker — served by the retiring worker —
@@ -444,7 +534,11 @@ impl PagedEngine {
             enqueued: Instant::now(),
             reply: reply_tx,
         })
-        .map_err(|_| ServeError::ShuttingDown)?;
+        .map_err(|_| {
+            ShardGauges::dec(&gauges.queued);
+            ShardGauges::dec(&gauges.in_flight);
+            ServeError::ShuttingDown
+        })?;
         if cold {
             relock(&self.paged).parked_requests += 1;
         }
@@ -476,11 +570,12 @@ impl PagedEngine {
         let (tx, rx) = mpsc::channel::<Job>();
         let engine = Arc::clone(self);
         let shard_stats = Arc::clone(&self.stats[&key]);
+        let shard_gauges = Arc::clone(&self.gauges[&key]);
         // Spawn before publishing the slot: a spawn failure must not
         // leave a WARMING entry whose worker never existed.
         let handle = std::thread::Builder::new()
             .name(format!("noble-page-{key}"))
-            .spawn(move || paged_worker(engine, key, rx, shard_stats))
+            .spawn(move || paged_worker(engine, key, rx, shard_stats, shard_gauges))
             .map_err(|e| {
                 ServeError::Internal(format!("cannot spawn worker for shard {key}: {e}"))
             })?;
@@ -573,11 +668,23 @@ fn paged_worker(
     key: ShardKey,
     rx: Receiver<Job>,
     stats: Arc<Mutex<ShardStats>>,
+    gauges: Arc<ShardGauges>,
 ) {
     // ---- WARMING: claim an occupancy slot under the budget. ----
     {
         let mut slots = relock(&engine.slots);
         loop {
+            // A shutdown that lands while this worker is still waiting
+            // for budget room must not fault a model in just to serve
+            // the stragglers (a spec-only shard would *retrain* on the
+            // shutdown path): reject everything parked behind the fault
+            // with the typed error instead. The slot was already swept,
+            // so nothing new can join the queue.
+            if engine.shutting_down.load(Ordering::Acquire) {
+                drop(slots);
+                reject_parked(&rx, ServeError::ShuttingDown, &stats, &gauges);
+                return;
+            }
             if engine.admit(&slots) {
                 slots.occupancy += 1;
                 break;
@@ -600,7 +707,7 @@ fn paged_worker(
     let (model, cost) = match engine.catalog.lease(key) {
         Ok(leased) => leased,
         Err(e) => {
-            fail_cold(&engine, key, &rx, e, &stats);
+            fail_cold(&engine, key, &rx, e, &stats, &gauges);
             return;
         }
     };
@@ -672,7 +779,10 @@ fn paged_worker(
                 fingerprint,
                 enqueued,
                 reply,
-            } => (fingerprint, enqueued, reply),
+            } => {
+                ShardGauges::dec(&gauges.queued);
+                (fingerprint, enqueued, reply)
+            }
             Job::Drain => break 'serve Retire::Cold { requested: true },
             Job::Shutdown => break 'serve Retire::Park,
         };
@@ -689,7 +799,10 @@ fn paged_worker(
                         fingerprint,
                         enqueued,
                         reply,
-                    }) => batch.push((fingerprint, enqueued, reply)),
+                    }) => {
+                        ShardGauges::dec(&gauges.queued);
+                        batch.push((fingerprint, enqueued, reply));
+                    }
                     Ok(Job::Drain) => {
                         retire_after = Some(Retire::Cold { requested: true });
                         break;
@@ -706,7 +819,7 @@ fn paged_worker(
                 }
             }
         }
-        serve_batch(model.as_mut(), key, feature_dim, batch, &stats);
+        serve_batch(model.as_mut(), key, feature_dim, batch, &stats, &gauges);
         if let Some(retire) = retire_after {
             break 'serve retire;
         }
@@ -742,6 +855,7 @@ fn fail_cold(
     rx: &Receiver<Job>,
     err: ServeError,
     stats: &Mutex<ShardStats>,
+    gauges: &ShardGauges,
 ) {
     {
         let mut slots = relock(&engine.slots);
@@ -751,13 +865,30 @@ fn fail_cold(
     }
     // Everything parked before the slot was removed is in the queue;
     // nothing new can arrive (the sender in the map was the last route).
-    // Drain and reply lock-free, then fold the tallies in at the end.
+    reject_parked(rx, err, stats, gauges);
+}
+
+/// Replies to every request still parked in `rx` with the typed error —
+/// a retiring worker must never just drop reply channels — tallying the
+/// failures and settling the queue gauges. Lifecycle markers in the
+/// queue are ignored. Drains and replies lock-free, then folds the
+/// tallies in at the end.
+fn reject_parked(
+    rx: &Receiver<Job>,
+    err: ServeError,
+    stats: &Mutex<ShardStats>,
+    gauges: &ShardGauges,
+) {
     let mut failed: Vec<u128> = Vec::new();
     while let Ok(job) = rx.try_recv() {
         if let Job::Fix {
             enqueued, reply, ..
         } = job
         {
+            ShardGauges::dec(&gauges.queued);
+            // Gauge before reply, same as the served path: the reply
+            // must never be observable while the gauges still count it.
+            ShardGauges::dec(&gauges.in_flight);
             let _ = reply.send(Err(err.clone()));
             failed.push(enqueued.elapsed().as_micros());
         }
@@ -774,7 +905,7 @@ fn fail_cold(
 /// The serving engine behind a [`BatchServer`].
 enum Engine {
     Static {
-        senders: BTreeMap<ShardKey, Sender<Job>>,
+        routes: BTreeMap<ShardKey, StaticRoute>,
         stats: BTreeMap<ShardKey, Arc<Mutex<ShardStats>>>,
         workers: Vec<(ShardKey, JoinHandle<Box<dyn Localizer>>)>,
         /// Exact progenitors of shards serving a lowered twin: held so
@@ -805,7 +936,7 @@ impl BatchServer {
         if cfg.max_batch == 0 {
             return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
         }
-        let mut senders = BTreeMap::new();
+        let mut routes = BTreeMap::new();
         let mut stats = BTreeMap::new();
         let mut workers = Vec::new();
         let mut exact = BTreeMap::new();
@@ -828,21 +959,29 @@ impl BatchServer {
             let (tx, rx) = mpsc::channel::<Job>();
             let shard_stats = Arc::new(Mutex::new(ShardStats::default()));
             let worker_stats = Arc::clone(&shard_stats);
+            let shard_gauges = Arc::new(ShardGauges::default());
+            let worker_gauges = Arc::clone(&shard_gauges);
             // Workers spawned before a failure wind down on their own:
-            // dropping `senders` disconnects their channels.
+            // dropping `routes` disconnects their channels.
             let handle = std::thread::Builder::new()
                 .name(format!("noble-serve-{key}"))
-                .spawn(move || shard_worker(localizer, key, rx, cfg, &worker_stats))
+                .spawn(move || shard_worker(localizer, key, rx, cfg, &worker_stats, &worker_gauges))
                 .map_err(|e| {
                     ServeError::Internal(format!("cannot spawn worker for shard {key}: {e}"))
                 })?;
-            senders.insert(key, tx);
+            routes.insert(
+                key,
+                StaticRoute {
+                    tx,
+                    gauges: shard_gauges,
+                },
+            );
             stats.insert(key, shard_stats);
             workers.push((key, handle));
         }
         Ok(BatchServer {
             engine: Engine::Static {
-                senders,
+                routes,
                 stats,
                 workers,
                 exact,
@@ -881,6 +1020,10 @@ impl BatchServer {
             .iter()
             .map(|k| (*k, Arc::new(Mutex::new(ShardStats::default()))))
             .collect();
+        let gauges = keys
+            .iter()
+            .map(|k| (*k, Arc::new(ShardGauges::default())))
+            .collect();
         Ok(BatchServer {
             engine: Engine::Paged(Arc::new(PagedEngine {
                 catalog: shared,
@@ -900,6 +1043,7 @@ impl BatchServer {
                 room: Condvar::new(),
                 shutting_down: AtomicBool::new(false),
                 stats,
+                gauges,
                 paged: Mutex::new(PagedStats::default()),
             })),
         })
@@ -936,7 +1080,7 @@ impl BatchServer {
     pub fn client(&self) -> ServeClient {
         ServeClient {
             router: match &self.engine {
-                Engine::Static { senders, .. } => Router::Static(senders.clone()),
+                Engine::Static { routes, .. } => Router::Static(routes.clone()),
                 Engine::Paged(engine) => Router::Paged(Arc::clone(engine)),
             },
         }
@@ -945,18 +1089,42 @@ impl BatchServer {
     /// Shard keys being served.
     pub fn keys(&self) -> Vec<ShardKey> {
         match &self.engine {
-            Engine::Static { senders, .. } => senders.keys().copied().collect(),
+            Engine::Static { routes, .. } => routes.keys().copied().collect(),
             Engine::Paged(engine) => engine.keys.iter().copied().collect(),
         }
     }
 
-    /// Live per-shard statistics snapshot, in key order.
+    /// Live per-shard statistics snapshot, in key order, with the queue
+    /// gauges overlaid as of the read.
     pub fn stats(&self) -> Vec<(ShardKey, ShardStats)> {
-        let map = match &self.engine {
-            Engine::Static { stats, .. } => stats,
-            Engine::Paged(engine) => &engine.stats,
-        };
-        map.iter().map(|(k, s)| (*k, relock(s).clone())).collect()
+        fn overlay(s: &Arc<Mutex<ShardStats>>, g: &ShardGauges) -> ShardStats {
+            let mut snap = relock(s).clone();
+            snap.queue_depth = g.queued.load(Ordering::Acquire);
+            snap.in_flight = g.in_flight.load(Ordering::Acquire);
+            snap
+        }
+        match &self.engine {
+            Engine::Static { routes, stats, .. } => stats
+                .iter()
+                .map(|(k, s)| (*k, overlay(s, &routes[k].gauges)))
+                .collect(),
+            Engine::Paged(engine) => engine
+                .stats
+                .iter()
+                .map(|(k, s)| (*k, overlay(s, &engine.gauges[k])))
+                .collect(),
+        }
+    }
+
+    /// Whole-server queue gauge snapshot: how much work is waiting and in
+    /// flight right now, summed over every shard. This (via
+    /// [`ServeClient::server_stats`]) is what the `noble-net` admission
+    /// layer reads for its shedding watermarks.
+    pub fn server_stats(&self) -> ServerStats {
+        match &self.engine {
+            Engine::Static { routes, .. } => sum_gauges(routes.values().map(|r| r.gauges.as_ref())),
+            Engine::Paged(engine) => sum_gauges(engine.gauges.values().map(Arc::as_ref)),
+        }
     }
 
     /// Demand-paging lifecycle counters; `None` on a fully-resident
@@ -1044,15 +1212,15 @@ impl BatchServer {
     fn stop(&mut self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
         match &mut self.engine {
             Engine::Static {
-                senders,
+                routes,
                 workers,
                 exact,
                 ..
             } => {
-                for sender in senders.values() {
+                for route in routes.values() {
                     // A worker that already exited has dropped its
                     // receiver; that is fine — nothing left to drain.
-                    let _ = sender.send(Job::Shutdown);
+                    let _ = route.tx.send(Job::Shutdown);
                 }
                 workers
                     .drain(..)
@@ -1115,6 +1283,7 @@ fn shard_worker(
     rx: Receiver<Job>,
     cfg: BatchConfig,
     stats: &Mutex<ShardStats>,
+    gauges: &ShardGauges,
 ) -> Box<dyn Localizer> {
     let feature_dim = localizer.info().feature_dim;
     loop {
@@ -1123,8 +1292,18 @@ fn shard_worker(
                 fingerprint,
                 enqueued,
                 reply,
-            }) => (fingerprint, enqueued, reply),
-            Ok(Job::Shutdown | Job::Drain) | Err(_) => return localizer,
+            }) => {
+                ShardGauges::dec(&gauges.queued);
+                (fingerprint, enqueued, reply)
+            }
+            Ok(Job::Shutdown | Job::Drain) | Err(_) => {
+                // Static submits are not ordered against the shutdown
+                // marker (no lock on this path), so fixes can land behind
+                // it: answer them with the typed rejection instead of
+                // stranding their reply channels.
+                reject_parked(&rx, ServeError::ShuttingDown, stats, gauges);
+                return localizer;
+            }
         };
         let mut batch = vec![first];
         let mut saw_shutdown = false;
@@ -1142,7 +1321,10 @@ fn shard_worker(
                         fingerprint,
                         enqueued,
                         reply,
-                    }) => batch.push((fingerprint, enqueued, reply)),
+                    }) => {
+                        ShardGauges::dec(&gauges.queued);
+                        batch.push((fingerprint, enqueued, reply));
+                    }
                     Ok(Job::Shutdown | Job::Drain) => {
                         saw_shutdown = true;
                         break;
@@ -1159,8 +1341,9 @@ fn shard_worker(
                 }
             }
         }
-        serve_batch(localizer.as_mut(), key, feature_dim, batch, stats);
+        serve_batch(localizer.as_mut(), key, feature_dim, batch, stats, gauges);
         if saw_shutdown {
+            reject_parked(&rx, ServeError::ShuttingDown, stats, gauges);
             return localizer;
         }
     }
@@ -1178,6 +1361,7 @@ fn serve_batch(
     feature_dim: usize,
     batch: Vec<QueuedFix>,
     stats: &Mutex<ShardStats>,
+    gauges: &ShardGauges,
 ) {
     let mut valid: Vec<usize> = Vec::with_capacity(batch.len());
     let mut replies: Vec<Option<Result<Point, ServeError>>> = Vec::with_capacity(batch.len());
@@ -1244,6 +1428,11 @@ fn serve_batch(
         if outcome.is_err() {
             errors += 1;
         }
+        // Release the gauge *before* the reply: whoever observes the
+        // reply must observe the in-flight contribution already gone
+        // (briefly undercounting is fine for the admission watermark;
+        // lingering after the reply would make settled gauges racy).
+        ShardGauges::dec(&gauges.in_flight);
         // A dropped PendingFix just means nobody is waiting; not an error.
         let _ = reply.send(outcome);
         let waited = enqueued.elapsed().as_micros();

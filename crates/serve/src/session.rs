@@ -190,6 +190,16 @@ pub struct SessionStats {
     /// machine + a full track buffer) — the "bytes/session" capacity
     /// planning number.
     pub approx_session_bytes: usize,
+    /// Fix-tier gauge: requests queued in the underlying [`BatchServer`]
+    /// but not yet batched, as of the read. Always `0` from a bare
+    /// [`SessionTable::stats`] — only [`TrackingClient::session_stats`]
+    /// (and [`TrackingServer::session_stats`]) can see the fix tier.
+    pub queued_fixes: u64,
+    /// Fix-tier gauge: requests submitted to the underlying
+    /// [`BatchServer`] but not yet replied to, as of the read. `0` from a
+    /// bare [`SessionTable::stats`], like
+    /// [`SessionStats::queued_fixes`].
+    pub in_flight_fixes: u64,
 }
 
 /// The sharded per-device session store.
@@ -390,6 +400,8 @@ impl SessionTable {
             shards: self.shards.len(),
             approx_session_bytes: std::mem::size_of::<(DeviceId, Session)>()
                 + TRACK_BUFFER * std::mem::size_of::<(u64, Point)>(),
+            queued_fixes: 0,
+            in_flight_fixes: 0,
         }
     }
 }
@@ -445,9 +457,23 @@ impl TrackingClient {
         self.sessions.sweep(now)
     }
 
-    /// Session-layer counters.
+    /// Session-layer counters, with the fix tier's live queue gauges
+    /// overlaid (the admission-watermark inputs; see
+    /// [`ServeClient::server_stats`]).
     pub fn session_stats(&self) -> SessionStats {
-        self.sessions.stats()
+        let mut stats = self.sessions.stats();
+        let server = self.client.server_stats();
+        stats.queued_fixes = server.queue_depth;
+        stats.in_flight_fixes = server.in_flight;
+        stats
+    }
+
+    /// The raw fix-serving client underneath this tracking handle — the
+    /// stateless tier the network front end routes `Localize` frames to
+    /// (while `TrackedSubmit` frames go through
+    /// [`TrackingClient::submit`]).
+    pub fn fix_client(&self) -> &ServeClient {
+        &self.client
     }
 }
 

@@ -1,0 +1,224 @@
+//! Queue-depth / in-flight gauges and typed shutdown rejections.
+//!
+//! A `GatedLocalizer` blocks inside `localize_batch` until the test
+//! releases it, which freezes the server mid-request: gauge values are
+//! then exact, not sampled. The same gate pins the two shutdown
+//! contracts: a request parked behind a `Shutdown` marker (static) or
+//! parked in a warming queue the shutdown strands (paged) is answered
+//! with the typed `ServeError::ShuttingDown`, never a dropped reply.
+
+use noble::wifi::KnnFingerprint;
+use noble::{Localizer, LocalizerInfo, NobleError};
+use noble_datasets::{uji_campaign, UjiConfig};
+use noble_geo::Point;
+use noble_linalg::Matrix;
+use noble_serve::{
+    BatchConfig, BatchServer, CatalogBudget, ModelCatalog, ServeError, ServerStats, ShardKey,
+    ShardedRegistry,
+};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// Blocks in `localize_batch` until the test sends a token; announces
+/// each entry so tests know exactly when the worker is frozen.
+struct GatedLocalizer {
+    dim: usize,
+    entered: Sender<()>,
+    gate: Receiver<()>,
+    out: Point,
+}
+
+impl Localizer for GatedLocalizer {
+    fn info(&self) -> LocalizerInfo {
+        LocalizerInfo {
+            model: "gated-test",
+            site: "default".into(),
+            feature_dim: self.dim,
+            class_count: 0,
+        }
+    }
+
+    fn localize_batch(&mut self, features: &Matrix) -> Result<Vec<Point>, NobleError> {
+        let _ = self.entered.send(());
+        let _ = self.gate.recv();
+        Ok(vec![self.out; features.rows()])
+    }
+}
+
+fn gated_registry() -> (ShardedRegistry, Sender<()>, Receiver<()>) {
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+    let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+    let mut registry = ShardedRegistry::new();
+    registry.insert(
+        ShardKey::building(0),
+        Box::new(GatedLocalizer {
+            dim: 4,
+            entered: entered_tx,
+            gate: gate_rx,
+            out: Point::new(3.0, 4.0),
+        }),
+    );
+    (registry, gate_tx, entered_rx)
+}
+
+fn one_by_one() -> BatchConfig {
+    BatchConfig {
+        max_batch: 1,
+        latency_budget: Duration::ZERO,
+        ..BatchConfig::default()
+    }
+}
+
+/// With the worker frozen inside a batch, the gauges read exactly:
+/// everything submitted is in flight, everything not yet dequeued is
+/// queued — and both settle back to zero once the replies land.
+#[test]
+fn gauges_track_queued_and_in_flight_exactly() {
+    let (registry, gate, entered) = gated_registry();
+    let server = BatchServer::start(registry, one_by_one()).expect("server starts");
+    let client = server.client();
+
+    let pendings: Vec<_> = (0..3)
+        .map(|_| {
+            client
+                .submit(ShardKey::building(0), vec![0.5; 4])
+                .expect("submit")
+        })
+        .collect();
+    entered
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker reaches the model");
+
+    // Worker frozen on request 1: requests 2 and 3 still queued, all
+    // three submitted-but-unreplied.
+    assert_eq!(
+        server.server_stats(),
+        ServerStats {
+            queue_depth: 2,
+            in_flight: 3,
+            shards: 1,
+        }
+    );
+    let per_shard = server.stats();
+    assert_eq!(per_shard.len(), 1);
+    assert_eq!(per_shard[0].1.queue_depth, 2);
+    assert_eq!(per_shard[0].1.in_flight, 3);
+
+    for _ in 0..3 {
+        gate.send(()).expect("release batch");
+    }
+    for pending in pendings {
+        let point = pending.wait().expect("fix served");
+        assert_eq!((point.x, point.y), (3.0, 4.0));
+    }
+    // The gauge contract: a request's contribution is released before
+    // its reply is sent, so replies in hand mean gauges at zero.
+    assert_eq!(
+        server.server_stats(),
+        ServerStats {
+            queue_depth: 0,
+            in_flight: 0,
+            shards: 1,
+        }
+    );
+    server.shutdown();
+}
+
+/// A fix that lands behind the `Shutdown` marker in a static worker's
+/// queue is answered with the typed shutting-down error, not a dropped
+/// reply channel.
+#[test]
+fn static_shutdown_answers_fixes_parked_behind_the_marker() {
+    let (registry, gate, entered) = gated_registry();
+    let server = BatchServer::start(registry, one_by_one()).expect("server starts");
+    let client = server.client();
+
+    let p0 = client
+        .submit(ShardKey::building(0), vec![0.5; 4])
+        .expect("submit");
+    entered
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker reaches the model");
+
+    // Shutdown queues its marker while the worker is frozen...
+    let stopper = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(50));
+
+    // ...so this fix lands *behind* the marker (or is refused at
+    // submit, if the race resolves the other way — both are typed).
+    let late = client.submit(ShardKey::building(0), vec![0.5; 4]);
+
+    gate.send(()).expect("release the frozen batch");
+    let point = p0.wait().expect("in-service fix completes");
+    assert_eq!((point.x, point.y), (3.0, 4.0));
+    match late {
+        Ok(pending) => assert!(
+            matches!(pending.wait(), Err(ServeError::ShuttingDown)),
+            "fix behind the shutdown marker must get the typed rejection"
+        ),
+        Err(e) => assert!(matches!(e, ServeError::ShuttingDown)),
+    }
+    stopper.join().expect("shutdown thread");
+}
+
+/// Paged server, one budget slot: a cold request parked in a warming
+/// worker's queue while another shard holds the slot is answered with
+/// the typed shutting-down error when shutdown strands it — the
+/// warming worker must not fault in (or retrain) a model just to serve
+/// stragglers during teardown.
+#[test]
+fn paged_shutdown_answers_fixes_parked_on_a_warming_shard() {
+    let campaign = uji_campaign(&UjiConfig::small()).expect("campaign");
+    let knn = KnnFingerprint::fit(&campaign, 3).expect("knn fits");
+    let dim = campaign.num_waps();
+
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+    let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+    let mut catalog = ModelCatalog::new(CatalogBudget::Count(1)).expect("catalog");
+    // Insert the snapshotable model first: inserting the (unsnapshotable,
+    // hence unevictable) gated model second forces the kNN out to the
+    // store, leaving building 1 cold and the single slot gated.
+    catalog
+        .insert(ShardKey::building(1), Box::new(knn))
+        .expect("insert knn");
+    catalog
+        .insert(
+            ShardKey::building(0),
+            Box::new(GatedLocalizer {
+                dim: 4,
+                entered: entered_tx,
+                gate: gate_rx,
+                out: Point::new(3.0, 4.0),
+            }),
+        )
+        .expect("insert gated");
+
+    let server = BatchServer::start_paged(catalog, one_by_one()).expect("paged server starts");
+    let client = server.client();
+
+    let p0 = client
+        .submit(ShardKey::building(0), vec![0.5; 4])
+        .expect("submit to the hot shard");
+    entered_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("hot worker reaches the model");
+
+    // Cold shard: its warming worker cannot admit (the slot is held by
+    // the frozen shard) and parks the fix.
+    let p1 = client
+        .submit(ShardKey::building(1), vec![0.0; dim])
+        .expect("submit to the cold shard");
+    std::thread::sleep(Duration::from_millis(30));
+
+    let stopper = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(30));
+    gate_tx.send(()).expect("release the frozen batch");
+
+    let point = p0.wait().expect("in-service fix completes");
+    assert_eq!((point.x, point.y), (3.0, 4.0));
+    assert!(
+        matches!(p1.wait(), Err(ServeError::ShuttingDown)),
+        "fix stranded on a warming shard must get the typed rejection"
+    );
+    stopper.join().expect("shutdown thread");
+}

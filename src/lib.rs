@@ -22,5 +22,7 @@ pub use noble_energy;
 pub use noble_geo;
 pub use noble_linalg;
 pub use noble_manifold;
+pub use noble_net;
 pub use noble_nn;
 pub use noble_quantize;
+pub use noble_serve;
