@@ -22,6 +22,7 @@ fn main() {
         ("model_store", noble_bench::runners::model_store::run),
         ("tracking", noble_bench::runners::tracking::run),
         ("net", noble_bench::runners::net::run),
+        ("refresh", noble_bench::runners::refresh::run),
         (
             "ablation_tau",
             noble_bench::runners::ablation::run_tau_sweep,

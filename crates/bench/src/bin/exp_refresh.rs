@@ -1,0 +1,11 @@
+//! Online refresh under fingerprint drift: frozen vs refreshed accuracy,
+//! swap cost and serving p99 during the concurrent retrain
+//! (`results/BENCH_refresh.json`).
+
+fn main() {
+    let scale = noble_bench::Scale::from_env();
+    if let Err(e) = noble_bench::runners::refresh::run(scale) {
+        eprintln!("exp_refresh failed: {e}");
+        std::process::exit(1);
+    }
+}

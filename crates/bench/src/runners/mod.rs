@@ -10,6 +10,7 @@ pub mod fig5;
 pub mod ipin;
 pub mod model_store;
 pub mod net;
+pub mod refresh;
 pub mod serving;
 pub mod table1;
 pub mod table2;

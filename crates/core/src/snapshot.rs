@@ -36,11 +36,15 @@ use noble_nn::{
 use noble_quantize::{DecodePolicy, GridQuantizer};
 
 const MAGIC: &[u8; 4] = b"NOBS";
-const CONTAINER_VERSION: u32 = 1;
+/// Container v2 added the model-version field; v1 blobs (which predate
+/// it) still decode, reporting [`ModelSnapshot::version`] `0`.
+const CONTAINER_VERSION: u32 = 2;
+const LEGACY_CONTAINER_VERSION: u32 = 1;
 
-/// A self-describing serialized model: kind tag, shape metadata and a
-/// kind-specific payload. Produce one with
-/// [`SnapshotLocalizer::snapshot`], persist it through a
+/// A self-describing serialized model: kind tag, shape metadata, a
+/// *model version* (the online-refresh lineage counter — see
+/// [`ModelSnapshot::version`]) and a kind-specific payload. Produce one
+/// with [`SnapshotLocalizer::snapshot`], persist it through a
 /// `noble_serve::ModelStore`, and turn it back into a servable model with
 /// [`hydrate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +52,7 @@ pub struct ModelSnapshot {
     kind: String,
     feature_dim: usize,
     class_count: usize,
+    version: u64,
     payload: Vec<u8>,
 }
 
@@ -64,8 +69,27 @@ impl ModelSnapshot {
             kind: kind.into(),
             feature_dim,
             class_count,
+            version: 0,
             payload,
         }
+    }
+
+    /// The same snapshot stamped with model version `version` (builder
+    /// style — snapshots are immutable once produced).
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Model version: which generation of this shard's model produced
+    /// the snapshot. `0` is the original offline-trained model (and what
+    /// legacy v1 containers report); each online refresh activated
+    /// through `noble_serve::SharedCatalog` bumps it by one. Serving a
+    /// given version is bit-stable, so two snapshots with equal key and
+    /// version hold byte-identical payloads.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Model kind tag — matches the producing model's
@@ -93,9 +117,9 @@ impl ModelSnapshot {
     /// Size of [`ModelSnapshot::to_bytes`] output — the byte cost a store
     /// or catalog budget accounts for, without encoding.
     pub fn encoded_len(&self) -> usize {
-        // magic + version + kind (len + bytes) + 2 shape u64s + payload
-        // (len + bytes).
-        4 + 4 + 4 + self.kind.len() + 8 + 8 + 8 + self.payload.len()
+        // magic + container version + kind (len + bytes) + 2 shape u64s
+        // + model version u64 + payload (len + bytes).
+        4 + 4 + 4 + self.kind.len() + 8 + 8 + 8 + 8 + self.payload.len()
     }
 
     /// Encodes the snapshot into one length-validated byte buffer.
@@ -106,6 +130,7 @@ impl ModelSnapshot {
         w.string(&self.kind);
         w.u64(self.feature_dim as u64);
         w.u64(self.class_count as u64);
+        w.u64(self.version);
         w.bytes(&self.payload);
         w.buf
     }
@@ -122,22 +147,30 @@ impl ModelSnapshot {
         if magic != MAGIC {
             return Err(bad("bad magic: not a NObLe model snapshot"));
         }
-        let version = r.u32()?;
-        if version != CONTAINER_VERSION {
+        let container = r.u32()?;
+        if container != CONTAINER_VERSION && container != LEGACY_CONTAINER_VERSION {
             return Err(bad(format!(
-                "unsupported snapshot container version {version} \
-                 (this build reads {CONTAINER_VERSION})"
+                "unsupported snapshot container version {container} \
+                 (this build reads {LEGACY_CONTAINER_VERSION}..={CONTAINER_VERSION})"
             )));
         }
         let kind = r.string()?;
         let feature_dim = r.usize()?;
         let class_count = r.usize()?;
+        // v1 containers predate the model-version field: read them as
+        // version 0 (the offline-trained generation).
+        let version = if container == LEGACY_CONTAINER_VERSION {
+            0
+        } else {
+            r.u64()?
+        };
         let payload = r.bytes()?.to_vec();
         r.finish()?;
         Ok(ModelSnapshot {
             kind,
             feature_dim,
             class_count,
+            version,
             payload,
         })
     }
@@ -603,7 +636,43 @@ mod tests {
         assert_eq!(back.kind(), "wifi-noble");
         assert_eq!(back.feature_dim(), 12);
         assert_eq!(back.class_count(), 34);
+        assert_eq!(back.version(), 0);
         assert_eq!(back.payload(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn model_version_round_trips() {
+        let snap = ModelSnapshot::new("wifi-noble", 12, 34, vec![1, 2, 3]).with_version(7);
+        assert_eq!(snap.version(), 7);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.encoded_len());
+        let back = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.version(), 7);
+        // The version stamp is identity metadata, not payload: two
+        // versions of the same bytes differ only in the stamp.
+        let other = ModelSnapshot::new("wifi-noble", 12, 34, vec![1, 2, 3]).with_version(8);
+        assert_ne!(other, snap);
+        assert_eq!(other.payload(), snap.payload());
+    }
+
+    #[test]
+    fn legacy_v1_container_reads_as_version_zero() {
+        // Hand-encode a v1 container (no model-version field): magic,
+        // container version 1, kind, feature_dim, class_count, payload.
+        let mut w = SnapWriter::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(LEGACY_CONTAINER_VERSION);
+        w.string("wifi-noble");
+        w.u64(12);
+        w.u64(34);
+        w.bytes(&[5, 6, 7]);
+        let back = ModelSnapshot::from_bytes(&w.buf).unwrap();
+        assert_eq!(back.kind(), "wifi-noble");
+        assert_eq!(back.feature_dim(), 12);
+        assert_eq!(back.class_count(), 34);
+        assert_eq!(back.version(), 0);
+        assert_eq!(back.payload(), &[5, 6, 7]);
     }
 
     #[test]

@@ -127,6 +127,7 @@ impl Policy {
         Policy {
             scopes,
             lock_order: vec![
+                "buffers".into(),
                 "slots".into(),
                 "state".into(),
                 "shards".into(),

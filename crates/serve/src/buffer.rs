@@ -1,0 +1,317 @@
+//! Bounded per-shard observation buffers: the ingest side of online
+//! refresh.
+//!
+//! Production fingerprint maps drift — APs move, furniture changes — so
+//! a serving shard accumulates evidence between model generations: the
+//! fixes it served (position answers whose ground truth is unknown) and
+//! *corrections* (fingerprints paired with surveyed ground-truth
+//! positions, the signal a refresh retrains on). An
+//! [`ObservationBuffer`] holds that evidence with strict bounds:
+//!
+//! - **logical-time stamped** — every push gets the next tick of the
+//!   buffer's own counter; no wall clock ever reaches refresh inputs, so
+//!   a refresh over the same observations is replayable bit-for-bit;
+//! - **FIFO-bounded by count and bytes** — a push past either bound
+//!   evicts strictly oldest-first until the newcomer fits. No kind is
+//!   privileged: a correction is only ever lost to make room when
+//!   capacity is genuinely exhausted (the property suite in
+//!   `refresh_determinism` pins all three invariants).
+//!
+//! The buffer itself is single-threaded state; [`crate::Refresher`]
+//! wraps one per shard behind its own lock.
+
+use noble_geo::Point;
+use std::collections::VecDeque;
+
+/// What kind of evidence an [`Observation`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservationKind {
+    /// A fix the server answered; its true position is unknown. Kept for
+    /// drift diagnostics, optionally fed to refresh as soft evidence.
+    ServedFix,
+    /// A fingerprint with surveyed ground truth — the retraining signal.
+    Correction,
+}
+
+/// One buffered piece of refresh evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Evidence kind.
+    pub kind: ObservationKind,
+    /// Logical admission time: the buffer's tick counter at push. Strictly
+    /// increasing within one buffer; eviction retires the smallest first.
+    pub at: u64,
+    /// Raw RSSI per WAP in dBm (same convention as
+    /// [`noble_datasets::WifiSample::rssi`]).
+    pub rssi: Vec<f64>,
+    /// The served answer ([`ObservationKind::ServedFix`]) or the surveyed
+    /// ground truth ([`ObservationKind::Correction`]).
+    pub position: Point,
+}
+
+/// Fixed per-observation overhead charged against
+/// [`BufferLimits::max_bytes`] on top of the RSSI payload (struct,
+/// stamps, deque slot).
+const OBSERVATION_OVERHEAD: usize = 64;
+
+impl Observation {
+    /// Bytes this observation charges against the buffer's byte bound.
+    pub fn cost(&self) -> usize {
+        OBSERVATION_OVERHEAD + self.rssi.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Capacity bounds of an [`ObservationBuffer`]. Both apply at once; the
+/// tighter one wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferLimits {
+    /// Maximum buffered observations.
+    pub max_observations: usize,
+    /// Maximum summed [`Observation::cost`] bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for BufferLimits {
+    /// 4096 observations / 4 MiB — a few hours of correction traffic for
+    /// a busy shard, bounded well below one resident model.
+    fn default() -> Self {
+        BufferLimits {
+            max_observations: 4096,
+            max_bytes: 4 << 20,
+        }
+    }
+}
+
+/// The outcome of an [`ObservationBuffer::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Stored without evicting.
+    Stored,
+    /// Stored after evicting this many oldest observations.
+    StoredEvicting(usize),
+    /// Rejected: the observation alone exceeds the byte bound. Nothing
+    /// was evicted — dropping the whole buffer for an unstorable
+    /// newcomer would lose corrections for nothing.
+    Rejected,
+}
+
+/// A bounded FIFO of refresh evidence for one shard (see the module
+/// docs for the eviction contract).
+#[derive(Debug, Clone)]
+pub struct ObservationBuffer {
+    limits: BufferLimits,
+    items: VecDeque<Observation>,
+    bytes: usize,
+    /// Logical clock; the next push is stamped `clock + 1`.
+    clock: u64,
+    evicted_fixes: u64,
+    evicted_corrections: u64,
+}
+
+impl ObservationBuffer {
+    /// An empty buffer under `limits`.
+    pub fn new(limits: BufferLimits) -> Self {
+        ObservationBuffer {
+            limits,
+            items: VecDeque::new(),
+            bytes: 0,
+            clock: 0,
+            evicted_fixes: 0,
+            evicted_corrections: 0,
+        }
+    }
+
+    /// The configured bounds.
+    pub fn limits(&self) -> BufferLimits {
+        self.limits
+    }
+
+    /// Buffered observation count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Summed [`Observation::cost`] of the buffered observations.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Buffered corrections (the retraining signal size).
+    pub fn corrections(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|o| o.kind == ObservationKind::Correction)
+            .count()
+    }
+
+    /// Observations evicted so far as `(served_fixes, corrections)` —
+    /// a nonzero corrections count is the observable warning that
+    /// refresh evidence is arriving faster than it is consumed.
+    pub fn evicted(&self) -> (u64, u64) {
+        (self.evicted_fixes, self.evicted_corrections)
+    }
+
+    /// The logical time of the most recent push (`0` before the first).
+    pub fn logical_time(&self) -> u64 {
+        self.clock
+    }
+
+    /// Oldest-first view of the buffered observations.
+    pub fn iter(&self) -> impl Iterator<Item = &Observation> {
+        self.items.iter()
+    }
+
+    /// Admits one observation, evicting strictly oldest-first until both
+    /// bounds hold. See [`PushOutcome`].
+    pub fn push(&mut self, kind: ObservationKind, rssi: Vec<f64>, position: Point) -> PushOutcome {
+        self.clock += 1;
+        let obs = Observation {
+            kind,
+            at: self.clock,
+            rssi,
+            position,
+        };
+        let cost = obs.cost();
+        if cost > self.limits.max_bytes || self.limits.max_observations == 0 {
+            return PushOutcome::Rejected;
+        }
+        let mut evicted = 0usize;
+        while self.items.len() + 1 > self.limits.max_observations
+            || self.bytes + cost > self.limits.max_bytes
+        {
+            let Some(old) = self.items.pop_front() else {
+                break;
+            };
+            self.bytes -= old.cost();
+            match old.kind {
+                ObservationKind::ServedFix => self.evicted_fixes += 1,
+                ObservationKind::Correction => self.evicted_corrections += 1,
+            }
+            evicted += 1;
+        }
+        self.bytes += cost;
+        self.items.push_back(obs);
+        if evicted == 0 {
+            PushOutcome::Stored
+        } else {
+            PushOutcome::StoredEvicting(evicted)
+        }
+    }
+
+    /// Removes every observation stamped `at <= upto` (what a completed
+    /// refresh consumed); newer arrivals stay for the next cycle.
+    pub fn discard_up_to(&mut self, upto: u64) {
+        while self.items.front().is_some_and(|front| front.at <= upto) {
+            if let Some(old) = self.items.pop_front() {
+                self.bytes -= old.cost();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(max_observations: usize, max_bytes: usize) -> ObservationBuffer {
+        ObservationBuffer::new(BufferLimits {
+            max_observations,
+            max_bytes,
+        })
+    }
+
+    fn fp(v: f64) -> Vec<f64> {
+        vec![v; 4]
+    }
+
+    #[test]
+    fn push_stamps_strictly_increasing_logical_time() {
+        let mut b = buf(8, 1 << 20);
+        for i in 0..5 {
+            b.push(
+                ObservationKind::Correction,
+                fp(i as f64),
+                Point::new(0.0, 0.0),
+            );
+        }
+        let stamps: Vec<u64> = b.iter().map(|o| o.at).collect();
+        assert_eq!(stamps, vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.logical_time(), 5);
+    }
+
+    #[test]
+    fn count_bound_evicts_oldest_first() {
+        let mut b = buf(3, 1 << 20);
+        for i in 0..3 {
+            assert_eq!(
+                b.push(
+                    ObservationKind::ServedFix,
+                    fp(i as f64),
+                    Point::new(0.0, 0.0)
+                ),
+                PushOutcome::Stored
+            );
+        }
+        assert_eq!(
+            b.push(ObservationKind::Correction, fp(9.0), Point::new(1.0, 1.0)),
+            PushOutcome::StoredEvicting(1)
+        );
+        assert_eq!(b.len(), 3);
+        let stamps: Vec<u64> = b.iter().map(|o| o.at).collect();
+        assert_eq!(stamps, vec![2, 3, 4], "oldest (t=1) evicted first");
+        assert_eq!(b.evicted(), (1, 0));
+    }
+
+    #[test]
+    fn byte_bound_holds_and_oversized_push_is_rejected() {
+        let one = Observation {
+            kind: ObservationKind::Correction,
+            at: 0,
+            rssi: fp(0.0),
+            position: Point::new(0.0, 0.0),
+        }
+        .cost();
+        let mut b = buf(100, 2 * one);
+        b.push(ObservationKind::Correction, fp(1.0), Point::new(0.0, 0.0));
+        b.push(ObservationKind::Correction, fp(2.0), Point::new(0.0, 0.0));
+        assert_eq!(b.bytes(), 2 * one);
+        assert_eq!(
+            b.push(ObservationKind::Correction, fp(3.0), Point::new(0.0, 0.0)),
+            PushOutcome::StoredEvicting(1)
+        );
+        assert!(b.bytes() <= 2 * one);
+        // An observation that cannot fit even in an empty buffer.
+        assert_eq!(
+            b.push(
+                ObservationKind::Correction,
+                vec![0.0; 1 << 20],
+                Point::new(0.0, 0.0)
+            ),
+            PushOutcome::Rejected
+        );
+        assert_eq!(b.len(), 2, "rejection evicts nothing");
+    }
+
+    #[test]
+    fn discard_up_to_consumes_a_prefix() {
+        let mut b = buf(10, 1 << 20);
+        for i in 0..6 {
+            b.push(
+                ObservationKind::Correction,
+                fp(i as f64),
+                Point::new(0.0, 0.0),
+            );
+        }
+        b.discard_up_to(4);
+        let stamps: Vec<u64> = b.iter().map(|o| o.at).collect();
+        assert_eq!(stamps, vec![5, 6]);
+        b.discard_up_to(100);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+}

@@ -74,6 +74,7 @@ use noble_geo::Point;
 use noble_linalg::Matrix;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Memory envelope of the resident tier.
@@ -209,6 +210,10 @@ struct Resident {
     /// unknown (non-snapshotable models under a count budget).
     cost: usize,
     last_used: u64,
+    /// Model version (online-refresh lineage; `0` is the offline-trained
+    /// generation). Carried so the shared catalog can tell a stale lease
+    /// from the active generation.
+    version: u64,
 }
 
 /// The capacity-bounded, store-backed shard model catalog (see the
@@ -356,6 +361,7 @@ impl ModelCatalog {
                 model,
                 cost,
                 last_used: self.clock,
+                version: 0,
             },
         );
         self.enforce_budget(Some(key))
@@ -512,6 +518,12 @@ impl ModelCatalog {
     /// resident models become the parked tier, the store and spec tiers
     /// serve cold faults.
     pub fn into_shared(self) -> SharedCatalog {
+        let active = self
+            .resident
+            .iter()
+            .filter(|(_, r)| r.version > 0)
+            .map(|(k, r)| (*k, r.version))
+            .collect();
         SharedCatalog {
             budget: self.budget,
             store: self.store,
@@ -520,10 +532,14 @@ impl ModelCatalog {
                 parked: self.resident,
                 stored: self.stored,
                 leased: BTreeSet::new(),
+                pending: BTreeMap::new(),
+                active,
+                activating: BTreeSet::new(),
                 clock: self.clock,
                 stats: self.stats,
             }),
             released: Condvar::new(),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -534,7 +550,7 @@ impl ModelCatalog {
             return Ok(());
         }
         self.stats.misses += 1;
-        let (model, cost): (Box<dyn Localizer>, usize) =
+        let (model, cost, version): (Box<dyn Localizer>, usize, u64) =
             if let Some(snapshot) = self.store.get(key)? {
                 self.stats.hydrations += 1;
                 let model = hydrate(&snapshot)?;
@@ -544,6 +560,7 @@ impl ModelCatalog {
                         inner: model,
                     }),
                     snapshot.encoded_len(),
+                    snapshot.version(),
                 )
             } else if let Some(spec) = self.specs.get(&key) {
                 self.stats.retrains += 1;
@@ -564,6 +581,7 @@ impl ModelCatalog {
                         inner: model,
                     }),
                     cost,
+                    0,
                 )
             } else {
                 return Err(ServeError::UnknownShard(key));
@@ -575,6 +593,7 @@ impl ModelCatalog {
                 model,
                 cost,
                 last_used: self.clock,
+                version,
             },
         );
         self.enforce_budget(Some(key))
@@ -691,6 +710,19 @@ struct SharedState {
     stored: BTreeSet<ShardKey>,
     /// Keys whose model is currently leased to a shard worker.
     leased: BTreeSet<ShardKey>,
+    /// Freshly activated models for keys whose previous generation is
+    /// still leased out. The leasing worker picks its entry up at the
+    /// next batch boundary ([`SharedCatalog::refresh_lease`]); release
+    /// paths fold a leftover entry in so an activated model is never
+    /// lost.
+    pending: BTreeMap<ShardKey, Resident>,
+    /// Activated model version per key; absent means "whatever the
+    /// store's active slot says" (primed on first lease), which is `0`
+    /// for shards that never refreshed.
+    active: BTreeMap<ShardKey, u64>,
+    /// Keys with an activation (or rollback) in flight — version
+    /// allocation, archive and publish are serialized per key.
+    activating: BTreeSet<ShardKey>,
     clock: u64,
     stats: CatalogStats,
 }
@@ -715,8 +747,14 @@ pub struct SharedCatalog {
     store: Arc<dyn ModelStore>,
     specs: BTreeMap<ShardKey, Arc<TrainSpec>>,
     state: Mutex<SharedState>,
-    /// Signals lease releases (same-shard waiters re-check here).
+    /// Signals lease releases and activation completions (same-shard
+    /// waiters re-check here).
     released: Condvar,
+    /// Bumped on every activation/rollback. Paged workers cache the value
+    /// and re-check it between batches — one relaxed atomic load per
+    /// batch — so a version bump is picked up at a batch boundary without
+    /// ever taking the state lock on the fast path.
+    epoch: AtomicU64,
 }
 
 impl fmt::Debug for SharedCatalog {
@@ -763,8 +801,8 @@ impl SharedCatalog {
 
     /// Checks `key`'s model out of the catalog for exclusive use by one
     /// shard worker, faulting it in (parked hit → store hydration → spec
-    /// retrain) if cold. Returns the model and its budget cost (encoded
-    /// snapshot bytes; `0` when unknown).
+    /// retrain) if cold. Returns the model, its budget cost (encoded
+    /// snapshot bytes; `0` when unknown) and its model version.
     ///
     /// Blocks while a previous worker still holds `key`'s lease, so a
     /// spin-down's write-through always completes before the re-fault.
@@ -774,7 +812,10 @@ impl SharedCatalog {
     /// [`ServeError::UnknownShard`] when no tier knows `key`; propagates
     /// hydration, training and store failures (the lease is not held on
     /// error).
-    pub(crate) fn lease(&self, key: ShardKey) -> Result<(Box<dyn Localizer>, usize), ServeError> {
+    pub(crate) fn lease(
+        &self,
+        key: ShardKey,
+    ) -> Result<(Box<dyn Localizer>, usize, u64), ServeError> {
         let source = {
             let mut state = relock(&self.state);
             while state.leased.contains(&key) {
@@ -783,7 +824,7 @@ impl SharedCatalog {
             if let Some(parked) = state.parked.remove(&key) {
                 state.stats.hits += 1;
                 state.leased.insert(key);
-                return Ok((parked.model, parked.cost));
+                return Ok((parked.model, parked.cost, parked.version));
             }
             state.stats.misses += 1;
             if state.stored.contains(&key) {
@@ -799,7 +840,7 @@ impl SharedCatalog {
         // The expensive half — a store read + hydration, or a full
         // retrain — runs outside the state lock so concurrently faulting
         // shards overlap instead of queueing behind one another.
-        let outcome: Result<(Box<dyn Localizer>, usize, bool), ServeError> = match source {
+        let outcome: Result<(Box<dyn Localizer>, usize, u64, bool), ServeError> = match source {
             LeaseSource::Stored => self
                 .store
                 .get(key)
@@ -816,6 +857,7 @@ impl SharedCatalog {
                             inner: model,
                         }) as Box<dyn Localizer>,
                         snapshot.encoded_len(),
+                        snapshot.version(),
                         false,
                     ))
                 }),
@@ -835,13 +877,14 @@ impl SharedCatalog {
                         inner: model,
                     }) as Box<dyn Localizer>,
                     cost,
+                    0,
                     true,
                 ))
             }),
         };
         let mut state = relock(&self.state);
         match outcome {
-            Ok((model, cost, retrained)) => {
+            Ok((model, cost, version, retrained)) => {
                 if retrained {
                     state.stats.retrains += 1;
                     if cost > 0 {
@@ -850,7 +893,11 @@ impl SharedCatalog {
                 } else {
                     state.stats.hydrations += 1;
                 }
-                Ok((model, cost))
+                // Prime the version map from the hydrated snapshot's
+                // stamp (restart recovery: the active slot is the source
+                // of truth until an in-process activation overrides it).
+                state.active.entry(key).or_insert(version);
+                Ok((model, cost, version))
             }
             Err(e) => {
                 state.leased.remove(&key);
@@ -865,7 +912,35 @@ impl SharedCatalog {
     /// spin-down path). A model that can neither snapshot nor retrain is
     /// parked instead of dropped — never lost — and the
     /// [`CatalogStats::pinned`] warning counter ticks.
-    pub(crate) fn release_cold(&self, key: ShardKey, model: Box<dyn Localizer>, cost: usize) {
+    ///
+    /// `version` is the generation the worker was serving. When a newer
+    /// generation was activated during the lease, the returned model is
+    /// stale: its bytes are already archived and the successor's bytes
+    /// already occupy the store's active slot, so both the stale model
+    /// and the superseding pending model can be dropped — the next fault
+    /// hydrates the active generation.
+    pub(crate) fn release_cold(
+        &self,
+        key: ShardKey,
+        model: Box<dyn Localizer>,
+        cost: usize,
+        version: u64,
+    ) {
+        let superseded = {
+            let mut state = relock(&self.state);
+            state.pending.remove(&key)
+        };
+        if let Some(fresh) = superseded {
+            // Activation already wrote the fresh generation's bytes to
+            // the active slot, so neither live copy needs a write-through.
+            drop(model);
+            drop(fresh);
+            let mut state = relock(&self.state);
+            state.stats.evictions += 1;
+            state.leased.remove(&key);
+            self.released.notify_all();
+            return;
+        }
         let needs_write = {
             let state = relock(&self.state);
             !state.stored.contains(&key)
@@ -873,7 +948,7 @@ impl SharedCatalog {
         if needs_write {
             // Serialization and the store write run outside the lock.
             match model.try_snapshot() {
-                Some(snapshot) => match self.store.put(key, &snapshot) {
+                Some(snapshot) => match self.store.put(key, &snapshot.with_version(version)) {
                     Ok(()) => {
                         relock(&self.state).stored.insert(key);
                     }
@@ -884,14 +959,14 @@ impl SharedCatalog {
                             "noble-serve: spin-down write-through for shard {key} failed ({e}); \
                              keeping the model resident"
                         );
-                        return self.release_parked(key, model, cost);
+                        return self.release_parked(key, model, cost, version);
                     }
                 },
                 // Retrainable from its spec: dropping is safe.
                 None if self.specs.contains_key(&key) => {}
                 None => {
                     relock(&self.state).stats.pinned += 1;
-                    return self.release_parked(key, model, cost);
+                    return self.release_parked(key, model, cost, version);
                 }
             }
         }
@@ -905,20 +980,41 @@ impl SharedCatalog {
     /// Checks a leased model back in *live*: it stays parked in the
     /// resident tier for the next lease (the server-shutdown path, so
     /// converting back to a [`ModelCatalog`] hands warm models back).
-    pub(crate) fn release_parked(&self, key: ShardKey, model: Box<dyn Localizer>, cost: usize) {
-        let mut state = relock(&self.state);
-        state.clock += 1;
-        let last_used = state.clock;
-        state.parked.insert(
-            key,
-            Resident {
-                model,
-                cost,
-                last_used,
-            },
-        );
-        state.leased.remove(&key);
+    /// A pending activation supersedes the returned model — the fresh
+    /// generation parks, the stale one drops.
+    pub(crate) fn release_parked(
+        &self,
+        key: ShardKey,
+        model: Box<dyn Localizer>,
+        cost: usize,
+        version: u64,
+    ) {
+        let stale;
+        {
+            let mut state = relock(&self.state);
+            state.clock += 1;
+            let last_used = state.clock;
+            let resident = match state.pending.remove(&key) {
+                Some(mut fresh) => {
+                    fresh.last_used = last_used;
+                    stale = Some(model);
+                    fresh
+                }
+                None => {
+                    stale = None;
+                    Resident {
+                        model,
+                        cost,
+                        last_used,
+                        version,
+                    }
+                }
+            };
+            state.parked.insert(key, resident);
+            state.leased.remove(&key);
+        }
         self.released.notify_all();
+        drop(stale);
     }
 
     /// Takes every parked model out of the catalog without budget
@@ -927,7 +1023,12 @@ impl SharedCatalog {
     /// snapshots and specs stay behind and are dropped with `self`.
     pub(crate) fn take_parked(&self) -> Vec<(ShardKey, Box<dyn Localizer>)> {
         let mut state = relock(&self.state);
-        std::mem::take(&mut state.parked)
+        // A leftover pending activation (its lease was never released)
+        // supersedes the parked generation of the same key.
+        let pending = std::mem::take(&mut state.pending);
+        let mut parked = std::mem::take(&mut state.parked);
+        parked.extend(pending);
+        parked
             .into_iter()
             .map(|(key, resident)| (key, resident.model))
             .collect()
@@ -949,7 +1050,9 @@ impl SharedCatalog {
             state.leased.is_empty(),
             "draining a SharedCatalog with live leases loses models"
         );
-        let resident = std::mem::take(&mut state.parked);
+        let pending = std::mem::take(&mut state.pending);
+        let mut resident = std::mem::take(&mut state.parked);
+        resident.extend(pending);
         let mut catalog = ModelCatalog {
             budget: self.budget,
             store: Arc::clone(&self.store),
@@ -962,5 +1065,240 @@ impl SharedCatalog {
         drop(state);
         catalog.enforce_budget(None)?;
         Ok(catalog)
+    }
+
+    // -----------------------------------------------------------------
+    // Online refresh: versioned activation, rollback, batch-boundary
+    // pickup. See ARCHITECTURE.md, "Online refresh".
+    // -----------------------------------------------------------------
+
+    /// The activated model version of `key`: `0` until the first
+    /// [`SharedCatalog::activate`] (or after a rollback to the offline
+    /// generation). Absent keys report `0`.
+    ///
+    /// Note the map is primed lazily: after a restart the authoritative
+    /// version lives in the store's active slot and is learned on the
+    /// first lease or activation of the key.
+    pub fn active_version(&self, key: ShardKey) -> u64 {
+        relock(&self.state).active.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Archived (rollback-able) version numbers of `key`, ascending —
+    /// a store passthrough.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    pub fn archived_versions(&self, key: ShardKey) -> Result<Vec<u64>, ServeError> {
+        self.store.versions(key)
+    }
+
+    /// The swap epoch: bumped on every activation and rollback. Workers
+    /// cache it and compare between batches; an unchanged epoch is one
+    /// relaxed load, so the serving fast path never touches the state
+    /// lock for version checks.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The training spec registered for `key` (the refresher's retrain
+    /// recipe).
+    pub(crate) fn spec_of(&self, key: ShardKey) -> Option<Arc<TrainSpec>> {
+        self.specs.get(&key).map(Arc::clone)
+    }
+
+    /// Builds and activates the next model generation of `key`.
+    ///
+    /// `build` receives the allocated version number and returns the new
+    /// model — it runs *off the serving path* (no catalog lock held, the
+    /// current generation keeps serving untouched). The activation
+    /// contract, in order:
+    ///
+    /// 1. the predecessor generation is archived if it never was (so the
+    ///    first refresh makes version 0 rollback-able);
+    /// 2. the new model is snapshotted through the store as an immutable
+    ///    version archive **before** activation;
+    /// 3. the same bytes are published to the store's active slot (a
+    ///    restart rehydrates to the new version);
+    /// 4. the in-memory flip: parked keys swap immediately, leased keys
+    ///    get a pending entry their worker picks up at the next batch
+    ///    boundary — never mid-batch — and the swap epoch bumps.
+    ///
+    /// Activations and rollbacks of the same key are serialized against
+    /// each other (concurrent calls for different keys overlap).
+    /// Version numbers are never reused: after a rollback, the next
+    /// activation continues above the highest archived version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotSnapshotable`] when the built model cannot
+    /// serialize itself (nothing is activated); propagates store and
+    /// build failures.
+    pub fn activate<F>(&self, key: ShardKey, build: F) -> Result<u64, ServeError>
+    where
+        F: FnOnce(u64) -> Result<Box<dyn Localizer>, ServeError>,
+    {
+        let current = self.begin_activation(key);
+        let outcome = (|| {
+            // Lineage recovery from the store: the active slot may be
+            // ahead of the in-memory map (fresh process), and archived
+            // numbers must never be reused (rollback rewinds `active`
+            // but not history).
+            let slot = self.store.get(key)?;
+            let slot_version = slot.as_ref().map_or(0, ModelSnapshot::version);
+            let archived = self.store.versions(key)?;
+            if let Some(slot_snap) = &slot {
+                if !archived.contains(&slot_version) {
+                    self.store.put_version(key, slot_version, slot_snap)?;
+                }
+            }
+            let version = archived
+                .last()
+                .copied()
+                .unwrap_or(0)
+                .max(slot_version)
+                .max(current)
+                + 1;
+            let model = build(version)?;
+            let model: Box<dyn Localizer> = Box::new(Sited {
+                site: key.to_string(),
+                inner: model,
+            });
+            let snapshot = model
+                .try_snapshot()
+                .ok_or(ServeError::NotSnapshotable(key))?
+                .with_version(version);
+            // Archive first, then publish the active slot: every version
+            // is durably snapshotted before anything serves it.
+            self.store.put_version(key, version, &snapshot)?;
+            self.store.put(key, &snapshot)?;
+            Ok((version, model, snapshot.encoded_len()))
+        })();
+        self.finish_activation(key, outcome)
+    }
+
+    /// Rewinds `key` to an archived `version`: rehydrates its bytes,
+    /// republishes them as the store's active slot, and flips serving to
+    /// the restored model with the same batch-boundary discipline as
+    /// [`SharedCatalog::activate`]. The restored model is bit-identical
+    /// to the one that was archived (snapshot hydration is exact).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownVersion`] when `version` was never archived
+    /// for `key`; propagates store and hydration failures (serving is
+    /// untouched on error).
+    pub fn rollback(&self, key: ShardKey, version: u64) -> Result<(), ServeError> {
+        self.begin_activation(key);
+        let outcome = (|| {
+            let snapshot = self
+                .store
+                .get_version(key, version)?
+                .ok_or(ServeError::UnknownVersion { key, version })?;
+            let model = hydrate(&snapshot)?;
+            let model: Box<dyn Localizer> = Box::new(Sited {
+                site: key.to_string(),
+                inner: model,
+            });
+            // Republish the archived bytes as the active slot so a
+            // restart rehydrates to the rolled-back version.
+            self.store.put(key, &snapshot)?;
+            Ok((version, model, snapshot.encoded_len()))
+        })();
+        self.finish_activation(key, outcome).map(|_| ())
+    }
+
+    /// Claims the per-key activation slot, waiting out an in-flight
+    /// activation of the same key. Returns the current active version.
+    fn begin_activation(&self, key: ShardKey) -> u64 {
+        let mut state = relock(&self.state);
+        while state.activating.contains(&key) {
+            state = rewait(&self.released, state);
+        }
+        state.activating.insert(key);
+        state.active.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Publishes (or abandons, on error) an activation: flips the active
+    /// version, routes the model to the parked tier or the leased
+    /// worker's pending slot, bumps the swap epoch and releases the
+    /// per-key activation slot.
+    fn finish_activation(
+        &self,
+        key: ShardKey,
+        outcome: Result<(u64, Box<dyn Localizer>, usize), ServeError>,
+    ) -> Result<u64, ServeError> {
+        let mut state = relock(&self.state);
+        state.activating.remove(&key);
+        let result = match outcome {
+            Ok((version, model, cost)) => {
+                state.clock += 1;
+                let resident = Resident {
+                    model,
+                    cost,
+                    last_used: state.clock,
+                    version,
+                };
+                state.stored.insert(key);
+                state.active.insert(key, version);
+                if state.leased.contains(&key) {
+                    // The worker picks this up at its next batch
+                    // boundary; a second activation before that simply
+                    // replaces the entry (the dropped generation is
+                    // archived).
+                    state.pending.insert(key, resident);
+                } else {
+                    state.parked.insert(key, resident);
+                }
+                self.epoch.fetch_add(1, Ordering::Release);
+                Ok(version)
+            }
+            Err(e) => Err(e),
+        };
+        drop(state);
+        self.released.notify_all();
+        result
+    }
+
+    /// A paged worker's between-batches version check: given the version
+    /// it is serving, returns the fresh `(model, cost, version)` to swap
+    /// to at this batch boundary, or `None` to keep serving. Never
+    /// blocks on training — the fresh model was built off-path and is
+    /// waiting in the pending slot (the rare fallback rehydrates the
+    /// store's active slot). On any store/hydration hiccup the worker
+    /// keeps its current generation: refresh machinery must never
+    /// degrade serving.
+    pub(crate) fn refresh_lease(
+        &self,
+        key: ShardKey,
+        serving: u64,
+    ) -> Option<(Box<dyn Localizer>, usize, u64)> {
+        {
+            let mut state = relock(&self.state);
+            let active = state.active.get(&key).copied().unwrap_or(serving);
+            if active == serving {
+                return None;
+            }
+            if let Some(fresh) = state.pending.remove(&key) {
+                return Some((fresh.model, fresh.cost, fresh.version));
+            }
+        }
+        // No live pending copy (e.g. consecutive swaps raced): fall back
+        // to the active slot's bytes.
+        let snapshot = self.store.get(key).ok().flatten()?;
+        if snapshot.version() == serving {
+            return None;
+        }
+        let cost = snapshot.encoded_len();
+        let version = snapshot.version();
+        let model = hydrate(&snapshot).ok()?;
+        Some((
+            Box::new(Sited {
+                site: key.to_string(),
+                inner: model,
+            }),
+            cost,
+            version,
+        ))
     }
 }

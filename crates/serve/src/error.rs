@@ -41,6 +41,14 @@ pub enum ServeError {
     /// The shard's resident model cannot be serialized and has no
     /// registered training spec, so evicting it would lose it.
     NotSnapshotable(ShardKey),
+    /// A rollback named a model version that was never archived for the
+    /// shard.
+    UnknownVersion {
+        /// Shard whose history was searched.
+        key: ShardKey,
+        /// The version that is not in the archive.
+        version: u64,
+    },
     /// A serving-stack invariant failed (worker spawn, batch assembly).
     /// Replaces what used to be worker panics: the request gets this
     /// typed reply and the shard keeps serving.
@@ -67,6 +75,9 @@ impl fmt::Display for ServeError {
             ServeError::Store(msg) => write!(f, "model store failure: {msg}"),
             ServeError::NotSnapshotable(key) => {
                 write!(f, "shard {key}'s model cannot be snapshotted")
+            }
+            ServeError::UnknownVersion { key, version } => {
+                write!(f, "shard {key} has no archived model version {version}")
             }
             ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }

@@ -17,7 +17,9 @@
 //!   accepts) one model per shard with order-free derived seeds and
 //!   bounded per-shard memory, and routes feature batches to the owning
 //!   shard — an unknown key is the typed [`ServeError::UnknownShard`],
-//!   never a panic.
+//!   never a panic. The catalog is the single source of truth for model
+//!   version lineage; registry-served shards are frozen at their
+//!   training-time weights.
 //! - [`BatchServer`] micro-batches concurrently arriving fixes under a
 //!   configurable latency budget / max batch size ([`BatchConfig`])
 //!   before one stacked `localize_batch` call; per-request reply
@@ -33,6 +35,16 @@
 //!   shard needs their budget slot, so one process serves strictly more
 //!   shards than fit under the [`CatalogBudget`]
 //!   ([`BatchServer::paged_stats`] counts faults, spin-downs and drains).
+//! - [`Refresher`] ([`BatchServer::refresher`], demand-paged servers
+//!   only) is the online-learning tier: served fixes and ground-truth
+//!   corrections accumulate in a bounded per-shard [`ObservationBuffer`]
+//!   ([`BufferLimits`]), and [`Refresher::refresh`] retrains a copy of
+//!   the shard model off the serving path, archives it through the
+//!   [`ModelStore`] as the next version, and atomically activates it at
+//!   a batch boundary — never mid-batch. Every version is archived
+//!   before it serves, so [`Refresher::rollback`] restores any prior
+//!   version bit-identically, and answers within a pinned version are
+//!   bit-stable (pinned by the `refresh_determinism` suite).
 //! - [`TrackingServer`] adds the stateful per-device layer: a
 //!   [`SessionTable`] of independently locked shards holds one session
 //!   per device (trajectory smoother, bounded track buffer, zone
@@ -73,16 +85,20 @@
 //! }
 //! ```
 
+mod buffer;
 mod catalog;
 mod error;
+mod refresh;
 mod registry;
 mod server;
 mod session;
 mod store;
 mod sync;
 
+pub use buffer::{BufferLimits, Observation, ObservationBuffer, ObservationKind, PushOutcome};
 pub use catalog::{CatalogBudget, CatalogStats, ModelCatalog, SharedCatalog, TrainSpec};
 pub use error::ServeError;
+pub use refresh::{BufferStats, RefreshConfig, RefreshOutcome, Refresher};
 pub use registry::{
     partition_campaign, shard_seed, RegistryConfig, ShardKey, ShardPolicy, ShardedRegistry,
 };

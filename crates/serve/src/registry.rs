@@ -157,8 +157,12 @@ pub fn partition_campaign(
 ///
 /// **Deprecated as a primary API**: the registry keeps *every* model
 /// resident (an unbounded catalog), which is exactly the grow-only
-/// memory behavior [`ModelCatalog`] was built to replace. Migrate in
-/// two steps:
+/// memory behavior [`ModelCatalog`] was built to replace — and it is
+/// invisible to the versioned-model machinery: model version lineage
+/// (activation, rollback, archived snapshots) lives solely in the
+/// shared catalog behind a demand-paged server, so registry-served
+/// shards are frozen at their training-time weights with no online
+/// refresh. Migrate in two steps:
 ///
 /// 1. build a [`ModelCatalog`] with a [`CatalogBudget`] and usually a
 ///    [`crate::FsStore`] — either directly
@@ -168,7 +172,9 @@ pub fn partition_campaign(
 /// 2. serve it demand-paged with [`crate::BatchServer::start_paged`],
 ///    which replaces the one-worker-per-shard assumption of
 ///    [`crate::BatchServer::start`] with request-driven shard
-///    spin-up/spin-down under the same budget.
+///    spin-up/spin-down under the same budget — and is the only serving
+///    discipline that supports live model refresh
+///    ([`crate::BatchServer::refresher`] / [`crate::Refresher`]).
 ///
 /// Routing is by exact [`ShardKey`]; an unknown key is the typed
 /// [`ServeError::UnknownShard`], never a panic. The registry is the

@@ -89,6 +89,7 @@
 //! ```
 
 use crate::catalog::SharedCatalog;
+use crate::refresh::{RefreshConfig, Refresher};
 use crate::sync::{relock, rewait_timeout};
 use crate::{
     CatalogBudget, CatalogStats, ModelCatalog, ModelStore, ServeError, ShardKey, ShardedRegistry,
@@ -283,6 +284,9 @@ pub struct PagedStats {
     /// Workers currently holding (or faulting in) a model — never more
     /// than a [`CatalogBudget::Count`] allows.
     pub hot_shards: usize,
+    /// Model-version swaps picked up by hot workers at a batch boundary
+    /// (an activation or rollback landed while the shard was serving).
+    pub refresh_swaps: u64,
     /// The shared catalog's lifecycle counters (hits / hydrations /
     /// retrains / evictions / pinned).
     pub catalog: CatalogStats,
@@ -470,11 +474,11 @@ struct Slots {
 }
 
 /// Shared state of a demand-paged server.
-struct PagedEngine {
-    catalog: SharedCatalog,
+pub(crate) struct PagedEngine {
+    pub(crate) catalog: SharedCatalog,
     cfg: BatchConfig,
     /// Routable keys, fixed at start (the catalog's keys).
-    keys: BTreeSet<ShardKey>,
+    pub(crate) keys: BTreeSet<ShardKey>,
     /// Max workers holding a model at once ([`CatalogBudget::Count`]).
     max_hot: usize,
     /// Byte bound on held models ([`CatalogBudget::Bytes`]).
@@ -704,7 +708,7 @@ fn paged_worker(
     }
 
     // ---- WARMING: fault the model in (no engine lock held). ----
-    let (model, cost) = match engine.catalog.lease(key) {
+    let (model, cost, mut version) = match engine.catalog.lease(key) {
         Ok(leased) => leased,
         Err(e) => {
             fail_cold(&engine, key, &rx, e, &stats, &gauges);
@@ -715,6 +719,16 @@ fn paged_worker(
     // lowered twin's snapshot is the progenitor's exact f64 state, so
     // drain write-through and shutdown parking stay full-precision.
     let mut model = lower_for_serving(model, engine.cfg.precision);
+    // Budget accounting is pinned to the lease-time cost for the whole
+    // worker lifetime (a mid-flight version swap of the same
+    // architecture moves the estimate negligibly, and a stable figure
+    // keeps the slots/draining books exact).
+    let lease_cost = cost;
+    let mut cost = cost;
+    // The swap epoch this worker has observed; re-checked between
+    // batches (one atomic load) so a version bump lands at a batch
+    // boundary, never mid-batch.
+    let mut epoch = engine.catalog.epoch();
     {
         let mut slots = relock(&engine.slots);
         slots.occupied_bytes += cost;
@@ -742,7 +756,7 @@ fn paged_worker(
     }
 
     // ---- HOT: the serve loop. ----
-    let feature_dim = model.info().feature_dim;
+    let mut feature_dim = model.info().feature_dim;
     let retire = 'serve: loop {
         // First job of a batch, honoring the idle TTL.
         let job = match engine.cfg.idle_ttl {
@@ -786,6 +800,24 @@ fn paged_worker(
             Job::Drain => break 'serve Retire::Cold { requested: true },
             Job::Shutdown => break 'serve Retire::Park,
         };
+        // Version check at the batch boundary: an activation or rollback
+        // since the last batch swaps the model *here*, before anything of
+        // this batch is served — every batch runs against exactly one
+        // generation, and answers within a pinned version stay
+        // bit-stable. An unchanged epoch is one atomic load.
+        let now_epoch = engine.catalog.epoch();
+        if now_epoch != epoch {
+            epoch = now_epoch;
+            if let Some((fresh, fresh_cost, fresh_version)) =
+                engine.catalog.refresh_lease(key, version)
+            {
+                model = lower_for_serving(fresh, engine.cfg.precision);
+                feature_dim = model.info().feature_dim;
+                cost = fresh_cost;
+                version = fresh_version;
+                relock(&engine.paged).refresh_swaps += 1;
+            }
+        }
         let mut batch = vec![first];
         let mut retire_after = None;
         if engine.cfg.max_batch > 1 {
@@ -827,22 +859,22 @@ fn paged_worker(
 
     // ---- DRAINING: hand the model back, release the budget slot. ----
     match retire {
-        Retire::Cold { .. } => engine.catalog.release_cold(key, model, cost),
+        Retire::Cold { .. } => engine.catalog.release_cold(key, model, cost, version),
         // A lowered twin never parks: parking would leave reduced-precision
         // state in the catalog's resident tier. Write it back through the
         // store instead (its snapshot is the progenitor's exact f64 state),
         // so the catalog only ever holds exact models.
         Retire::Park if engine.cfg.precision != InferencePrecision::Exact => {
-            engine.catalog.release_cold(key, model, cost)
+            engine.catalog.release_cold(key, model, cost, version)
         }
-        Retire::Park => engine.catalog.release_parked(key, model, cost),
+        Retire::Park => engine.catalog.release_parked(key, model, cost, version),
     }
     let mut slots = relock(&engine.slots);
     slots.occupancy -= 1;
-    slots.occupied_bytes -= cost;
+    slots.occupied_bytes -= lease_cost;
     if let Retire::Cold { requested: true } = retire {
         slots.draining = slots.draining.saturating_sub(1);
-        slots.draining_bytes = slots.draining_bytes.saturating_sub(cost);
+        slots.draining_bytes = slots.draining_bytes.saturating_sub(lease_cost);
     }
     engine.room.notify_all();
 }
@@ -1129,6 +1161,25 @@ impl BatchServer {
 
     /// Demand-paging lifecycle counters; `None` on a fully-resident
     /// server.
+    /// Builds the online-refresh companion of a demand-paged server: a
+    /// [`Refresher`] sharing this server's catalog, through which
+    /// buffered corrections become new model versions that workers pick
+    /// up at batch boundaries (see [`Refresher`]'s docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for fully-resident servers
+    /// ([`BatchServer::start`]) — live refresh needs the versioned
+    /// catalog underneath [`BatchServer::start_paged`].
+    pub fn refresher(&self, cfg: RefreshConfig) -> Result<Refresher, ServeError> {
+        match &self.engine {
+            Engine::Static { .. } => Err(ServeError::InvalidConfig(
+                "online refresh requires a demand-paged server (BatchServer::start_paged)".into(),
+            )),
+            Engine::Paged(engine) => Ok(Refresher::new(Arc::clone(engine), cfg)),
+        }
+    }
+
     pub fn paged_stats(&self) -> Option<PagedStats> {
         match &self.engine {
             Engine::Static { .. } => None,

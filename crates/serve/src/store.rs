@@ -96,18 +96,55 @@ pub trait ModelStore: Send + Sync {
     fn list(&self) -> Result<Vec<ShardKey>, ServeError>;
 
     /// Removes the snapshot stored for `key`; returns whether one
-    /// existed.
+    /// existed. Archived versions ([`ModelStore::put_version`]) are not
+    /// touched — only the active slot.
     ///
     /// # Errors
     ///
     /// [`ServeError::Store`] on backend I/O failure.
     fn evict(&self, key: ShardKey) -> Result<bool, ServeError>;
+
+    /// Archives `snapshot` as the immutable bytes of `(key, version)`,
+    /// separate from the active slot that [`ModelStore::put`] writes.
+    /// The online-refresh contract archives every version *before*
+    /// activating it, so `rollback` can always restore prior bytes
+    /// bit-identically. Re-archiving an existing `(key, version)`
+    /// replaces it (the refresher never does; versions are immutable
+    /// once activated).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn put_version(
+        &self,
+        key: ShardKey,
+        version: u64,
+        snapshot: &ModelSnapshot,
+    ) -> Result<(), ServeError>;
+
+    /// Fetches the archived snapshot of `(key, version)`, `None` when
+    /// that version was never archived.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadSnapshot`] when the stored bytes fail validation,
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn get_version(&self, key: ShardKey, version: u64)
+        -> Result<Option<ModelSnapshot>, ServeError>;
+
+    /// Archived version numbers for `key`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] on backend I/O failure.
+    fn versions(&self, key: ShardKey) -> Result<Vec<u64>, ServeError>;
 }
 
 /// In-memory snapshot store.
 #[derive(Debug, Default)]
 pub struct MemStore {
     snapshots: Mutex<BTreeMap<ShardKey, ModelSnapshot>>,
+    archives: Mutex<BTreeMap<(ShardKey, u64), ModelSnapshot>>,
 }
 
 impl MemStore {
@@ -133,6 +170,31 @@ impl ModelStore for MemStore {
 
     fn evict(&self, key: ShardKey) -> Result<bool, ServeError> {
         Ok(relock(&self.snapshots).remove(&key).is_some())
+    }
+
+    fn put_version(
+        &self,
+        key: ShardKey,
+        version: u64,
+        snapshot: &ModelSnapshot,
+    ) -> Result<(), ServeError> {
+        relock(&self.archives).insert((key, version), snapshot.clone());
+        Ok(())
+    }
+
+    fn get_version(
+        &self,
+        key: ShardKey,
+        version: u64,
+    ) -> Result<Option<ModelSnapshot>, ServeError> {
+        Ok(relock(&self.archives).get(&(key, version)).cloned())
+    }
+
+    fn versions(&self, key: ShardKey) -> Result<Vec<u64>, ServeError> {
+        Ok(relock(&self.archives)
+            .range((key, 0)..=(key, u64::MAX))
+            .map(|((_, v), _)| *v)
+            .collect())
     }
 }
 
@@ -167,7 +229,8 @@ impl FsStore {
         &self.root
     }
 
-    /// `b<building>.snap` or `b<building>-f<floor>.snap`.
+    /// `b<building>.snap` or `b<building>-f<floor>.snap` — the active
+    /// slot for a shard.
     fn file_name(key: ShardKey) -> String {
         match key.floor {
             Some(floor) => format!("b{}-f{floor}.snap", key.building),
@@ -175,17 +238,78 @@ impl FsStore {
         }
     }
 
+    /// `b<building>[-f<floor>].v<version>.snap` — the immutable archive
+    /// of one model version. The embedded `.v<N>.` makes the stem
+    /// unparseable to [`FsStore::key_of`], so archives never show up in
+    /// [`ModelStore::list`].
+    fn archive_name(key: ShardKey, version: u64) -> String {
+        match key.floor {
+            Some(floor) => format!("b{}-f{floor}.v{version}.snap", key.building),
+            None => format!("b{}.v{version}.snap", key.building),
+        }
+    }
+
     fn path_of(&self, key: ShardKey) -> PathBuf {
         self.root.join(Self::file_name(key))
     }
 
-    /// Inverse of [`FsStore::file_name`]; `None` for foreign files.
+    /// Inverse of [`FsStore::file_name`]; `None` for foreign files
+    /// (including version archives and in-flight temp files).
     fn key_of(name: &str) -> Option<ShardKey> {
         let stem = name.strip_suffix(".snap")?.strip_prefix('b')?;
         match stem.split_once("-f") {
             Some((b, f)) => Some(ShardKey::building_floor(b.parse().ok()?, f.parse().ok()?)),
             None => Some(ShardKey::building(stem.parse().ok()?)),
         }
+    }
+
+    /// The version number of an archive file of `key`, `None` for every
+    /// other file (other shards' archives, active slots, foreign files).
+    fn version_of(name: &str, key: ShardKey) -> Option<u64> {
+        let stem = Self::file_name(key);
+        let stem = stem.strip_suffix(".snap").unwrap_or(&stem);
+        name.strip_suffix(".snap")?
+            .strip_prefix(stem)?
+            .strip_prefix(".v")?
+            .parse()
+            .ok()
+    }
+
+    /// Writes `snapshot` to `root/<name>` atomically: complete bytes go
+    /// to a per-writer temp file, synced, then a rename publishes the
+    /// final name — a reader can never observe partial bytes.
+    fn write_atomic(&self, name: &str, snapshot: &ModelSnapshot) -> Result<(), ServeError> {
+        // The temp name is unique per writer and per call, so two
+        // concurrent puts of the same key never interleave writes into
+        // one file — each publishes its own complete bytes and the last
+        // rename wins atomically.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = self.root.join(name);
+        let tmp = self
+            .root
+            .join(format!(".{name}.{}-{seq}.tmp", std::process::id()));
+        let io = |stage: &str, e: std::io::Error| {
+            ServeError::Store(format!("{stage} {}: {e}", path.display()))
+        };
+        let bytes = Self::encode(snapshot);
+        let mut file = fs::File::create(&tmp).map_err(|e| io("create temp for", e))?;
+        file.write_all(&bytes).map_err(|e| io("write", e))?;
+        // Flush file contents before the rename publishes the path, so a
+        // reader can never observe the final name with partial bytes.
+        file.sync_all().map_err(|e| io("sync", e))?;
+        drop(file);
+        fs::rename(&tmp, &path).map_err(|e| io("publish", e))
+    }
+
+    fn read_name(&self, name: &str) -> Result<Option<ModelSnapshot>, ServeError> {
+        let path = self.root.join(name);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServeError::Store(format!("read {}: {e}", path.display()))),
+        };
+        Self::decode(&bytes, &path).map(Some)
     }
 
     fn encode(snapshot: &ModelSnapshot) -> Vec<u8> {
@@ -231,39 +355,11 @@ impl FsStore {
 
 impl ModelStore for FsStore {
     fn put(&self, key: ShardKey, snapshot: &ModelSnapshot) -> Result<(), ServeError> {
-        // The temp name is unique per writer and per call, so two
-        // concurrent puts of the same key never interleave writes into
-        // one file — each publishes its own complete bytes and the last
-        // rename wins atomically.
-        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = self.path_of(key);
-        let tmp = self.root.join(format!(
-            ".{}.{}-{seq}.tmp",
-            Self::file_name(key),
-            std::process::id()
-        ));
-        let io = |stage: &str, e: std::io::Error| {
-            ServeError::Store(format!("{stage} {}: {e}", path.display()))
-        };
-        let bytes = Self::encode(snapshot);
-        let mut file = fs::File::create(&tmp).map_err(|e| io("create temp for", e))?;
-        file.write_all(&bytes).map_err(|e| io("write", e))?;
-        // Flush file contents before the rename publishes the path, so a
-        // reader can never observe the final name with partial bytes.
-        file.sync_all().map_err(|e| io("sync", e))?;
-        drop(file);
-        fs::rename(&tmp, &path).map_err(|e| io("publish", e))
+        self.write_atomic(&Self::file_name(key), snapshot)
     }
 
     fn get(&self, key: ShardKey) -> Result<Option<ModelSnapshot>, ServeError> {
-        let path = self.path_of(key);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(ServeError::Store(format!("read {}: {e}", path.display()))),
-        };
-        Self::decode(&bytes, &path).map(Some)
+        self.read_name(&Self::file_name(key))
     }
 
     fn list(&self) -> Result<Vec<ShardKey>, ServeError> {
@@ -288,6 +384,42 @@ impl ModelStore for FsStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(ServeError::Store(format!("evict {}: {e}", path.display()))),
         }
+    }
+
+    fn put_version(
+        &self,
+        key: ShardKey,
+        version: u64,
+        snapshot: &ModelSnapshot,
+    ) -> Result<(), ServeError> {
+        self.write_atomic(&Self::archive_name(key, version), snapshot)
+    }
+
+    fn get_version(
+        &self,
+        key: ShardKey,
+        version: u64,
+    ) -> Result<Option<ModelSnapshot>, ServeError> {
+        self.read_name(&Self::archive_name(key, version))
+    }
+
+    fn versions(&self, key: ShardKey) -> Result<Vec<u64>, ServeError> {
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| ServeError::Store(format!("versions {}: {e}", self.root.display())))?;
+        let mut versions = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| ServeError::Store(format!("versions {}: {e}", self.root.display())))?;
+            if let Some(v) = entry
+                .file_name()
+                .to_str()
+                .and_then(|name| Self::version_of(name, key))
+            {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
     }
 }
 
@@ -334,6 +466,26 @@ mod tests {
         assert_eq!(FsStore::key_of("junk.txt"), None);
         assert_eq!(FsStore::key_of("bX.snap"), None);
         assert_eq!(FsStore::key_of(".b1.snap.tmp"), None);
+        // Version archives must stay invisible to the active-slot verbs.
+        assert_eq!(FsStore::key_of("b1.v3.snap"), None);
+        assert_eq!(FsStore::key_of("b1-f2.v3.snap"), None);
+    }
+
+    #[test]
+    fn archive_name_round_trips_versions() {
+        for key in [ShardKey::building(7), ShardKey::building_floor(3, 2)] {
+            for version in [0u64, 1, 42] {
+                let name = FsStore::archive_name(key, version);
+                assert_eq!(FsStore::version_of(&name, key), Some(version));
+                assert_eq!(FsStore::key_of(&name), None);
+            }
+        }
+        // Other shards' archives and active slots never match.
+        let key = ShardKey::building(7);
+        assert_eq!(FsStore::version_of("b8.v1.snap", key), None);
+        assert_eq!(FsStore::version_of("b7-f1.v1.snap", key), None);
+        assert_eq!(FsStore::version_of("b7.snap", key), None);
+        assert_eq!(FsStore::version_of("b7.vX.snap", key), None);
     }
 
     #[test]
@@ -348,6 +500,26 @@ mod tests {
         assert!(store.evict(key).unwrap());
         assert!(!store.evict(key).unwrap());
         assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mem_store_versions_are_separate_from_active_slot() {
+        let store = MemStore::new();
+        let key = ShardKey::building_floor(1, 2);
+        let v1 = ModelSnapshot::new("wifi-noble", 8, 3, vec![1]).with_version(1);
+        let v2 = ModelSnapshot::new("wifi-noble", 8, 3, vec![2]).with_version(2);
+        assert!(store.versions(key).unwrap().is_empty());
+        store.put_version(key, 1, &v1).unwrap();
+        store.put_version(key, 2, &v2).unwrap();
+        store.put(key, &v2).unwrap();
+        assert_eq!(store.versions(key).unwrap(), vec![1, 2]);
+        assert_eq!(store.get_version(key, 1).unwrap().unwrap(), v1);
+        assert_eq!(store.get_version(key, 3).unwrap(), None);
+        // Other keys see nothing; evicting the active slot keeps archives.
+        assert!(store.versions(ShardKey::building(1)).unwrap().is_empty());
+        assert!(store.evict(key).unwrap());
+        assert_eq!(store.versions(key).unwrap(), vec![1, 2]);
+        assert_eq!(store.get_version(key, 2).unwrap().unwrap(), v2);
     }
 
     #[test]
